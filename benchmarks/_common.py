@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.launcher import MultiProcVM
+from repro.jvm.classloading import ClassMaterial
+from repro.security.codesource import CodeSource
+
+
+def register_main(vm, name: str, main_fn) -> str:
+    class_name = f"bench.{name}"
+    material = ClassMaterial(
+        class_name,
+        code_source=CodeSource(
+            f"file:/usr/local/java/apps/{name.lower()}/{name}.class"))
+    material.members["main"] = main_fn
+    vm.registry.register(material, replace=True)
+    return class_name
+
+
+@pytest.fixture(scope="module")
+def bench_mvm():
+    mvm = MultiProcVM.boot()
+    yield mvm
+    mvm.shutdown()
+
+
+def banner(title: str) -> str:
+    line = "=" * max(8, len(title))
+    return f"\n{line}\n{title}\n{line}"

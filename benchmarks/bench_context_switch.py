@@ -1,0 +1,79 @@
+"""Experiment C2a — context switching in one address space.
+
+Section 2: "Context switching, for example, is much less expensive if
+performed within one address space, because caches need not be cleared,
+page-table pointers don't have to be adjusted, and so on."
+
+We measure a same-address-space switch for real (two JThreads ping-ponging
+through condition variables — two switches per round trip) and compare
+against the calibrated process-switch model (direct cost + cache/TLB
+refill).
+"""
+
+import sys
+import threading
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+
+from _common import banner  # noqa: E402
+
+from repro.jvm.threads import JThread, ThreadGroup  # noqa: E402
+from repro.procsim.model import ProcessCostModel  # noqa: E402
+
+ROUNDS_PER_CALL = 2000
+
+
+class _PingPong:
+    """Two threads forced to alternate: 2 context switches per round."""
+
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.cond = threading.Condition(self.lock)
+        self.turn = 0
+        self.rounds = 0
+        self.target = 0
+
+    def run(self, me: int, other: int) -> None:
+        with self.cond:
+            while self.rounds < self.target:
+                while self.turn != me and self.rounds < self.target:
+                    self.cond.wait(1.0)
+                if self.rounds >= self.target:
+                    break
+                self.turn = other
+                self.rounds += 1
+                self.cond.notify_all()
+
+
+def test_bench_thread_switch_vs_process_switch_model(benchmark):
+    root = ThreadGroup(None, "system")
+
+    def ping_pong_batch():
+        game = _PingPong()
+        game.target = ROUNDS_PER_CALL
+        thread_a = JThread(target=game.run, args=(0, 1), group=root)
+        thread_b = JThread(target=game.run, args=(1, 0), group=root)
+        thread_a.start()
+        thread_b.start()
+        thread_a.join(30)
+        thread_b.join(30)
+        assert game.rounds >= ROUNDS_PER_CALL
+
+    benchmark.pedantic(ping_pong_batch, rounds=5, iterations=1,
+                       warmup_rounds=1)
+    # Each round is one hand-off = two thread switches.
+    per_switch_us = (benchmark.stats.stats.mean
+                     / (ROUNDS_PER_CALL * 2)) * 1e6
+    model = ProcessCostModel()
+    process_us = model.process_context_switch_us()
+    print(banner("C2a: context switch — one address space vs processes"))
+    print(f"thread switch, same address space (measured): "
+          f"{per_switch_us:8.2f} us")
+    print(f"process switch incl. cache/TLB refill (model): "
+          f"{process_us:8.2f} us")
+    print(f"  = direct {model.process_switch_us:.1f} us "
+          f"+ refill penalty {model.cache_refill_penalty_us:.1f} us")
+    print(f"single-address-space advantage: "
+          f"x{process_us / per_switch_us:0.1f}")
+    assert per_switch_us < process_us, \
+        "paper claim: in-VM switches must beat process switches"

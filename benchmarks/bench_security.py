@@ -1,0 +1,150 @@
+"""Experiment C5 — the price of the security architecture.
+
+The paper "focussed on [secure services] while not paying particular
+[attention] to performance tuning" (Section 7); this bench records what the
+stack-walking access controller, the Section 5.3 user combination, and the
+policy machinery cost, so the overhead story is quantified:
+
+* ``check_permission`` as a function of stack depth;
+* code-source-only grant vs the UserPermission + user-grant combination;
+* ``do_privileged`` walk truncation;
+* policy parsing and ``FilePermission.implies`` micro-costs.
+"""
+
+import contextlib
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+
+import pytest  # noqa: E402
+
+from _common import banner, bench_mvm  # noqa: E402,F401
+
+from repro.core.launcher import DEFAULT_POLICY  # noqa: E402
+from repro.security import access  # noqa: E402
+from repro.security.codesource import CodeSource, ProtectionDomain  # noqa: E402
+from repro.security.permissions import (  # noqa: E402
+    FilePermission,
+    Permissions,
+    UserPermission,
+)
+from repro.security.policy import parse_policy  # noqa: E402
+
+PERM = FilePermission("/home/alice/notes.txt", "read")
+
+
+def granting_domain(name="granting"):
+    return ProtectionDomain(
+        CodeSource(f"file:/{name}"),
+        Permissions([FilePermission("/home/alice/-", "read,write")]),
+        name=name)
+
+
+@contextlib.contextmanager
+def stack_of(depth: int, domain_factory):
+    with contextlib.ExitStack() as stack:
+        for index in range(depth):
+            stack.enter_context(
+                access.stack_frame(domain_factory(f"d{index}")))
+        yield
+
+
+@pytest.mark.parametrize("depth", [1, 8, 32])
+def test_bench_check_permission_stack_depth(benchmark, depth):
+    with stack_of(depth, granting_domain):
+        benchmark(access.check_permission, PERM)
+    print(banner(f"C5: check_permission, stack depth {depth}"))
+    print(f"mean: {benchmark.stats.stats.mean * 1e6:8.2f} us")
+
+
+def test_bench_code_source_grant(benchmark):
+    with access.stack_frame(granting_domain()):
+        benchmark(access.check_permission, PERM)
+    direct_us = benchmark.stats.stats.mean * 1e6
+    print(banner("C5: code-source-only grant"))
+    print(f"mean: {direct_us:8.2f} us")
+
+
+def test_bench_user_combined_grant(benchmark):
+    """Section 5.3: the grant comes from the *user's* permissions through
+    a UserPermission-holding domain — the extra resolver hop is the cost
+    of user-based access control."""
+    user_grants = Permissions(
+        [FilePermission("/home/alice/-", "read,write,delete")])
+    previous = access.user_permission_resolver
+    access.user_permission_resolver = lambda: user_grants
+    try:
+        local_domain = ProtectionDomain(
+            CodeSource("file:/usr/local/java/apps/e/E.class"),
+            Permissions([UserPermission()]), name="local-app")
+        with access.stack_frame(local_domain):
+            benchmark(access.check_permission, PERM)
+    finally:
+        access.user_permission_resolver = previous
+    print(banner("C5: user-combined grant (Section 5.3 path)"))
+    print(f"mean: {benchmark.stats.stats.mean * 1e6:8.2f} us")
+
+
+def test_bench_do_privileged_truncates_walk(benchmark):
+    """A privileged frame near the top makes deep stacks cheap again."""
+    def denied_below(name):
+        return ProtectionDomain(CodeSource(f"file:/{name}"),
+                                Permissions(), name=name)
+
+    with stack_of(32, denied_below):
+        with access.stack_frame(granting_domain()):
+            def privileged_check():
+                access.do_privileged(
+                    lambda: access.check_permission(PERM))
+
+            benchmark(privileged_check)
+    print(banner("C5: do_privileged over a 32-deep denied stack"))
+    print(f"mean: {benchmark.stats.stats.mean * 1e6:8.2f} us")
+
+
+def test_bench_policy_parse(benchmark):
+    policy = benchmark(parse_policy, DEFAULT_POLICY)
+    assert policy.entries()
+    print(banner("C5: parsing the default policy file"))
+    print(f"mean: {benchmark.stats.stats.mean * 1e6:8.2f} us")
+
+
+def test_bench_file_permission_implies(benchmark):
+    holder = FilePermission("/home/alice/-", "read,write")
+    target = FilePermission("/home/alice/a/b/c.txt", "read")
+
+    def check():
+        assert holder.implies(target)
+
+    benchmark(check)
+    print(banner("C5: FilePermission.implies micro-cost"))
+    print(f"mean: {benchmark.stats.stats.mean * 1e9:8.1f} ns")
+
+
+def test_bench_end_to_end_checked_file_read(benchmark, bench_mvm):
+    """A full checked read by a local app run by Alice (policy + user
+    combination + VFS), the Section 5.3 hot path."""
+    from _common import register_main
+    from repro.io.file import read_text
+
+    done = []
+
+    def main(jclass, ctx, args):
+        for _ in range(100):
+            read_text(ctx, "/home/alice/notes.txt")
+        done.append(True)
+        return 0
+
+    class_name = register_main(bench_mvm.vm, "CheckedReader", main)
+    alice = bench_mvm.vm.user_database.lookup("alice")
+
+    with bench_mvm.host_session():
+        def run_app():
+            app = bench_mvm.exec(class_name, [], user=alice)
+            assert app.wait_for(30) == 0
+
+        benchmark.pedantic(run_app, rounds=5, iterations=1,
+                           warmup_rounds=1)
+    per_read_us = benchmark.stats.stats.mean / 100 * 1e6
+    print(banner("C5: end-to-end checked file read (user-combined)"))
+    print(f"per read incl. launch amortized: {per_read_us:8.2f} us")

@@ -1,0 +1,114 @@
+"""Ablation benches for the Section 8 future-work subsystems.
+
+* Shared-object IPC vs pipe IPC: the paper calls object sharing "very
+  appealing ... as an inter-application communication mechanism" — we
+  quantify the appeal by comparing a shared-object round trip (bind +
+  lookup with the type-safety check) against pushing the same payload
+  through a pipe.
+* Distributed execution: latency of launching an application on another
+  JVM over the simulated network, vs launching it locally.
+"""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+
+from _common import banner, register_main  # noqa: E402
+
+from repro.core.launcher import MultiProcVM  # noqa: E402
+from repro.dist.client import remote_exec  # noqa: E402
+from repro.io.streams import make_pipe  # noqa: E402
+from repro.net.fabric import NetworkFabric  # noqa: E402
+from repro.unixfs.machine import standard_process  # noqa: E402
+
+PAYLOAD = "x" * 1024
+
+
+def test_bench_shared_object_round_trip(benchmark):
+    mvm = MultiProcVM.boot()
+    try:
+        with mvm.host_session():
+            space = mvm.vm.shared_objects
+            counter = [0]
+
+            def round_trip():
+                counter[0] += 1
+                name = "bench-slot"
+                space.bind(name, PAYLOAD, replace=True)
+                assert space.lookup(name) == PAYLOAD
+
+            benchmark(round_trip)
+    finally:
+        mvm.shutdown()
+    shared_us = benchmark.stats.stats.mean * 1e6
+    print(banner("§8a: shared-object bind+lookup (1 KB payload)"))
+    print(f"mean: {shared_us:8.2f} us")
+
+
+def test_bench_pipe_round_trip_same_payload(benchmark):
+    """The comparison point: the same 1 KB through an in-VM pipe."""
+    def round_trip():
+        reader, writer = make_pipe()
+        writer.write(PAYLOAD.encode())
+        writer.close()
+        assert len(reader.read_all()) == len(PAYLOAD)
+        reader.close()
+
+    benchmark(round_trip)
+    pipe_us = benchmark.stats.stats.mean * 1e6
+    print(banner("§8a: pipe write+read (1 KB payload, no threads)"))
+    print(f"mean: {pipe_us:8.2f} us")
+
+
+def test_bench_remote_vs_local_exec(benchmark):
+    """§8b: launching on another JVM vs locally, same trivial app."""
+    fabric = NetworkFabric()
+    mvm_a = MultiProcVM.boot(
+        os_context=standard_process(hostname="bench-a.example.com"),
+        network=fabric)
+    mvm_b = MultiProcVM.boot(
+        os_context=standard_process(hostname="bench-b.example.com"),
+        network=fabric)
+    try:
+        with mvm_b.host_session():
+            mvm_b.exec("dist.RexecDaemon", ["7100"])
+        import time
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline:
+            if fabric.resolve("bench-b.example.com")._listener(7100):
+                break
+            time.sleep(0.01)
+        register_main(mvm_b.vm, "RemoteNoop", lambda j, c, a: 0)
+
+        with mvm_a.host_session():
+            ctx = mvm_a.initial.context()
+
+            def remote_round_trip():
+                remote = remote_exec(ctx, "bench-b.example.com",
+                                     "bench.RemoteNoop", [],
+                                     user="alice", password="wonderland")
+                assert remote.wait_for(10) == 0
+                remote.close()
+
+            benchmark.pedantic(remote_round_trip, rounds=15, iterations=1,
+                               warmup_rounds=2)
+        remote_ms = benchmark.stats.stats.mean * 1000
+
+        # Local comparison, measured inline.
+        register_main(mvm_a.vm, "LocalNoop", lambda j, c, a: 0)
+        with mvm_a.host_session():
+            import time
+            loops = 30
+            start = time.perf_counter()
+            for _ in range(loops):
+                app = mvm_a.exec("bench.LocalNoop")
+                assert app.wait_for(10) == 0
+            local_ms = (time.perf_counter() - start) / loops * 1000
+    finally:
+        mvm_a.shutdown()
+        mvm_b.shutdown()
+    print(banner("§8b: remote exec vs local exec"))
+    print(f"local application launch+exit:  {local_ms:8.2f} ms")
+    print(f"remote (auth + wire + launch):  {remote_ms:8.2f} ms")
+    print(f"network/auth overhead factor:   x{remote_ms / local_ms:0.1f}")
+    assert remote_ms > local_ms, "remote exec cannot be cheaper than local"

@@ -1,0 +1,358 @@
+"""GUI components: windows, buttons, text fields, menus.
+
+The component model is the minimal AWT slice the paper's experiments need:
+a tree of named components inside top-level windows, listener registration
+(``ActionListener`` et al.), and painting recorded into a per-window paint
+log (our stand-in for the X server drawing "on behalf of that application",
+Section 3.2).
+
+Event *delivery* is not done here — events arrive from the
+:mod:`~repro.awt.toolkit` via a dispatcher thread and are handed to
+:meth:`Component.process_event`, reproducing the paper's observation that
+"all callbacks are called from a single event dispatcher thread" (or from
+the owning application's dispatcher in the multi-processing design).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.awt.events import (
+    ActionEvent,
+    AWTEvent,
+    FocusEvent,
+    KeyEvent,
+    MouseEvent,
+    PaintEvent,
+    WindowEvent,
+)
+from repro.jvm.errors import IllegalArgumentException, IllegalStateException
+
+
+class Graphics:
+    """Records draw operations into the enclosing window's paint log."""
+
+    def __init__(self, window: "Window", component: "Component"):
+        self._window = window
+        self._component = component
+
+    def _record(self, op: str, **details) -> None:
+        entry = {"component": self._component.name, "op": op, **details}
+        self._window.paint_log.append(entry)
+        if self._window.toolkit is not None:
+            self._window.toolkit.record_draw(self._window, entry)
+
+    def draw_text(self, x: int, y: int, text: str) -> None:
+        self._record("text", x=x, y=y, text=text)
+
+    def fill_rect(self, x: int, y: int, width: int, height: int) -> None:
+        self._record("rect", x=x, y=y, width=width, height=height)
+
+    def draw_line(self, x1: int, y1: int, x2: int, y2: int) -> None:
+        self._record("line", x1=x1, y1=y1, x2=x2, y2=y2)
+
+
+class Component:
+    """A named node of the GUI tree."""
+
+    _anon_counter = 0
+
+    def __init__(self, name: Optional[str] = None):
+        if name is None:
+            Component._anon_counter += 1
+            name = f"component-{Component._anon_counter}"
+        self.name = name
+        self.parent: Optional["Container"] = None
+        self.visible = True
+        self.enabled = True
+        self.focused = False
+        self._listeners: dict[type, list[Callable[[AWTEvent], None]]] = {}
+
+    # -- listeners --------------------------------------------------------------
+
+    def add_listener(self, event_type: type,
+                     listener: Callable[[AWTEvent], None]) -> None:
+        if not issubclass(event_type, AWTEvent):
+            raise IllegalArgumentException(
+                f"{event_type!r} is not an AWTEvent type")
+        self._listeners.setdefault(event_type, []).append(listener)
+
+    def remove_listener(self, event_type: type,
+                        listener: Callable[[AWTEvent], None]) -> None:
+        self._listeners.get(event_type, []).remove(listener)
+
+    def add_action_listener(self,
+                            listener: Callable[[ActionEvent], None]) -> None:
+        """Register an ``ActionListener`` (Section 3.2's example)."""
+        self.add_listener(ActionEvent, listener)
+
+    def add_key_listener(self, listener: Callable[[KeyEvent], None]) -> None:
+        self.add_listener(KeyEvent, listener)
+
+    def _listeners_for(self, event: AWTEvent) -> list:
+        found = []
+        for event_type, listeners in self._listeners.items():
+            if isinstance(event, event_type):
+                found.extend(listeners)
+        return found
+
+    # -- event processing ------------------------------------------------------------
+
+    def process_event(self, event: AWTEvent) -> None:
+        """Deliver ``event`` to this component's listeners.
+
+        Called from a dispatcher thread; subclasses first translate
+        low-level input into semantic events (Button: click → action).
+        """
+        if not self.enabled:
+            return
+        if isinstance(event, PaintEvent):
+            self.repaint()
+            return
+        if isinstance(event, FocusEvent):
+            self.focused = event.gained
+        for listener in self._listeners_for(event):
+            listener(event)
+
+    # -- geometry in the tree ------------------------------------------------------
+
+    def window(self) -> Optional["Window"]:
+        node: Optional[Component] = self
+        while node is not None and not isinstance(node, Window):
+            node = node.parent
+        return node
+
+    def paint(self, graphics: Graphics) -> None:
+        """Default painting: subclasses draw their face."""
+
+    def repaint(self) -> None:
+        window = self.window()
+        if window is not None:
+            self.paint(Graphics(window, self))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class Container(Component):
+    """A component holding children."""
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name)
+        self.children: list[Component] = []
+
+    def add(self, child: Component) -> Component:
+        if child.parent is not None:
+            raise IllegalArgumentException(
+                f"component {child.name} already has a parent")
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def remove(self, child: Component) -> None:
+        if child in self.children:
+            self.children.remove(child)
+            child.parent = None
+
+    def find(self, name: str) -> Optional[Component]:
+        """Depth-first search by component name (used for event routing)."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            if child.name == name:
+                return child
+            if isinstance(child, Container):
+                found = child.find(name)
+                if found is not None:
+                    return found
+        return None
+
+    def repaint(self) -> None:
+        super().repaint()
+        for child in self.children:
+            child.repaint()
+
+
+class Label(Component):
+    """Static text."""
+
+    def __init__(self, text: str, name: Optional[str] = None):
+        super().__init__(name)
+        self.text = text
+
+    def paint(self, graphics: Graphics) -> None:
+        graphics.draw_text(0, 0, self.text)
+
+
+class Button(Component):
+    """A push button: click becomes an :class:`ActionEvent`."""
+
+    def __init__(self, label: str, name: Optional[str] = None,
+                 action_command: Optional[str] = None):
+        super().__init__(name)
+        self.label = label
+        self.action_command = action_command or label
+
+    def process_event(self, event: AWTEvent) -> None:
+        if isinstance(event, MouseEvent) and self.enabled:
+            translated = ActionEvent(self, self.action_command)
+            translated.application = event.application
+            super().process_event(translated)
+            return
+        super().process_event(event)
+
+    def paint(self, graphics: Graphics) -> None:
+        graphics.draw_text(0, 0, f"[ {self.label} ]")
+
+
+class TextField(Component):
+    """Single-line text input; Enter fires an action event."""
+
+    def __init__(self, text: str = "", name: Optional[str] = None):
+        super().__init__(name)
+        self.text = text
+
+    def process_event(self, event: AWTEvent) -> None:
+        if isinstance(event, KeyEvent) and self.enabled:
+            if event.char == "\n":
+                translated = ActionEvent(self, self.text)
+                translated.application = event.application
+                super().process_event(translated)
+            elif event.char == "\b":
+                self.text = self.text[:-1]
+            else:
+                self.text += event.char
+        super().process_event(event)
+
+    def paint(self, graphics: Graphics) -> None:
+        graphics.draw_text(0, 0, f"|{self.text}|")
+
+
+class TextArea(Component):
+    """Multi-line text buffer (the editor examples build on this)."""
+
+    def __init__(self, text: str = "", name: Optional[str] = None):
+        super().__init__(name)
+        self.text = text
+
+    def append(self, more: str) -> None:
+        self.text += more
+
+    def process_event(self, event: AWTEvent) -> None:
+        if isinstance(event, KeyEvent) and self.enabled:
+            if event.char == "\b":
+                self.text = self.text[:-1]
+            else:
+                self.text += event.char
+        super().process_event(event)
+
+    def paint(self, graphics: Graphics) -> None:
+        for index, line in enumerate(self.text.splitlines()):
+            graphics.draw_text(0, index, line)
+
+
+class MenuItem(Component):
+    """An entry in a menu; selection fires an action event."""
+
+    def __init__(self, label: str, name: Optional[str] = None):
+        super().__init__(name)
+        self.label = label
+
+    def select(self) -> None:
+        """Programmatic selection (tests); real input goes via the server."""
+        self.process_event(ActionEvent(self, self.label))
+
+
+class Menu(Container):
+    """A titled list of menu items."""
+
+    def __init__(self, label: str, name: Optional[str] = None):
+        super().__init__(name)
+        self.label = label
+
+    def add_item(self, label: str,
+                 listener: Optional[Callable[[ActionEvent], None]] = None,
+                 name: Optional[str] = None) -> MenuItem:
+        item = MenuItem(label, name)
+        if listener is not None:
+            item.add_action_listener(listener)
+        self.add(item)
+        return item
+
+
+class MenuBar(Container):
+    """The menu bar of a :class:`Frame`."""
+
+    def add_menu(self, label: str, name: Optional[str] = None) -> Menu:
+        menu = Menu(label, name)
+        self.add(menu)
+        return menu
+
+
+class Window(Container):
+    """A top-level window, registered with the toolkit when shown.
+
+    Section 5.4: "When an application opens a window, the system makes note
+    about which application the window belongs to."  That note is taken by
+    the toolkit at :meth:`show` time; the window itself just remembers the
+    assignment.
+    """
+
+    def __init__(self, title: str, name: Optional[str] = None):
+        super().__init__(name)
+        self.title = title
+        self.toolkit = None
+        self.window_id: Optional[int] = None
+        self.application = None
+        self.paint_log: list[dict] = []
+        self.disposed = False
+
+    def show(self, toolkit=None) -> "Window":
+        """Map the window onto the display (registers with the toolkit)."""
+        if self.disposed:
+            raise IllegalStateException("window has been disposed")
+        if self.window_id is not None:
+            return self
+        if toolkit is None:
+            toolkit = self._default_toolkit()
+        toolkit.register_window(self)
+        self.process_event(WindowEvent(self, WindowEvent.OPENED))
+        return self
+
+    def _default_toolkit(self):
+        from repro.core.context import current_application_or_none
+        app = current_application_or_none()
+        if app is not None and app.vm.toolkit is not None:
+            return app.vm.toolkit
+        raise IllegalStateException(
+            "no toolkit available; pass one to show()")
+
+    def dispose(self) -> None:
+        if self.disposed:
+            return
+        self.disposed = True
+        if self.toolkit is not None:
+            self.toolkit.unregister_window(self)
+        self.process_event(WindowEvent(self, WindowEvent.CLOSED))
+
+    def process_event(self, event: AWTEvent) -> None:
+        if isinstance(event, WindowEvent) and event.kind == \
+                WindowEvent.CLOSING:
+            for listener in self._listeners_for(event):
+                listener(event)
+            return
+        super().process_event(event)
+
+
+class Frame(Window):
+    """A window with a menu bar."""
+
+    def __init__(self, title: str, name: Optional[str] = None):
+        super().__init__(title, name)
+        self.menu_bar: Optional[MenuBar] = None
+
+    def set_menu_bar(self, menu_bar: MenuBar) -> None:
+        if menu_bar.parent is not None:
+            raise IllegalArgumentException("menu bar already attached")
+        self.menu_bar = menu_bar
+        self.add(menu_bar)

@@ -1,0 +1,189 @@
+"""Event dispatching: centralized (Figure 2) vs per-application (Figure 4).
+
+The paper's Feature 7 problem: in the classic JVM "a centralized event
+dispatcher thread will pick up events from that queue and call the
+appropriate methods", so when Alice and Bob run the same editor "the very
+same thread will execute the very same code.  Thus, there is no way of
+distinguishing between the two cases."
+
+* :class:`CentralizedDispatcher` reproduces the classic design, including
+  footnote 5's quirk: "Whichever application happens to open a window first
+  would implicitly start the event dispatcher" — the dispatcher thread is
+  created on demand **in whatever thread group is current**.
+* :class:`PerApplicationDispatcher` is the paper's redesign (Section 5.4):
+  one event queue per application, dispatched by a *non-daemon* thread
+  created inside that application's own thread group — so the code that
+  runs in response to Alice's click runs as one of Alice's threads, and
+  "each application's event dispatching is now independent from other
+  applications".
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.awt.events import AWTEvent, EventQueue, InvocationEvent
+from repro.jvm.threads import JThread, ThreadGroup
+
+
+class EventDispatchThread:
+    """A thread that drains one event queue until the queue closes."""
+
+    def __init__(self, queue: EventQueue, group: ThreadGroup, name: str,
+                 daemon: bool = False, error_sink=None):
+        self.queue = queue
+        self._error_sink = error_sink
+        self.thread = JThread(target=self._loop, name=name, group=group,
+                              daemon=daemon)
+
+    def start(self) -> "EventDispatchThread":
+        self.thread.start()
+        return self
+
+    def _loop(self) -> None:
+        while True:
+            event = self.queue.next_event()
+            if event is None:
+                return
+            try:
+                event.dispatch()
+            except BaseException as exc:  # noqa: BLE001 - EDT must survive
+                if self._error_sink is not None:
+                    self._error_sink(event, exc)
+
+    def shutdown(self) -> None:
+        self.queue.close()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        self.thread.join(timeout)
+
+
+class Dispatcher:
+    """Common dispatcher interface used by the toolkit."""
+
+    def post(self, event: AWTEvent) -> None:
+        raise NotImplementedError
+
+    def invoke_later(self, runnable, application=None) -> InvocationEvent:
+        event = InvocationEvent(runnable)
+        event.application = application
+        self.post(event)
+        return event
+
+    def invoke_and_wait(self, runnable, application=None,
+                        timeout: float = 5.0) -> None:
+        event = self.invoke_later(runnable, application)
+        event.await_completion(timeout)
+        if event.exception is not None:
+            raise event.exception
+
+    def shutdown(self) -> None:
+        raise NotImplementedError
+
+
+class CentralizedDispatcher(Dispatcher):
+    """One queue, one dispatcher thread for *all* applications (Figure 2)."""
+
+    def __init__(self, vm, error_sink=None):
+        self.vm = vm
+        self.queue = EventQueue("awt-global")
+        self._edt: Optional[EventDispatchThread] = None
+        self._lock = threading.Lock()
+        self._error_sink = error_sink
+        #: The group the EDT ended up in (observable footnote-5 behaviour).
+        self.edt_group: Optional[ThreadGroup] = None
+
+    def _ensure_edt(self) -> None:
+        with self._lock:
+            if self._edt is not None:
+                return
+            # Footnote 5: the dispatcher starts in whatever group happens
+            # to be current when the first window is opened.
+            current = JThread.current_or_none()
+            group = current.group if current is not None else \
+                self.vm.main_group
+            self.edt_group = group
+            self._edt = EventDispatchThread(
+                self.queue, group, "AWT-EventDispatch", daemon=False,
+                error_sink=self._error_sink).start()
+
+    def post(self, event: AWTEvent) -> None:
+        self._ensure_edt()
+        self.queue.post_event(event)
+
+    @property
+    def started(self) -> bool:
+        return self._edt is not None
+
+    def shutdown(self) -> None:
+        with self._lock:
+            edt = self._edt
+        if edt is not None:
+            edt.shutdown()
+            edt.join(2.0)
+
+
+class PerApplicationDispatcher(Dispatcher):
+    """One queue and one dispatcher thread per application (Figure 4)."""
+
+    def __init__(self, vm, error_sink=None):
+        self.vm = vm
+        self._lock = threading.Lock()
+        self._error_sink = error_sink
+        #: Events whose application cannot be determined fall back to a
+        #: system queue drained by a daemon thread in the system group.
+        self._system_queue: Optional[EventQueue] = None
+        self._system_edt: Optional[EventDispatchThread] = None
+
+    def ensure_application_dispatcher(self, application) -> EventQueue:
+        """Create the application's queue + EDT on first use (Section 5.4).
+
+        "The per-application event dispatcher threads ... are created on
+        demand.  Whenever an application first opens a window, we create an
+        event dispatcher thread for this application.  Since that thread is
+        a non-daemon thread, we now have the same semantics for
+        application-exit that we had before."
+        """
+        with self._lock:
+            if application.event_queue is None:
+                queue = EventQueue(f"awt-{application.name}")
+                edt = EventDispatchThread(
+                    queue, application.thread_group,
+                    f"AWT-EventDispatch-{application.name}", daemon=False,
+                    error_sink=self._error_sink)
+                application.event_queue = queue
+                application.event_dispatch_thread = edt
+                edt.start()
+            return application.event_queue
+
+    def _ensure_system_edt(self) -> EventQueue:
+        with self._lock:
+            if self._system_queue is None:
+                self._system_queue = EventQueue("awt-system")
+                self._system_edt = EventDispatchThread(
+                    self._system_queue, self.vm.root_group,
+                    "AWT-EventDispatch-system", daemon=True,
+                    error_sink=self._error_sink).start()
+            return self._system_queue
+
+    def post(self, event: AWTEvent) -> None:
+        application = event.application
+        if application is not None and not application.terminated:
+            queue = self.ensure_application_dispatcher(application)
+        else:
+            queue = self._ensure_system_edt()
+        queue.post_event(event)
+
+    def shutdown_application(self, application) -> None:
+        """Close an application's queue (reaper teardown path)."""
+        edt = application.event_dispatch_thread
+        if edt is not None:
+            edt.shutdown()
+
+    def shutdown(self) -> None:
+        with self._lock:
+            edt = self._system_edt
+        if edt is not None:
+            edt.shutdown()
+            edt.join(2.0)

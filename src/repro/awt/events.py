@@ -1,0 +1,162 @@
+"""AWT events and event queues (Section 3.2).
+
+"When the JVM gets notified by the X server that some user input happened,
+an AWT event object is created which contains information about the event
+(for example, where a specific mouse click happened).  This object is put on
+a queue.  A centralized event dispatcher thread will pick up events from
+that queue and call the appropriate methods to handle the event."
+
+:class:`EventQueue` is that queue; the dispatcher threads live in
+:mod:`repro.awt.dispatch`.  In the multi-processing VM there is one queue
+*per application* (Section 5.4, Figure 4).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Callable, Optional
+
+from repro.jvm.errors import IllegalStateException
+from repro.jvm.threads import interruptible_wait
+
+_sequence = itertools.count(1)
+
+
+class AWTEvent:
+    """Base event: a source component and a monotonically increasing id."""
+
+    def __init__(self, source):
+        self.source = source
+        self.when = next(_sequence)
+        #: Filled by the toolkit when the event is routed: the application
+        #: owning the target window (None in single-app / centralized mode).
+        self.application = None
+
+    def dispatch(self) -> None:
+        """Deliver this event to its source component."""
+        if self.source is not None:
+            self.source.process_event(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        source = getattr(self.source, "name", self.source)
+        return f"{type(self).__name__}(source={source!r}, when={self.when})"
+
+
+class ActionEvent(AWTEvent):
+    """Semantic action (button pressed, menu item selected)."""
+
+    def __init__(self, source, command: str):
+        super().__init__(source)
+        self.command = command
+
+
+class KeyEvent(AWTEvent):
+    """A key typed into a component."""
+
+    def __init__(self, source, char: str):
+        super().__init__(source)
+        self.char = char
+
+
+class MouseEvent(AWTEvent):
+    """A mouse click at component-relative coordinates."""
+
+    def __init__(self, source, x: int, y: int, clicks: int = 1):
+        super().__init__(source)
+        self.x = x
+        self.y = y
+        self.clicks = clicks
+
+
+class FocusEvent(AWTEvent):
+    """Focus gained or lost."""
+
+    def __init__(self, source, gained: bool):
+        super().__init__(source)
+        self.gained = gained
+
+
+class WindowEvent(AWTEvent):
+    """Window lifecycle notification."""
+
+    OPENED = "opened"
+    CLOSING = "closing"
+    CLOSED = "closed"
+
+    def __init__(self, source, kind: str):
+        super().__init__(source)
+        self.kind = kind
+
+
+class PaintEvent(AWTEvent):
+    """Request to repaint a component."""
+
+
+class InvocationEvent(AWTEvent):
+    """Runs a callable on the dispatcher thread (``invokeLater``)."""
+
+    def __init__(self, runnable: Callable[[], None]):
+        super().__init__(source=None)
+        self.runnable = runnable
+        self._done = threading.Event()
+        self.exception: Optional[BaseException] = None
+
+    def dispatch(self) -> None:
+        try:
+            self.runnable()
+        except BaseException as exc:  # noqa: BLE001 - reported to waiter
+            self.exception = exc
+        finally:
+            self._done.set()
+
+    def await_completion(self, timeout: Optional[float] = None) -> bool:
+        return self._done.wait(timeout)
+
+
+class EventQueue:
+    """A FIFO of AWT events with blocking, interruptible retrieval."""
+
+    def __init__(self, name: str = "event-queue"):
+        self.name = name
+        self._events: list[AWTEvent] = []
+        self._cond = threading.Condition()
+        self._closed = False
+
+    def post_event(self, event: AWTEvent) -> None:
+        with self._cond:
+            if self._closed:
+                raise IllegalStateException(
+                    f"event queue {self.name} is closed")
+            self._events.append(event)
+            self._cond.notify_all()
+
+    def next_event(self) -> Optional[AWTEvent]:
+        """Block for the next event; None once the queue is closed."""
+        with self._cond:
+            interruptible_wait(self._cond,
+                               lambda: self._events or self._closed)
+            if self._events:
+                return self._events.pop(0)
+            return None
+
+    def peek_event(self) -> Optional[AWTEvent]:
+        with self._cond:
+            return self._events[0] if self._events else None
+
+    def pending(self) -> int:
+        with self._cond:
+            return len(self._events)
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"EventQueue({self.name!r}, pending={self.pending()})"

@@ -1,0 +1,163 @@
+"""A simulated X server (Section 3.2, Figure 2).
+
+"In X, a special process (the X server) has exclusive control over the
+high-resolution display. ...  The X server will then draw on behalf of that
+application, making note which GUI component it drew on behalf of which
+application.  When some input from the keyboard or mouse occurs, the X
+server will figure out which GUI component was the target of that input and
+notify the appropriate process."
+
+:class:`XServer` reproduces that role: it owns the window registry, records
+draw operations per window, and routes injected input to the *client
+connection* that created the target window.  Clients (JVM toolkits) talk to
+it over :class:`XConnection` message queues — our stand-in for the X wire
+protocol.  Tests and benchmarks inject input with :meth:`send_key`,
+:meth:`click`, and :meth:`click_component`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.jvm.errors import IllegalArgumentException
+from repro.jvm.threads import interruptible_wait
+
+
+class XConnection:
+    """One client's wire to the X server: a queue of message dicts."""
+
+    def __init__(self, client_name: str = "client"):
+        self.client_name = client_name
+        self._messages: list[dict] = []
+        self._cond = threading.Condition()
+        self._closed = False
+
+    def deliver(self, message: dict) -> None:
+        with self._cond:
+            if self._closed:
+                return
+            self._messages.append(message)
+            self._cond.notify_all()
+
+    def receive(self) -> Optional[dict]:
+        """Block for the next message; None once the connection is closed."""
+        with self._cond:
+            interruptible_wait(self._cond,
+                               lambda: self._messages or self._closed)
+            if self._messages:
+                return self._messages.pop(0)
+            return None
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+
+class _WindowRecord:
+    """Server-side note: which window belongs to which client."""
+
+    def __init__(self, window_id: int, connection: XConnection, title: str):
+        self.window_id = window_id
+        self.connection = connection
+        self.title = title
+        self.draw_ops: list[dict] = []
+
+
+class XServer:
+    """The display server: window registry, draw log, input routing."""
+
+    def __init__(self, display_name: str = ":0"):
+        self.display_name = display_name
+        self._windows: dict[int, _WindowRecord] = {}
+        self._next_id = 1
+        self._lock = threading.RLock()
+
+    # -- client-facing protocol ----------------------------------------------------
+
+    def create_window(self, connection: XConnection, title: str) -> int:
+        with self._lock:
+            window_id = self._next_id
+            self._next_id += 1
+            self._windows[window_id] = _WindowRecord(window_id, connection,
+                                                     title)
+            return window_id
+
+    def destroy_window(self, window_id: int) -> None:
+        with self._lock:
+            self._windows.pop(window_id, None)
+
+    def record_draw(self, window_id: int, op: dict) -> None:
+        """Draw on behalf of a client, keeping the per-window note."""
+        with self._lock:
+            record = self._windows.get(window_id)
+            if record is not None:
+                record.draw_ops.append(op)
+
+    # -- queries ----------------------------------------------------------------------
+
+    def window_ids(self) -> list[int]:
+        with self._lock:
+            return sorted(self._windows)
+
+    def window_title(self, window_id: int) -> str:
+        return self._record(window_id).title
+
+    def draw_ops(self, window_id: int) -> list[dict]:
+        with self._lock:
+            return list(self._record(window_id).draw_ops)
+
+    def find_window(self, title: str) -> Optional[int]:
+        with self._lock:
+            for window_id, record in self._windows.items():
+                if record.title == title:
+                    return window_id
+            return None
+
+    def _record(self, window_id: int) -> _WindowRecord:
+        with self._lock:
+            record = self._windows.get(window_id)
+        if record is None:
+            raise IllegalArgumentException(f"no such window: {window_id}")
+        return record
+
+    # -- input injection (the user's keyboard and mouse) ---------------------------------
+
+    def _route(self, window_id: int, message: dict) -> None:
+        record = self._record(window_id)
+        message["window"] = window_id
+        record.connection.deliver(message)
+
+    def send_key(self, window_id: int, component: str, char: str) -> None:
+        """A key press targeted at a component of a window."""
+        self._route(window_id, {"type": "key", "component": component,
+                                "char": char})
+
+    def type_text(self, window_id: int, component: str, text: str) -> None:
+        for char in text:
+            self.send_key(window_id, component, char)
+
+    def click(self, window_id: int, x: int, y: int) -> None:
+        """A raw mouse click at window coordinates."""
+        self._route(window_id, {"type": "mouse", "component": None,
+                                "x": x, "y": y})
+
+    def click_component(self, window_id: int, component: str) -> None:
+        """A mouse click resolved to a named component (hit-tested)."""
+        self._route(window_id, {"type": "mouse", "component": component,
+                                "x": 0, "y": 0})
+
+    def select_menu_item(self, window_id: int, item: str) -> None:
+        """The user picks a menu entry (the Save File scenario, §4)."""
+        self._route(window_id, {"type": "action", "component": item,
+                                "command": item})
+
+    def request_close(self, window_id: int) -> None:
+        """The window manager asks the window to close."""
+        self._route(window_id, {"type": "window-closing", "component": None})

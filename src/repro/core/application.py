@@ -1,0 +1,576 @@
+"""The Application abstraction (Section 5.1) — the paper's core contribution.
+
+    "We define an application to be a set of Java threads. ...  Furthermore,
+    an application has the following properties:
+
+    * It has a lifetime ...
+    * It is memory-protected from other applications ...
+    * It is associated with a user that is running the application.
+    * It holds application-wide state that is shared among all the threads
+      that comprise the application ... the user identification, distinct
+      standard input, standard output, and error streams, a current working
+      directory, a set of properties.
+    * When an application creates a child application, the current
+      application-wide state of the parent is inherited by the child."
+
+Implementation notes, mirroring the paper's own description of
+``Application.exec``:
+
+* ``exec`` creates a fresh thread group (nested under the parent
+  application's group, so the system security manager's ancestry rule lets
+  parents manage their children), an
+  :class:`~repro.core.reload.ApplicationClassLoader` (Section 5.5), and a
+  new ``main`` thread that calls ``MyClass.main(args)`` through the
+  reflection API; ``exec`` returns immediately and ``wait_for`` blocks.
+* The standard streams *live in the application's own System class statics*
+  — the application layer merely re-points them after the reload, exactly
+  as Figure 5 shows.
+* ``Application.exit`` "will find the application instance that corresponds
+  to the currently running thread, schedule that application for
+  destruction, and block the current thread.  A background thread will
+  eventually clean up the application, stop all threads, and close all
+  windows that are associated with the application."  That background
+  thread is the :class:`ApplicationRegistry`'s reaper.
+* If an application never calls ``exit``, it is exited automatically "as
+  soon as there are only daemon threads left in the application's thread
+  group".
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.jvm.errors import (
+    IllegalArgumentException,
+    IllegalStateException,
+    IllegalThreadStateException,
+)
+from repro.jvm.threads import JThread, ThreadGroup, interruptible_wait
+from repro.lang.context import InvocationContext
+from repro.lang.properties import Properties
+from repro.lang.reflect import invoke_main
+from repro.core.context import current_application_or_none
+from repro.core.reload import ApplicationClassLoader
+from repro.security.auth import NULL_USER, JavaUser
+
+STATE_NEW = "new"
+STATE_RUNNING = "running"
+STATE_EXITING = "exiting"
+STATE_TERMINATED = "terminated"
+
+#: Exit code reported when an application is killed from outside.
+KILLED_EXIT_CODE = 143
+
+
+@dataclass(frozen=True)
+class ResourceLimits:
+    """Per-application resource ceilings.
+
+    The paper's protection model (Section 5.6) covers *access*; a real
+    multi-user deployment also needs *consumption* bounds — the follow-up
+    concern that later drove the Java isolate work.  ``None`` disables a
+    limit.  Limits are inherited by child applications (they are
+    application-wide state in the Section 5.1 sense).
+    """
+
+    max_threads: int | None = None
+    max_windows: int | None = None
+    max_children: int | None = None
+    max_open_streams: int | None = None
+
+
+class ResourceLimitExceeded(IllegalStateException):
+    """An application hit one of its resource ceilings."""
+
+
+class Application:
+    """A set of threads with shared application-wide state (Section 5.1)."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, vm, class_name: Optional[str],
+                 parent: Optional["Application"] = None,
+                 name: Optional[str] = None,
+                 user: Optional[JavaUser] = None,
+                 stdin=None, stdout=None, stderr=None,
+                 cwd: Optional[str] = None,
+                 properties: Optional[Properties] = None,
+                 auto_exit: bool = True,
+                 limits: Optional[ResourceLimits] = None):
+        self.vm = vm
+        self.class_name = class_name
+        self.app_id = next(Application._ids)
+        self.name = name or (f"{class_name.rsplit('.', 1)[-1].lower()}"
+                             f"#{self.app_id}" if class_name
+                             else f"app#{self.app_id}")
+        self.parent = parent
+        self.children: list[Application] = []
+        #: Auto-exit on last non-daemon thread; disabled for the synthetic
+        #: initial application that hosts the launcher.
+        self.auto_exit = auto_exit
+
+        # --- inheritable application-wide state (Section 5.1) ---
+        if parent is not None:
+            user = user if user is not None else parent.user
+            stdin = stdin if stdin is not None else parent.stdin
+            stdout = stdout if stdout is not None else parent.stdout
+            stderr = stderr if stderr is not None else parent.stderr
+            cwd = cwd if cwd is not None else parent.cwd
+            properties = properties if properties is not None \
+                else parent.properties.copy()
+            limits = limits if limits is not None else parent.limits
+        self._user = user if user is not None else NULL_USER
+        self.limits = limits if limits is not None else ResourceLimits()
+        # Launching a child as a *different* user is equivalent to setting
+        # the user (Section 5.2): it needs the same privilege.
+        if parent is not None and self._user != parent.user:
+            sm = vm.security_manager
+            if sm is not None:
+                sm.check_set_user()
+        self.cwd = cwd if cwd is not None else vm.os_context.cwd
+        self.properties = properties if properties is not None \
+            else Properties()
+
+        # --- thread group (Figure 3) ---
+        parent_group = parent.thread_group if parent is not None \
+            else vm.main_group
+        self.thread_group = ThreadGroup(parent_group,
+                                        f"app-{self.name}")
+        self.thread_group.application = self
+
+        # --- own System copy (Section 5.5 / Figure 5) ---
+        self.loader = ApplicationClassLoader(vm.boot_loader, self.name)
+        self.system_class = self.loader.load_class("java.lang.System")
+        self.system_class.statics["in"] = stdin if stdin is not None \
+            else vm.stdin
+        self.system_class.statics["out"] = stdout if stdout is not None \
+            else vm.out
+        self.system_class.statics["err"] = stderr if stderr is not None \
+            else vm.err
+
+        # --- lifecycle ---
+        self._state = STATE_NEW
+        self.exit_code: Optional[int] = None
+        self._cond = threading.Condition()
+        self._non_daemon = 0
+        self._threads: list[JThread] = []
+        self.main_thread: Optional[JThread] = None
+
+        # --- owned resources, torn down by the reaper ---
+        self.windows: list = []
+        self.opened_streams: list = []
+        self.event_queue = None            # set by PerApplicationDispatcher
+        self.event_dispatch_thread = None  # set by PerApplicationDispatcher
+        #: Run by the reaper before threads are stopped (atexit-style).
+        self.exit_hooks: list[Callable[[], None]] = []
+        #: Lifetime accounting (threads ever adopted, streams ever opened,
+        #: windows ever shown, children ever launched) — the observability
+        #: counterpart of the resource limits.
+        self.stats = {"threads": 0, "streams": 0, "windows": 0,
+                      "children": 0}
+
+        if parent is not None:
+            maximum = parent.limits.max_children
+            if maximum is not None and len(parent.children) >= maximum:
+                raise ResourceLimitExceeded(
+                    f"application {parent.name} reached its child limit "
+                    f"({maximum})")
+            parent.children.append(self)
+            parent.stats["children"] += 1
+        registry = vm.application_registry
+        if registry is not None:
+            registry.register(self)
+
+    # ------------------------------------------------------------------
+    # launching (the paper's usage example, Section 5.1)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def exec(cls, class_name: str, args: Optional[list[str]] = None,
+             vm=None, parent: Optional["Application"] = None,
+             **state_overrides) -> "Application":
+        """Create and start a new application running ``class_name.main``.
+
+        ``state_overrides`` may override any inheritable state: ``user``,
+        ``stdin``/``stdout``/``stderr``, ``cwd``, ``properties``, ``name``.
+        The paper::
+
+            Application app = Application.exec("MyClass", args);
+            app.waitFor();
+        """
+        if parent is None:
+            parent = current_application_or_none()
+        if vm is None:
+            if parent is None:
+                raise IllegalArgumentException(
+                    "exec needs a VM when no application is current")
+            vm = parent.vm
+        if parent is None and vm.application_registry is not None:
+            parent = vm.application_registry.initial
+        application = cls(vm, class_name, parent=parent, **state_overrides)
+        application._start(list(args or []))
+        return application
+
+    def _start(self, args: list[str]) -> None:
+        with self._cond:
+            if self._state != STATE_NEW:
+                raise IllegalStateException(
+                    f"application {self.name} already started")
+            self._state = STATE_RUNNING
+        jclass = self.loader.load_class(self.class_name)
+        ctx = InvocationContext(self.vm, self.loader, jclass, app=self)
+
+        def body() -> None:
+            result = invoke_main(jclass, ctx, args)
+            # A non-zero integer return from main becomes the exit code
+            # (the auto-exit path reports 0 for a normal return).
+            if isinstance(result, int) and result != 0:
+                self._begin_exit(result)
+
+        # "the main method of class MyClass is called ... within a new
+        # thread in the newly-created thread group.  Since the main method
+        # is executed in its own thread, the exec method returns
+        # immediately."
+        self.main_thread = JThread(target=body, name=f"main-{self.name}",
+                                   group=self.thread_group, daemon=False)
+        self.main_thread.start()
+
+    def context(self) -> InvocationContext:
+        """A context for host code to act inside this application."""
+        return InvocationContext(self.vm, self.loader, None, app=self)
+
+    # ------------------------------------------------------------------
+    # application-wide state accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def user(self) -> JavaUser:
+        return self._user
+
+    def set_user(self, user: JavaUser) -> None:
+        """Reset the running user (Section 5.2).
+
+        "Special privileges are needed to set the user, and these
+        privileges are not normally granted to applications."  The check is
+        the system security manager's ``checkSetUser`` (a
+        ``RuntimePermission("setUser")``), which the login program's code
+        source is granted in the policy.
+        """
+        sm = self.vm.security_manager
+        if sm is not None:
+            sm.check_set_user()
+        self._user = user
+
+    @property
+    def stdin(self):
+        return self.system_class.statics["in"]
+
+    @property
+    def stdout(self):
+        return self.system_class.statics["out"]
+
+    @property
+    def stderr(self):
+        return self.system_class.statics["err"]
+
+    def set_streams(self, stdin=None, stdout=None, stderr=None) -> None:
+        """Repoint standard streams (the shell's redirection mechanism)."""
+        if stdin is not None:
+            self.system_class.statics["in"] = stdin
+        if stdout is not None:
+            self.system_class.statics["out"] = stdout
+        if stderr is not None:
+            self.system_class.statics["err"] = stderr
+
+    def set_cwd(self, path: str) -> None:
+        self.cwd = path
+
+    # ------------------------------------------------------------------
+    # thread accounting (application lifetime, Section 5.1)
+    # ------------------------------------------------------------------
+
+    def adopt_thread(self, thread: JThread) -> None:
+        """Called when a thread starts inside this application's groups."""
+        with self._cond:
+            if self._state in (STATE_EXITING, STATE_TERMINATED):
+                raise IllegalThreadStateException(
+                    f"application {self.name} is {self._state}")
+            maximum = self.limits.max_threads
+            live = sum(1 for t in self._threads if t.is_alive())
+            if maximum is not None and live >= maximum:
+                raise ResourceLimitExceeded(
+                    f"application {self.name} reached its thread limit "
+                    f"({maximum})")
+            self._threads.append(thread)
+            self.stats["threads"] += 1
+            if not thread.daemon:
+                self._non_daemon += 1
+        thread.finish_hooks.append(self._on_thread_finished)
+
+    def _on_thread_finished(self, thread: JThread) -> None:
+        auto = False
+        with self._cond:
+            if thread in self._threads:
+                self._threads.remove(thread)
+            if not thread.daemon:
+                self._non_daemon -= 1
+                if (self._non_daemon <= 0 and self.auto_exit
+                        and self._state == STATE_RUNNING):
+                    auto = True
+            self._cond.notify_all()
+        if auto:
+            # "If the application does not explicitly call exit(), then the
+            # JVM will call the exit method as soon as there are only
+            # daemon threads left in the application's thread group."
+            self._begin_exit(0)
+
+    def live_threads(self) -> list[JThread]:
+        with self._cond:
+            return [t for t in self._threads if t.is_alive()]
+
+    @property
+    def non_daemon_count(self) -> int:
+        with self._cond:
+            return self._non_daemon
+
+    # ------------------------------------------------------------------
+    # owned resources
+    # ------------------------------------------------------------------
+
+    def register_window(self, window) -> None:
+        with self._cond:
+            maximum = self.limits.max_windows
+            if (maximum is not None and window not in self.windows
+                    and len(self.windows) >= maximum):
+                raise ResourceLimitExceeded(
+                    f"application {self.name} reached its window limit "
+                    f"({maximum})")
+            if window not in self.windows:
+                self.windows.append(window)
+                self.stats["windows"] += 1
+
+    def unregister_window(self, window) -> None:
+        with self._cond:
+            if window in self.windows:
+                self.windows.remove(window)
+
+    def register_opened_stream(self, stream) -> None:
+        """Track a stream this application opened (Section 5.1 close rule)."""
+        with self._cond:
+            maximum = self.limits.max_open_streams
+            if maximum is not None:
+                open_now = sum(1 for s in self.opened_streams
+                               if not s.closed)
+                if open_now >= maximum:
+                    raise ResourceLimitExceeded(
+                        f"application {self.name} reached its open-stream "
+                        f"limit ({maximum})")
+            self.opened_streams.append(stream)
+            self.stats["streams"] += 1
+
+    def add_exit_hook(self, hook: Callable[[], None]) -> None:
+        """Register a callback the reaper runs at application exit."""
+        self.exit_hooks.append(hook)
+
+    # ------------------------------------------------------------------
+    # exit (Section 5.1)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def exit(status: int = 0) -> None:
+        """Exit the *current* application and never return.
+
+        "The static exit method will find the application instance that
+        corresponds to the currently running thread, schedule that
+        application for destruction, and block the current thread."
+        """
+        application = current_application_or_none()
+        if application is None:
+            raise IllegalStateException(
+                "Application.exit called outside any application")
+        application._begin_exit(status)
+        # Block until the reaper stops this thread ("we will never get
+        # here" in the paper's sample code).
+        while True:
+            JThread.sleep(3600.0)
+
+    def destroy(self, status: int = KILLED_EXIT_CODE) -> None:
+        """Exit this application from outside (the ``kill`` utility).
+
+        Allowed when the caller's application is an ancestor (the same
+        ancestry rule the system security manager uses for threads) or
+        runs as the *same user* (the Unix kill rule, the natural reading
+        of the paper's user model); otherwise requires the
+        ``modifyApplication`` runtime permission.
+        """
+        caller = current_application_or_none()
+        if (caller is not self and not self._is_ancestor(caller)
+                and caller.user != self._user):
+            sm = self.vm.security_manager
+            if sm is not None:
+                sm.check_modify_application(self)
+        self._begin_exit(status)
+
+    def _is_ancestor(self, caller: Optional["Application"]) -> bool:
+        if caller is None:
+            return True  # host / system threads are trusted
+        return caller.thread_group.parent_of(self.thread_group)
+
+    def _begin_exit(self, status: int) -> None:
+        with self._cond:
+            if self._state in (STATE_EXITING, STATE_TERMINATED):
+                return
+            self._state = STATE_EXITING
+            self.exit_code = status
+            self._cond.notify_all()
+        registry = self.vm.application_registry
+        if registry is not None:
+            registry.schedule_destruction(self)
+        else:
+            self._teardown()
+
+    def _teardown(self) -> None:
+        """Reaper work: hooks, then children, windows, threads, streams."""
+        for hook in list(self.exit_hooks):
+            try:
+                hook()
+            except BaseException as exc:  # noqa: BLE001 - reaper survives
+                self.vm.report_uncaught(None, exc)
+        for child in list(self.children):
+            if not child.terminated:
+                child._begin_exit_for_teardown()
+                child._teardown()
+        toolkit = self.vm.toolkit
+        if toolkit is not None:
+            toolkit.close_windows_of(self)
+        self.thread_group.stop_all()
+        for thread in self.live_threads():
+            thread.join(2.0)
+        for stream in list(self.opened_streams):
+            if not stream.closed:
+                try:
+                    stream._close_impl()
+                finally:
+                    stream.closed = True
+        with self._cond:
+            self._state = STATE_TERMINATED
+            if self.exit_code is None:
+                self.exit_code = KILLED_EXIT_CODE
+            self._cond.notify_all()
+        shared = self.vm.shared_objects
+        if shared is not None:
+            shared.drop_bindings_of(self)
+        registry = self.vm.application_registry
+        if registry is not None:
+            registry.unregister(self)
+        if self.parent is not None and self in self.parent.children:
+            self.parent.children.remove(self)
+
+    def _begin_exit_for_teardown(self) -> None:
+        with self._cond:
+            if self._state in (STATE_EXITING, STATE_TERMINATED):
+                return
+            self._state = STATE_EXITING
+            if self.exit_code is None:
+                self.exit_code = KILLED_EXIT_CODE
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # waiting and inspection
+    # ------------------------------------------------------------------
+
+    def wait_for(self, timeout: Optional[float] = None) -> Optional[int]:
+        """Block until this application terminates; returns its exit code.
+
+        The paper's ``app.waitFor()`` (line 3 of the usage example).
+        """
+        with self._cond:
+            done = interruptible_wait(
+                self._cond, lambda: self._state == STATE_TERMINATED,
+                timeout=timeout)
+            if not done:
+                return None
+            return self.exit_code
+
+    @property
+    def state(self) -> str:
+        with self._cond:
+            return self._state
+
+    @property
+    def running(self) -> bool:
+        return self.state == STATE_RUNNING
+
+    @property
+    def terminated(self) -> bool:
+        return self.state == STATE_TERMINATED
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Application(id={self.app_id}, name={self.name!r}, "
+                f"user={self._user.name!r}, state={self.state})")
+
+
+class ApplicationRegistry:
+    """The VM's application table plus the background reaper (Section 5.1)."""
+
+    def __init__(self, vm):
+        self.vm = vm
+        self._applications: dict[int, Application] = {}
+        self._lock = threading.RLock()
+        self._queue: list[Application] = []
+        self._queue_cond = threading.Condition()
+        self._reaper: Optional[JThread] = None
+        #: Synthetic root application: the context the VM launcher itself
+        #: runs in (the "null user for bootstrapping" of Section 5.2).
+        self.initial: Optional[Application] = None
+
+    def start(self) -> "ApplicationRegistry":
+        self._reaper = JThread(target=self._reaper_body,
+                               name="ApplicationReaper",
+                               group=self.vm.root_group, daemon=True)
+        self._reaper.start()
+        return self
+
+    def register(self, application: Application) -> None:
+        with self._lock:
+            self._applications[application.app_id] = application
+
+    def unregister(self, application: Application) -> None:
+        with self._lock:
+            self._applications.pop(application.app_id, None)
+
+    def applications(self, check: bool = True) -> list[Application]:
+        """A snapshot of live applications (the ``ps`` table)."""
+        if check:
+            sm = self.vm.security_manager
+            if sm is not None:
+                sm.check_read_application_table()
+        with self._lock:
+            return sorted(self._applications.values(),
+                          key=lambda a: a.app_id)
+
+    def find(self, app_id: int) -> Optional[Application]:
+        with self._lock:
+            return self._applications.get(app_id)
+
+    def schedule_destruction(self, application: Application) -> None:
+        with self._queue_cond:
+            if application not in self._queue:
+                self._queue.append(application)
+                self._queue_cond.notify_all()
+
+    def _reaper_body(self) -> None:
+        """"A background thread will eventually clean up the application,
+        stop all threads, and close all windows"."""
+        while True:
+            with self._queue_cond:
+                interruptible_wait(self._queue_cond,
+                                   lambda: bool(self._queue))
+                application = self._queue.pop(0)
+            try:
+                application._teardown()
+            except BaseException as exc:  # noqa: BLE001 - reaper survives
+                self.vm.report_uncaught(JThread.current_or_none(), exc)

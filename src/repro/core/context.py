@@ -1,0 +1,40 @@
+"""Resolving the current application from the current thread.
+
+Section 5.1: "threads provide a natural ground for the notion of an
+application.  By the same token, threads give us a convenient way to
+distinguish two instances of the same program running inside a single JVM."
+
+Any piece of code can ask *which application am I running in?* — the answer
+is derived from the calling thread's thread-group ancestry, never from the
+code's identity (which is what code sources are for).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.jvm.errors import IllegalStateException
+from repro.jvm.threads import JThread, owning_application
+
+
+def current_application_or_none():
+    """The application owning the calling thread, or None (host/system)."""
+    thread = JThread.current_or_none()
+    if thread is None:
+        return None
+    return owning_application(thread.group)
+
+
+def current_application():
+    """Like :func:`current_application_or_none` but required."""
+    application = current_application_or_none()
+    if application is None:
+        raise IllegalStateException(
+            "calling thread does not belong to any application")
+    return application
+
+
+def current_user() -> Optional[object]:
+    """The Java-level running user of the current application, if any."""
+    application = current_application_or_none()
+    return application.user if application is not None else None

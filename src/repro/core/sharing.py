@@ -1,0 +1,178 @@
+"""Shared objects between applications (Section 8, future work).
+
+    "Moreover, in our multi-processing environment, it is very appealing to
+    use shared object as an inter-application communication mechanism.
+    However, such sharing of objects between different applications in
+    different name spaces is still a delicate task and its impact on the
+    correctness of the Java type system needs more research [2]."
+
+This module implements that mechanism *with* the type-safety guard the
+paper (via Dean's work on static typing with dynamic linking) calls for:
+
+* a :class:`SharedObjectSpace` is a VM-wide name service where applications
+  ``bind`` and ``lookup`` objects;
+* *untyped* values (strings, bytes, numbers, tuples of those) are always
+  safe to share;
+* *typed* objects (:class:`~repro.jvm.classloading.JObject` instances of a
+  registered class) are only handed out if the consumer's class loader
+  resolves the class name to the **same class** the object was created
+  with.  An application looking up an object whose class was re-defined in
+  its own name space (e.g. anything reloadable, Section 5.5) gets a
+  ``ClassCastException`` — "the different incarnations ... are just
+  different classes that happen to have the same name", and mixing them
+  would break the type system exactly as the paper warns.
+
+Binding and lookup are permission-guarded (``shareObject.bind`` /
+``shareObject.lookup`` runtime permissions), so the policy decides which
+code may use cross-application channels at all; unbinding follows the
+ownership rule used elsewhere (owner or ancestor application).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.context import current_application_or_none
+from repro.jvm.classloading import JObject
+from repro.jvm.errors import (
+    ClassCastException,
+    IllegalArgumentException,
+    SecurityException,
+)
+from repro.security.permissions import RuntimePermission
+
+#: Types that carry no class identity and are always safe to share.
+UNTYPED_SAFE = (str, bytes, int, float, bool, type(None))
+
+
+@dataclass
+class _Binding:
+    name: str
+    value: object
+    owner: object  # Application or None (host/system)
+
+
+class SharedObjectSpace:
+    """The VM-wide shared-object name service."""
+
+    def __init__(self, vm):
+        self.vm = vm
+        self._bindings: dict[str, _Binding] = {}
+        self._lock = threading.RLock()
+
+    # -- security plumbing ---------------------------------------------------
+
+    def _check(self, action: str) -> None:
+        sm = self.vm.security_manager
+        if sm is not None:
+            sm.check_permission(RuntimePermission(f"shareObject.{action}"))
+
+    @staticmethod
+    def _is_shareable(value: object) -> bool:
+        if isinstance(value, JObject):
+            return True
+        if isinstance(value, UNTYPED_SAFE):
+            return True
+        if isinstance(value, tuple):
+            return all(isinstance(item, UNTYPED_SAFE) for item in value)
+        return False
+
+    # -- the API --------------------------------------------------------------
+
+    def bind(self, name: str, value: object, replace: bool = False) -> None:
+        """Publish ``value`` under ``name`` (owned by the calling app)."""
+        self._check("bind")
+        if not self._is_shareable(value):
+            raise IllegalArgumentException(
+                f"value of type {type(value).__name__} is not shareable "
+                "(use JObject for typed objects)")
+        owner = current_application_or_none()
+        with self._lock:
+            existing = self._bindings.get(name)
+            if existing is not None and not replace:
+                raise IllegalArgumentException(
+                    f"name {name!r} is already bound")
+            if existing is not None and not self._may_manage(existing):
+                raise SecurityException(
+                    f"only the owner may rebind {name!r}")
+            self._bindings[name] = _Binding(name, value, owner)
+
+    def lookup(self, name: str, ctx=None) -> object:
+        """Retrieve the object bound to ``name`` — type-safely.
+
+        ``ctx`` supplies the consumer's name space (its class loader); it
+        defaults to the current application's.  Typed objects whose class
+        resolves differently in the consumer's name space raise
+        :class:`ClassCastException` instead of leaking a foreign class
+        identity into the consumer.
+        """
+        self._check("lookup")
+        with self._lock:
+            binding = self._bindings.get(name)
+        if binding is None:
+            raise IllegalArgumentException(f"nothing bound under {name!r}")
+        value = binding.value
+        if isinstance(value, JObject):
+            loader = self._consumer_loader(ctx)
+            if loader is not None:
+                resolved = loader.load_class(value.jclass.name)
+                if resolved is not value.jclass:
+                    raise ClassCastException(
+                        f"class {value.jclass.name} is a different class "
+                        f"in the consumer's name space (defining loaders: "
+                        f"{value.jclass.loader.name!r} vs "
+                        f"{resolved.loader.name!r})")
+        return value
+
+    def _consumer_loader(self, ctx):
+        if ctx is not None:
+            return ctx.loader
+        application = current_application_or_none()
+        if application is not None:
+            return application.loader
+        return None
+
+    def unbind(self, name: str) -> None:
+        """Remove a binding (owner or ancestor application only)."""
+        self._check("bind")
+        with self._lock:
+            binding = self._bindings.get(name)
+            if binding is None:
+                return
+            if not self._may_manage(binding):
+                raise SecurityException(
+                    f"only the owner may unbind {name!r}")
+            del self._bindings[name]
+
+    def _may_manage(self, binding: _Binding) -> bool:
+        caller = current_application_or_none()
+        owner = binding.owner
+        if caller is None or owner is None:
+            return True  # host/system code, or a host-owned binding
+        if caller is owner:
+            return True
+        return caller.thread_group.parent_of(owner.thread_group)
+
+    def names(self) -> list[str]:
+        self._check("lookup")
+        with self._lock:
+            return sorted(self._bindings)
+
+    def drop_bindings_of(self, application) -> None:
+        """Reaper hook: re-parent a terminated application's bindings.
+
+        Like System V IPC objects, shared bindings outlive their creator
+        (otherwise the natural produce-then-exit / consume-later pattern
+        would be impossible); management rights pass to the creator's
+        parent application.
+        """
+        with self._lock:
+            for binding in self._bindings.values():
+                if binding.owner is application:
+                    binding.owner = application.parent
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._bindings)

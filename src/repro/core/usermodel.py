@@ -1,0 +1,34 @@
+"""Users running Java code (Section 5.2, Feature 3).
+
+Thin helpers over the application model: the running user is
+application-wide state, inherited by child applications, and changing it is
+the privileged operation the login program performs.
+"""
+
+from __future__ import annotations
+
+from repro.core.context import current_application
+from repro.security import access
+from repro.security.auth import JavaUser
+
+
+def running_user() -> JavaUser:
+    """The user running the current application."""
+    return current_application().user
+
+
+def become_user(user: JavaUser) -> None:
+    """Reset the current application's running user.
+
+    Requires the ``setUser`` privilege (enforced by
+    :meth:`~repro.core.application.Application.set_user`).  The login
+    program calls this inside ``do_privileged`` so that only *its own* code
+    source needs the grant — "it is not necessary to have the login program
+    be executed by an all-powerful superuser".
+    """
+    current_application().set_user(user)
+
+
+def become_user_privileged(user: JavaUser) -> None:
+    """``do_privileged(() -> become_user(user))`` — the login idiom."""
+    access.do_privileged(lambda: become_user(user))

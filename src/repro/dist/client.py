@@ -1,0 +1,171 @@
+"""Client side of distributed applications (Section 8, future work).
+
+:func:`remote_exec` launches a class on *another JVM* (over the simulated
+network) and returns a :class:`RemoteApplication` that behaves like a local
+:class:`~repro.core.application.Application` handle: ``wait_for``,
+``destroy``, captured output, an exit code.
+
+:class:`DistributedApplication` is the paper's extended application notion
+made concrete — "a set of threads" that spans JVMs: one local application
+plus any number of remote parts, with collective wait and destroy.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.dist import protocol
+from repro.jvm.errors import IOException, RemoteException
+from repro.jvm.threads import JThread, interruptible_wait
+from repro.net.sockets import Socket
+
+
+class RemoteApplication:
+    """A handle on an application running in another JVM."""
+
+    def __init__(self, ctx, host: str, port: int, user: str, password: str,
+                 class_name: str, args: Optional[list[str]] = None,
+                 stdout=None, stderr=None):
+        self.host = host
+        self.class_name = class_name
+        self._stdout = stdout
+        self._stderr = stderr
+        self._cond = threading.Condition()
+        self.exit_code: Optional[int] = None
+        self.error: Optional[str] = None
+        self._finished = False
+        self._output_chunks: list[str] = []
+        # SM checkConnect applies here: reaching out over the network is a
+        # policy decision of *this* VM.
+        self._socket = Socket(ctx, host, port)
+        protocol.send_frame(self._socket.output, {
+            "user": user, "password": password,
+            "class_name": class_name, "args": list(args or [])})
+        self._reader = JThread(target=self._read_loop,
+                               name=f"rexec-client-{class_name}",
+                               daemon=True)
+        self._reader.start()
+
+    def _read_loop(self) -> None:
+        try:
+            while True:
+                frame = protocol.recv_frame(self._socket.input)
+                if frame is None:
+                    self._finish(None, "connection lost")
+                    return
+                kind = frame.get("t")
+                if kind == "o":
+                    self._on_output(frame.get("d", ""), self._stdout)
+                elif kind == "e":
+                    self._on_output(frame.get("d", ""), self._stderr)
+                elif kind == "x":
+                    self._finish(int(frame.get("code", -1)), None)
+                    return
+                elif kind == "err":
+                    self._finish(None, str(frame.get("msg", "error")))
+                    return
+        except IOException as exc:
+            self._finish(None, str(exc))
+
+    def _on_output(self, data: str, sink) -> None:
+        with self._cond:
+            self._output_chunks.append(data)
+        if sink is not None:
+            sink.write(data.encode("utf-8") if isinstance(data, str)
+                       else data)
+
+    def _finish(self, code: Optional[int], error: Optional[str]) -> None:
+        with self._cond:
+            self.exit_code = code
+            self.error = error
+            self._finished = True
+            self._cond.notify_all()
+
+    # -- the Application-like surface ------------------------------------------
+
+    def wait_for(self, timeout: Optional[float] = None) -> Optional[int]:
+        """Block until the remote application ends; returns its exit code.
+
+        Raises :class:`RemoteException` if the remote side reported a
+        launch or authentication error.
+        """
+        with self._cond:
+            done = interruptible_wait(self._cond,
+                                      lambda: self._finished,
+                                      timeout=timeout)
+            if not done:
+                return None
+            if self.error is not None:
+                raise RemoteException(self.error)
+            return self.exit_code
+
+    def destroy(self) -> None:
+        """Ask the remote JVM to destroy the remote application."""
+        try:
+            protocol.send_frame(self._socket.output, {"t": "kill"})
+        except IOException:
+            pass
+
+    @property
+    def terminated(self) -> bool:
+        with self._cond:
+            return self._finished
+
+    def output_text(self) -> str:
+        with self._cond:
+            return "".join(self._output_chunks)
+
+    def close(self) -> None:
+        self._socket.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"RemoteApplication({self.class_name!r}@{self.host!r}, "
+                f"code={self.exit_code})")
+
+
+def remote_exec(ctx, host: str, class_name: str,
+                args: Optional[list[str]] = None,
+                user: str = "", password: str = "",
+                port: int = 7100, stdout=None,
+                stderr=None) -> RemoteApplication:
+    """Launch ``class_name`` on the JVM listening at ``host:port``."""
+    return RemoteApplication(ctx, host, port, user, password, class_name,
+                             args, stdout=stdout, stderr=stderr)
+
+
+class DistributedApplication:
+    """An application whose threads span several JVMs (Section 8).
+
+    Wraps the local :class:`~repro.core.application.Application` and its
+    remote parts; waiting and destroying act on the whole set.
+    """
+
+    def __init__(self, local=None):
+        self.local = local
+        self.remote_parts: list[RemoteApplication] = []
+
+    def add_remote(self, part: RemoteApplication) -> RemoteApplication:
+        self.remote_parts.append(part)
+        return part
+
+    def wait_all(self, timeout: Optional[float] = None) -> list:
+        """Wait every part out; returns the exit codes (local first)."""
+        codes = []
+        if self.local is not None:
+            codes.append(self.local.wait_for(timeout))
+        for part in self.remote_parts:
+            codes.append(part.wait_for(timeout))
+        return codes
+
+    def destroy_all(self) -> None:
+        """Tear the whole distributed application down, everywhere."""
+        for part in self.remote_parts:
+            part.destroy()
+        if self.local is not None:
+            self.local.destroy()
+
+    @property
+    def terminated(self) -> bool:
+        local_done = self.local is None or self.local.terminated
+        return local_done and all(p.terminated for p in self.remote_parts)

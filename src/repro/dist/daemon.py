@@ -1,0 +1,127 @@
+"""The remote-execution daemon: applications spanning JVMs (Section 8).
+
+    "it is conceivable that the notion of an application as a set of
+    threads can be extended to include threads of other JVM's, possibly on
+    other hosts."
+
+``dist.RexecDaemon`` is an ordinary application (Section 5.1) that listens
+on a port of its VM's host.  For each connection it:
+
+1. authenticates the request against *its own* VM's user database
+   (Section 5.2 — identity does not travel, credentials do);
+2. launches the requested class as a child application running as the
+   authenticated user — the remote half of a distributed application;
+3. streams the child's stdout/stderr back as frames and reports the exit
+   code;
+4. honours ``kill`` control frames from the requesting side, so destroying
+   the distributed application reaches its remote threads.
+
+Privileges: the daemon's code source is granted ``listen``/``accept`` on
+its rexec port range plus ``setUser`` (it launches work as other users) —
+exactly the login-program pattern: the *program* holds the privilege, not
+the user running it.
+"""
+
+from __future__ import annotations
+
+from repro.core.application import Application
+from repro.dist import protocol
+from repro.io.streams import PrintStream
+from repro.jvm.classloading import ClassMaterial
+from repro.jvm.errors import (
+    AuthenticationException,
+    ClassNotFoundException,
+    IOException,
+    JavaThrowable,
+    SocketException,
+)
+from repro.jvm.threads import JThread, checkpoint
+from repro.net.sockets import ServerSocket
+from repro.security import access
+from repro.security.codesource import CodeSource
+
+CLASS_NAME = "dist.RexecDaemon"
+CODE_SOURCE = CodeSource("file:/usr/local/java/tools/rexecd/RexecDaemon.class")
+
+DEFAULT_PORT = 7100
+
+
+def _handle_connection(ctx, socket) -> None:
+    """Serve one rexec request (runs in its own thread)."""
+    try:
+        request = protocol.recv_frame(socket.input)
+    except IOException:
+        request = None
+    if request is None:
+        socket.close()
+        return
+    try:
+        user = ctx.vm.user_database.authenticate(
+            str(request.get("user", "")), str(request.get("password", "")))
+    except AuthenticationException:
+        protocol.send_frame(socket.output,
+                            {"t": "err", "msg": "authentication failed"})
+        socket.close()
+        return
+    class_name = str(request.get("class_name", ""))
+    args = [str(a) for a in request.get("args", [])]
+    stdout = PrintStream(protocol.FrameOutputStream(socket.output, "o"))
+    stderr = PrintStream(protocol.FrameOutputStream(socket.output, "e"))
+    try:
+        # The daemon asserts its own setUser grant to launch as `user`.
+        child = access.do_privileged(lambda: Application.exec(
+            class_name, args, vm=ctx.vm, parent=ctx.app, user=user,
+            stdout=stdout, stderr=stderr))
+    except (ClassNotFoundException, JavaThrowable) as exc:
+        protocol.send_frame(socket.output,
+                            {"t": "err", "msg": f"launch failed: {exc}"})
+        socket.close()
+        return
+
+    def control_reader() -> None:
+        """Process kill frames from the requesting JVM."""
+        while True:
+            try:
+                frame = protocol.recv_frame(socket.input)
+            except IOException:
+                frame = None
+            if frame is None:
+                return
+            if frame.get("t") == "kill":
+                child.destroy()
+
+    JThread(target=control_reader,
+            name=f"rexec-control-{child.app_id}", daemon=True).start()
+    code = child.wait_for()
+    protocol.send_frame(socket.output,
+                        {"t": "x", "code": code if code is not None
+                         else -1})
+    socket.close()
+
+
+def build_material() -> ClassMaterial:
+    material = ClassMaterial(
+        CLASS_NAME, code_source=CODE_SOURCE,
+        doc="Remote-execution daemon: the remote half of distributed "
+            "applications (§8 future work).")
+
+    @material.member
+    def main(jclass, ctx, args):
+        port = int(args[0]) if args else DEFAULT_PORT
+        server = access.do_privileged(lambda: ServerSocket(ctx, port))
+        ctx.stdout.println(f"rexecd: listening on port {port}")
+        try:
+            while True:
+                checkpoint()
+                try:
+                    socket = server.accept(timeout=0.2)
+                except SocketException:
+                    continue  # accept timeout: poll the stop flag
+                handler = JThread(
+                    target=lambda s=socket: _handle_connection(ctx, s),
+                    name=f"rexec-conn")
+                handler.start()
+        finally:
+            server.close()
+
+    return material

@@ -1,0 +1,66 @@
+"""Wire protocol for distributed applications (Section 8, future work).
+
+A minimal JSON-lines protocol over the simulated network's byte channels:
+
+* the client's first frame is the *request*
+  ``{"user": ..., "password": ..., "class_name": ..., "args": [...]}``;
+* subsequent client frames are control messages (``{"t": "kill"}``);
+* server frames stream the remote application's life:
+  ``{"t": "o", "d": text}`` (stdout data), ``{"t": "e", "d": text}``
+  (stderr data), ``{"t": "x", "code": n}`` (exit), or
+  ``{"t": "err", "msg": ...}`` (launch/authentication failure).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.io.streams import InputStream, OutputStream
+from repro.jvm.errors import IOException
+
+
+def send_frame(output: OutputStream, frame: dict) -> None:
+    """Serialize one frame as a JSON line."""
+    payload = json.dumps(frame, separators=(",", ":")) + "\n"
+    output.write(payload.encode("utf-8"))
+
+
+def recv_frame(source: InputStream) -> Optional[dict]:
+    """Read one frame; None at end of stream."""
+    line = source.read_line()
+    if line is None:
+        return None
+    try:
+        frame = json.loads(line.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise IOException(f"malformed frame: {exc}") from exc
+    if not isinstance(frame, dict):
+        raise IOException("malformed frame: not an object")
+    return frame
+
+
+class FrameOutputStream(OutputStream):
+    """An OutputStream whose writes become ``o``/``e`` data frames.
+
+    Handed to the remote application as its stdout/stderr: everything it
+    prints travels back to the requesting JVM.
+    """
+
+    def __init__(self, transport: OutputStream, kind: str = "o"):
+        super().__init__()
+        self._transport = transport
+        self._kind = kind
+
+    def write(self, payload: bytes) -> None:
+        self._ensure_open()
+        send_frame(self._transport,
+                   {"t": self._kind,
+                    "d": payload.decode("utf-8", errors="replace")})
+
+    def flush(self) -> None:
+        self._transport.flush()
+
+    def _close_impl(self) -> None:
+        # The transport is shared with the exit frame; never close it here.
+        pass

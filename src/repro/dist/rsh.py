@@ -1,0 +1,78 @@
+"""The ``rsh`` tool: run a command on another JVM (Section 8).
+
+Usage::
+
+    rsh [-l user] [-p password] [-P port] host class-or-command [args...]
+
+Defaults: the running user's name, the application property
+``rsh.password`` (set with the shell's ``setprop``), port 7100.  Command
+names are resolved through the local tool path, so ``rsh hostB whoami``
+works like the local ``whoami`` — but over there.
+"""
+
+from __future__ import annotations
+
+from repro.dist.client import remote_exec
+from repro.jvm.classloading import ClassMaterial
+from repro.jvm.errors import RemoteException, SecurityException
+from repro.security.codesource import CodeSource
+
+CLASS_NAME = "tools.Rsh"
+CODE_SOURCE = CodeSource("file:/usr/local/java/tools/rsh/Rsh.class")
+
+
+def build_material() -> ClassMaterial:
+    material = ClassMaterial(
+        CLASS_NAME, code_source=CODE_SOURCE,
+        doc="Run an application on a remote JVM (§8 future work).")
+
+    @material.member
+    def main(jclass, ctx, args):
+        user = ctx.user.name if ctx.user is not None else ""
+        password = ctx.app.properties.get_property("rsh.password", "") \
+            if ctx.app is not None else ""
+        port = 7100
+        rest = list(args)
+        while rest and rest[0].startswith("-"):
+            flag = rest.pop(0)
+            if flag == "-l" and rest:
+                user = rest.pop(0)
+            elif flag == "-p" and rest:
+                password = rest.pop(0)
+            elif flag == "-P" and rest:
+                port = int(rest.pop(0))
+            else:
+                ctx.stderr.println(f"rsh: unknown option {flag}")
+                return 2
+        if len(rest) < 2:
+            ctx.stderr.println(
+                "usage: rsh [-l user] [-p password] [-P port] host "
+                "command [args...]")
+            return 2
+        host, command, *command_args = rest
+        class_name = ctx.vm.tool_path.get(command,
+                                          command if "." in command
+                                          else None)
+        if class_name is None:
+            class_name = command
+        try:
+            # rsh asserts its own connect grant (its launcher — typically
+            # a shell — is on the inherited context and has none).
+            from repro.security import access
+            remote = access.do_privileged(lambda: remote_exec(
+                ctx, host, class_name, command_args, user=user,
+                password=password, port=port, stdout=ctx.stdout,
+                stderr=ctx.stderr))
+        except SecurityException as exc:
+            ctx.stderr.println(f"rsh: {exc}")
+            return 1
+        try:
+            code = remote.wait_for(30)
+        except RemoteException as exc:
+            ctx.stderr.println(f"rsh: {exc}")
+            return 1
+        finally:
+            remote.close()
+        return code if code is not None else 1
+
+    return material

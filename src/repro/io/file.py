@@ -1,0 +1,259 @@
+"""The ``java.io.File`` layer: security checks above, Unix semantics below.
+
+This is where the paper's two access-control layers meet (Section 3.3's
+``delete()`` example is implemented verbatim):
+
+1. every sensitive operation first asks the *system* security manager
+   (``checkRead`` / ``checkWrite`` / ``checkDelete``);
+2. only then does the private "real" operation touch the virtual file
+   system, acting as the *OS user of the JVM process*.
+
+The paper's Feature 3 asymmetry is reproduced exactly: files the JVM
+process user cannot reach surface as ``FileNotFoundException`` (the OS hides
+them), whereas a Java-policy denial surfaces as ``SecurityException``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.io.streams import InputStream, OutputStream
+from repro.jvm.errors import FileNotFoundException, IOException
+from repro.unixfs.vfs import (
+    VfsError,
+    VfsFileHandle,
+    VfsNotFound,
+    VfsPermissionDenied,
+    VirtualFileSystem,
+)
+
+
+def _translate_read_error(exc: VfsError) -> IOException:
+    """Feature 3: OS-invisible files look absent, not forbidden."""
+    if isinstance(exc, (VfsNotFound, VfsPermissionDenied)):
+        return FileNotFoundException(exc.path)
+    return IOException(str(exc))
+
+
+def _translate_write_error(exc: VfsError) -> IOException:
+    if isinstance(exc, VfsNotFound):
+        return FileNotFoundException(exc.path)
+    if isinstance(exc, VfsPermissionDenied):
+        return FileNotFoundException(exc.path)
+    return IOException(str(exc))
+
+
+class JFile:
+    """A path bound to an invocation context.
+
+    Relative paths resolve against the application's current working
+    directory (application-wide state, Section 5.1) — or the JVM process's
+    cwd in single-application mode.
+    """
+
+    def __init__(self, ctx, path: str):
+        self._ctx = ctx
+        self._vm = ctx.vm
+        self.path = VirtualFileSystem.normalize(path, ctx.cwd)
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _vfs(self) -> VirtualFileSystem:
+        return self._vm.os_context.vfs
+
+    def _os_user(self):
+        return self._vm.os_context.user
+
+    def _sm(self):
+        return self._vm.security_manager
+
+    # -- queries (require read access) ----------------------------------------------
+
+    def exists(self) -> bool:
+        sm = self._sm()
+        if sm is not None:
+            sm.check_read(self.path)
+        return self._vfs().exists(self.path, self._os_user())
+
+    def is_directory(self) -> bool:
+        sm = self._sm()
+        if sm is not None:
+            sm.check_read(self.path)
+        return self._vfs().is_dir(self.path, self._os_user())
+
+    def is_file(self) -> bool:
+        sm = self._sm()
+        if sm is not None:
+            sm.check_read(self.path)
+        return self._vfs().is_file(self.path, self._os_user())
+
+    def length(self) -> int:
+        sm = self._sm()
+        if sm is not None:
+            sm.check_read(self.path)
+        try:
+            stat = self._vfs().stat(self.path, self._os_user())
+        except VfsError as exc:
+            raise _translate_read_error(exc) from exc
+        return stat.size if stat.kind == "file" else 0
+
+    def last_modified(self) -> int:
+        sm = self._sm()
+        if sm is not None:
+            sm.check_read(self.path)
+        try:
+            return self._vfs().stat(self.path, self._os_user()).mtime
+        except VfsError as exc:
+            raise _translate_read_error(exc) from exc
+
+    def list(self) -> list[str]:
+        sm = self._sm()
+        if sm is not None:
+            sm.check_read(self.path)
+        try:
+            return self._vfs().listdir(self.path, self._os_user())
+        except VfsError as exc:
+            raise _translate_read_error(exc) from exc
+
+    # -- mutations ---------------------------------------------------------------------
+
+    def mkdir(self) -> None:
+        sm = self._sm()
+        if sm is not None:
+            sm.check_write(self.path)
+        try:
+            self._vfs().mkdir(self.path, self._os_user())
+        except VfsError as exc:
+            raise _translate_write_error(exc) from exc
+
+    def create_new_file(self) -> bool:
+        sm = self._sm()
+        if sm is not None:
+            sm.check_write(self.path)
+        if self._vfs().exists(self.path, self._os_user()):
+            return False
+        try:
+            self._vfs().create_file(self.path, self._os_user())
+        except VfsError as exc:
+            raise _translate_write_error(exc) from exc
+        return True
+
+    def delete(self) -> None:
+        """Section 3.3's running example, implemented as printed::
+
+            public void delete() {
+              securityManager.checkDelete();
+              realDelete();
+            }
+        """
+        sm = self._sm()
+        if sm is not None:
+            sm.check_delete(self.path)
+        self._real_delete()
+
+    def _real_delete(self) -> None:
+        """The private method "that actually deletes the file"."""
+        vfs, user = self._vfs(), self._os_user()
+        try:
+            if vfs.is_dir(self.path, user):
+                vfs.rmdir(self.path, user)
+            else:
+                vfs.unlink(self.path, user)
+        except VfsError as exc:
+            raise _translate_write_error(exc) from exc
+
+    def rename_to(self, other: "JFile") -> None:
+        sm = self._sm()
+        if sm is not None:
+            sm.check_write(self.path)
+            sm.check_write(other.path)
+        try:
+            self._vfs().rename(self.path, other.path, self._os_user())
+        except VfsError as exc:
+            raise _translate_write_error(exc) from exc
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"JFile({self.path!r})"
+
+
+class FileInputStream(InputStream):
+    """Checked, VFS-backed byte input."""
+
+    def __init__(self, ctx, path: str):
+        super().__init__()
+        jfile = JFile(ctx, path)
+        sm = jfile._sm()
+        if sm is not None:
+            sm.check_read(jfile.path)
+        try:
+            self._handle: VfsFileHandle = jfile._vfs().open(
+                jfile.path, jfile._os_user(), "r")
+        except VfsError as exc:
+            raise _translate_read_error(exc) from exc
+        self.path = jfile.path
+        if ctx.app is not None:
+            self.owner = ctx.app
+            ctx.app.register_opened_stream(self)
+
+    def read(self, size: int = -1) -> bytes:
+        self._ensure_open()
+        try:
+            return self._handle.read(size)
+        except VfsError as exc:
+            raise IOException(str(exc)) from exc
+
+    def available(self) -> int:
+        return 0 if self.closed else 1
+
+    def _close_impl(self) -> None:
+        self._handle.close()
+
+
+class FileOutputStream(OutputStream):
+    """Checked, VFS-backed byte output (``append=True`` for ``>>``)."""
+
+    def __init__(self, ctx, path: str, append: bool = False):
+        super().__init__()
+        jfile = JFile(ctx, path)
+        sm = jfile._sm()
+        if sm is not None:
+            sm.check_write(jfile.path)
+        mode = "a" if append else "w"
+        try:
+            self._handle: VfsFileHandle = jfile._vfs().open(
+                jfile.path, jfile._os_user(), mode)
+        except VfsError as exc:
+            raise _translate_write_error(exc) from exc
+        self.path = jfile.path
+        if ctx.app is not None:
+            self.owner = ctx.app
+            ctx.app.register_opened_stream(self)
+
+    def write(self, payload: bytes) -> None:
+        self._ensure_open()
+        try:
+            self._handle.write(payload)
+        except VfsError as exc:
+            raise IOException(str(exc)) from exc
+
+    def _close_impl(self) -> None:
+        self._handle.close()
+
+
+def read_text(ctx, path: str, encoding: str = "utf-8") -> str:
+    """Convenience: read a whole file as text (checked)."""
+    stream = FileInputStream(ctx, path)
+    try:
+        return stream.read_all().decode(encoding)
+    finally:
+        stream.close()
+
+
+def write_text(ctx, path: str, text: str, append: bool = False,
+               encoding: str = "utf-8") -> None:
+    """Convenience: write text to a file (checked)."""
+    stream = FileOutputStream(ctx, path, append=append)
+    try:
+        stream.write(text.encode(encoding))
+    finally:
+        stream.close()

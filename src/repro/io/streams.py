@@ -1,0 +1,467 @@
+"""``java.io``-style streams: byte arrays, pipes, print streams.
+
+Streams carry the paper's ownership discipline from Section 5.1:
+
+    "applications may only close streams that they opened.  Streams that are
+    passed to them like the standard input and output streams must not be
+    closed by the application."
+
+Every stream records an ``owner`` (set by the application layer when an
+application creates the stream); a pluggable module-level ``close_policy``
+hook — installed by the multi-processing launcher — is consulted on every
+``close()`` and may veto it with a ``SecurityException``.  In a plain
+single-application VM the hook is absent and close behaves normally.
+
+Piped streams (:func:`make_pipe`) are the transport behind the shell's
+``|`` pipelines (Section 6.1) and the in-VM IPC measured by the Section 2
+benchmarks.  They block co-operatively and are stop points, so the
+application reaper can always tear a pipeline down.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+from repro.jvm.errors import (
+    EOFException,
+    IOException,
+    StreamClosedException,
+)
+from repro.jvm.threads import interruptible_wait
+
+#: Hook consulted on every stream close; installed by the multi-processing
+#: launcher to enforce the Section 5.1 ownership rule.  Receives the stream;
+#: raises to veto the close.
+close_policy: Optional[Callable[["_StreamBase"], None]] = None
+
+DEFAULT_PIPE_CAPACITY = 64 * 1024
+
+
+class _StreamBase:
+    """State shared by all streams: closed flag and owner tracking."""
+
+    def __init__(self):
+        self.closed = False
+        #: The application that opened this stream (set by the application
+        #: layer); None for VM-created and host streams.
+        self.owner = None
+
+    def _ensure_open(self) -> None:
+        if self.closed:
+            raise StreamClosedException("stream is closed")
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        if close_policy is not None:
+            close_policy(self)
+        self._close_impl()
+        self.closed = True
+
+    def _close_impl(self) -> None:
+        """Subclass hook; runs once, before ``closed`` is set."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class InputStream(_StreamBase):
+    """Abstract byte-oriented input stream."""
+
+    def read(self, size: int = -1) -> bytes:
+        """Read up to ``size`` bytes (all remaining if negative).
+
+        Returns ``b""`` only at end of stream.  Blocks until at least one
+        byte is available or EOF is reached.
+        """
+        raise NotImplementedError
+
+    def read_byte(self) -> int:
+        """Read one byte; returns -1 at end of stream (Java semantics)."""
+        chunk = self.read(1)
+        return chunk[0] if chunk else -1
+
+    def read_exactly(self, size: int) -> bytes:
+        """Read exactly ``size`` bytes or raise :class:`EOFException`."""
+        pieces: list[bytes] = []
+        remaining = size
+        while remaining > 0:
+            chunk = self.read(remaining)
+            if not chunk:
+                raise EOFException(
+                    f"expected {size} bytes, got {size - remaining}")
+            pieces.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(pieces)
+
+    def read_line(self) -> Optional[bytes]:
+        """Read one ``\\n``-terminated line (terminator stripped).
+
+        Returns None at end of stream; a final unterminated line is
+        returned as-is.
+        """
+        buffer = bytearray()
+        while True:
+            byte = self.read_byte()
+            if byte < 0:
+                return bytes(buffer) if buffer else None
+            if byte == 0x0A:
+                return bytes(buffer)
+            buffer.append(byte)
+
+    def read_all(self) -> bytes:
+        pieces: list[bytes] = []
+        while True:
+            chunk = self.read(8192)
+            if not chunk:
+                return b"".join(pieces)
+            pieces.append(chunk)
+
+    def available(self) -> int:
+        """Bytes readable without blocking (best effort)."""
+        return 0
+
+
+class OutputStream(_StreamBase):
+    """Abstract byte-oriented output stream."""
+
+    def write(self, payload: bytes) -> None:
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Flush buffered bytes (no-op by default)."""
+
+
+# --------------------------------------------------------------------------
+# In-memory streams
+# --------------------------------------------------------------------------
+
+class ByteArrayInputStream(InputStream):
+    """Reads from an in-memory byte string."""
+
+    def __init__(self, payload: bytes):
+        super().__init__()
+        self._payload = bytes(payload)
+        self._pos = 0
+
+    def read(self, size: int = -1) -> bytes:
+        self._ensure_open()
+        if size is None or size < 0:
+            chunk = self._payload[self._pos:]
+        else:
+            chunk = self._payload[self._pos:self._pos + size]
+        self._pos += len(chunk)
+        return chunk
+
+    def available(self) -> int:
+        return len(self._payload) - self._pos
+
+
+class ByteArrayOutputStream(OutputStream):
+    """Accumulates written bytes in memory."""
+
+    def __init__(self):
+        super().__init__()
+        self._buffer = bytearray()
+        self._lock = threading.Lock()
+
+    def write(self, payload: bytes) -> None:
+        self._ensure_open()
+        with self._lock:
+            self._buffer.extend(payload)
+
+    def to_bytes(self) -> bytes:
+        with self._lock:
+            return bytes(self._buffer)
+
+    def to_text(self, encoding: str = "utf-8") -> str:
+        return self.to_bytes().decode(encoding)
+
+    def reset(self) -> None:
+        with self._lock:
+            del self._buffer[:]
+
+    def size(self) -> int:
+        with self._lock:
+            return len(self._buffer)
+
+
+class NullInputStream(InputStream):
+    """Always at end of stream (``/dev/null`` for reading)."""
+
+    def read(self, size: int = -1) -> bytes:
+        self._ensure_open()
+        return b""
+
+
+class NullOutputStream(OutputStream):
+    """Discards everything (``/dev/null`` for writing)."""
+
+    def write(self, payload: bytes) -> None:
+        self._ensure_open()
+
+
+# --------------------------------------------------------------------------
+# Pipes
+# --------------------------------------------------------------------------
+
+class _Pipe:
+    """Bounded byte channel shared by a Piped{Input,Output}Stream pair."""
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self.buffer = bytearray()
+        self.cond = threading.Condition()
+        self.writer_closed = False
+        self.reader_closed = False
+
+
+class PipedInputStream(InputStream):
+    """Read side of a pipe created by :func:`make_pipe`."""
+
+    def __init__(self, pipe: _Pipe):
+        super().__init__()
+        self._pipe = pipe
+
+    def read(self, size: int = -1) -> bytes:
+        self._ensure_open()
+        pipe = self._pipe
+        with pipe.cond:
+            interruptible_wait(
+                pipe.cond,
+                lambda: pipe.buffer or pipe.writer_closed)
+            if not pipe.buffer and pipe.writer_closed:
+                return b""
+            if size is None or size < 0:
+                chunk = bytes(pipe.buffer)
+                del pipe.buffer[:]
+            else:
+                chunk = bytes(pipe.buffer[:size])
+                del pipe.buffer[:size]
+            pipe.cond.notify_all()
+            return chunk
+
+    def available(self) -> int:
+        with self._pipe.cond:
+            return len(self._pipe.buffer)
+
+    def _close_impl(self) -> None:
+        pipe = self._pipe
+        with pipe.cond:
+            pipe.reader_closed = True
+            pipe.cond.notify_all()
+
+
+class PipedOutputStream(OutputStream):
+    """Write side of a pipe created by :func:`make_pipe`.
+
+    Writing to a pipe whose reader has gone away raises
+    :class:`StreamClosedException` — the Java analogue of ``EPIPE``.
+    """
+
+    def __init__(self, pipe: _Pipe):
+        super().__init__()
+        self._pipe = pipe
+
+    def write(self, payload: bytes) -> None:
+        self._ensure_open()
+        pipe = self._pipe
+        view = memoryview(bytes(payload))
+        offset = 0
+        while offset < len(view):
+            with pipe.cond:
+                interruptible_wait(
+                    pipe.cond,
+                    lambda: pipe.reader_closed
+                    or len(pipe.buffer) < pipe.capacity)
+                if pipe.reader_closed:
+                    raise StreamClosedException("pipe reader closed")
+                room = pipe.capacity - len(pipe.buffer)
+                chunk = view[offset:offset + room]
+                pipe.buffer.extend(chunk)
+                offset += len(chunk)
+                pipe.cond.notify_all()
+
+    def _close_impl(self) -> None:
+        pipe = self._pipe
+        with pipe.cond:
+            pipe.writer_closed = True
+            pipe.cond.notify_all()
+
+
+def make_pipe(capacity: int = DEFAULT_PIPE_CAPACITY,
+              owner=None) -> tuple[PipedInputStream, PipedOutputStream]:
+    """Create a connected (reader, writer) pipe pair."""
+    pipe = _Pipe(capacity)
+    reader = PipedInputStream(pipe)
+    writer = PipedOutputStream(pipe)
+    reader.owner = owner
+    writer.owner = owner
+    return reader, writer
+
+
+# --------------------------------------------------------------------------
+# Print streams and readers
+# --------------------------------------------------------------------------
+
+class PrintStream(OutputStream):
+    """Character-friendly output with Java's no-throw discipline.
+
+    A ``PrintStream`` never raises :class:`IOException`; failures set an
+    internal flag readable via :meth:`check_error`.  This matters for the
+    multi-application VM: an application whose output pipe disappears keeps
+    running (Section 5.1 discusses shared standard streams).
+    """
+
+    def __init__(self, out: OutputStream, auto_flush: bool = True,
+                 encoding: str = "utf-8"):
+        super().__init__()
+        self._out = out
+        self._auto_flush = auto_flush
+        self._encoding = encoding
+        self._error = False
+        self._lock = threading.RLock()
+
+    @property
+    def target(self) -> OutputStream:
+        return self._out
+
+    def write(self, payload) -> None:
+        if isinstance(payload, str):
+            payload = payload.encode(self._encoding)
+        with self._lock:
+            try:
+                self._out.write(payload)
+                if self._auto_flush:
+                    self._out.flush()
+            except IOException:
+                self._error = True
+
+    def print(self, value: object = "") -> None:
+        self.write(str(value))
+
+    def println(self, value: object = "") -> None:
+        self.write(str(value) + "\n")
+
+    def printf(self, template: str, *args: object) -> None:
+        self.write(template % args if args else template)
+
+    def check_error(self) -> bool:
+        with self._lock:
+            try:
+                self._out.flush()
+            except IOException:
+                self._error = True
+            return self._error
+
+    def flush(self) -> None:
+        with self._lock:
+            try:
+                self._out.flush()
+            except IOException:
+                self._error = True
+
+    def _close_impl(self) -> None:
+        try:
+            self._out.close()
+        except IOException:
+            self._error = True
+
+
+class LineReader:
+    """Buffered text reader over an :class:`InputStream`.
+
+    The terminal and shell (Section 6) read user input line by line; this
+    is their ``BufferedReader``.
+    """
+
+    def __init__(self, source: InputStream, encoding: str = "utf-8"):
+        self._source = source
+        self._encoding = encoding
+
+    def read_line(self) -> Optional[str]:
+        """One line without its terminator; None at end of stream."""
+        raw = self._source.read_line()
+        if raw is None:
+            return None
+        return raw.decode(self._encoding, errors="replace")
+
+    def read_all(self) -> str:
+        return self._source.read_all().decode(self._encoding,
+                                              errors="replace")
+
+    def close(self) -> None:
+        self._source.close()
+
+
+class TeeOutputStream(OutputStream):
+    """Duplicates writes to two underlying streams (used by tests)."""
+
+    def __init__(self, first: OutputStream, second: OutputStream):
+        super().__init__()
+        self._first = first
+        self._second = second
+
+    def write(self, payload: bytes) -> None:
+        self._ensure_open()
+        self._first.write(payload)
+        self._second.write(payload)
+
+    def flush(self) -> None:
+        self._first.flush()
+        self._second.flush()
+
+
+class CountingOutputStream(OutputStream):
+    """Counts bytes written; sink for throughput benchmarks."""
+
+    def __init__(self):
+        super().__init__()
+        self.count = 0
+
+    def write(self, payload: bytes) -> None:
+        self._ensure_open()
+        self.count += len(payload)
+
+
+class HostOutputStream(OutputStream):
+    """Adapter onto a real Python file object (host stdout/stderr)."""
+
+    def __init__(self, fileobj):
+        super().__init__()
+        self._fileobj = fileobj
+
+    def write(self, payload: bytes) -> None:
+        self._ensure_open()
+        if hasattr(self._fileobj, "buffer"):
+            self._fileobj.buffer.write(payload)
+        else:
+            self._fileobj.write(payload.decode("utf-8", errors="replace"))
+
+    def flush(self) -> None:
+        self._fileobj.flush()
+
+    def _close_impl(self) -> None:
+        # Never close the host's real stdio.
+        self.flush()
+
+
+class HostInputStream(InputStream):
+    """Adapter onto a real Python file object (host stdin)."""
+
+    def __init__(self, fileobj):
+        super().__init__()
+        self._fileobj = fileobj
+
+    def read(self, size: int = -1) -> bytes:
+        self._ensure_open()
+        raw = self._fileobj.buffer if hasattr(self._fileobj, "buffer") \
+            else self._fileobj
+        data = raw.read(size if size is not None and size >= 0 else -1)
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        return data or b""

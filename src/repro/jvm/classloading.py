@@ -1,0 +1,302 @@
+"""Class material, class loaders, and loader-based name spaces.
+
+Section 5.5 rests on one JVM property: *class identity is the pair (defining
+loader, class name)*.  "Since we use a new class loader for every
+application, to the JVM, the different incarnations of the System class are
+just different classes that happen to have the same name."
+
+We reproduce that property without bytecode:
+
+* :class:`ClassMaterial` is the "class file" — a named bundle of member
+  functions, a static initializer, and a code source.  Material lives in a
+  :class:`ClassRegistry` (the class path / network, depending on the code
+  source).
+* :class:`ClassLoader` turns material into :class:`JClass` objects
+  ("linking", Section 3.1).  Each definition gets *its own* static-state
+  dict and a :class:`~repro.security.codesource.ProtectionDomain` derived
+  from the material's code source and the installed policy.
+* Loaders delegate parent-first; two loaders defining the same material
+  yield two distinct, incompatible classes — which is exactly what gives
+  every application its own ``System`` in Section 5.5.
+
+Method invocation goes through :class:`JMethod`, which pushes the class's
+protection domain onto the calling thread's access-control stack — the
+Python analogue of the domain-annotated JVM stack frames that JDK 1.2's
+``AccessController`` inspects.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Iterable, Optional
+
+from repro.jvm.errors import (
+    ClassNotFoundException,
+    IllegalArgumentException,
+    NoSuchMethodException,
+)
+from repro.security import access
+from repro.security.codesource import (
+    CodeSource,
+    ProtectionDomain,
+    system_domain,
+)
+
+
+class ClassMaterial:
+    """The loader-independent definition of a class (its "class file").
+
+    ``members`` maps member names to plain Python callables.  Every member
+    receives its defining :class:`JClass` as first argument (so members can
+    reach their own per-definition statics — essential for Section 5.5).
+    By convention an application entry point is a member
+    ``main(jclass, ctx, args)`` where ``ctx`` is the
+    :class:`~repro.lang.context.InvocationContext` supplied by the invoker
+    and ``args`` is a list of strings.
+
+    ``static_init`` runs once per *definition* (i.e. once per loader that
+    defines the class), with the new class's protection domain on the
+    stack — just like a Java static initializer.
+    """
+
+    def __init__(self, name: str,
+                 code_source: Optional[CodeSource] = None,
+                 members: Optional[dict[str, Callable]] = None,
+                 static_init: Optional[Callable[["JClass"], None]] = None,
+                 doc: str = ""):
+        if not name:
+            raise IllegalArgumentException("class name may not be empty")
+        self.name = name
+        self.code_source = code_source
+        self.members: dict[str, Callable] = dict(members or {})
+        self.static_init = static_init
+        self.doc = doc
+        #: Member names that are *not* public; reflective access to them is
+        #: guarded by the system security manager (Section 5.6).  By
+        #: convention, members whose name starts with "_" are non-public.
+        self.non_public: set[str] = {
+            member for member in self.members if member.startswith("_")}
+
+    def member(self, fn: Callable) -> Callable:
+        """Decorator registering ``fn`` as a member of this class."""
+        self.members[fn.__name__] = fn
+        if fn.__name__.startswith("_"):
+            self.non_public.add(fn.__name__)
+        return fn
+
+    def static(self, fn: Callable) -> Callable:
+        """Decorator registering ``fn`` as the static initializer."""
+        self.static_init = fn
+        return fn
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ClassMaterial({self.name!r}, cs={self.code_source!r})"
+
+
+class ClassRegistry:
+    """All class material known to the VM (class path + installed code).
+
+    The registry is the single source of material; *which* material a given
+    application sees, and with what identity and privileges, is decided by
+    the class loaders.
+    """
+
+    def __init__(self):
+        self._materials: dict[str, ClassMaterial] = {}
+        self._lock = threading.Lock()
+
+    def register(self, material: ClassMaterial,
+                 replace: bool = False) -> ClassMaterial:
+        with self._lock:
+            if material.name in self._materials and not replace:
+                raise IllegalArgumentException(
+                    f"class material {material.name!r} already registered")
+            self._materials[material.name] = material
+            return material
+
+    def register_all(self, materials: Iterable[ClassMaterial]) -> None:
+        for material in materials:
+            self.register(material)
+
+    def get(self, name: str) -> ClassMaterial:
+        with self._lock:
+            material = self._materials.get(name)
+        if material is None:
+            raise ClassNotFoundException(name)
+        return material
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._materials
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._materials)
+
+
+class JClass:
+    """A defined class: material + defining loader + its own static state.
+
+    Identity is object identity: two definitions of the same material by
+    different loaders are different classes (the heart of Section 5.5).
+    """
+
+    def __init__(self, material: ClassMaterial, loader: "ClassLoader",
+                 domain: ProtectionDomain):
+        self.material = material
+        self.loader = loader
+        self.protection_domain = domain
+        #: Per-definition static fields (e.g. ``System``'s in/out/err).
+        self.statics: dict[str, object] = {}
+        self._initialized = False
+
+    @property
+    def name(self) -> str:
+        return self.material.name
+
+    def initialize(self) -> None:
+        """Run the static initializer under this class's domain."""
+        if self._initialized:
+            return
+        self._initialized = True
+        if self.material.static_init is not None:
+            with access.stack_frame(self.protection_domain):
+                self.material.static_init(self)
+
+    def has_method(self, name: str) -> bool:
+        return name in self.material.members
+
+    def method(self, name: str) -> "JMethod":
+        fn = self.material.members.get(name)
+        if fn is None:
+            raise NoSuchMethodException(f"{self.name}.{name}")
+        return JMethod(self, name, fn)
+
+    def invoke(self, method_name: str, *args, **kwargs):
+        return self.method(method_name).invoke(*args, **kwargs)
+
+    def is_public_member(self, name: str) -> bool:
+        return name not in self.material.non_public
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"JClass({self.name!r}, loader={self.loader.name!r})"
+
+
+class JObject:
+    """An instance of a registered class: the class plus a field dict.
+
+    Instance methods are ordinary members invoked with the object as the
+    argument after the class: ``member(jclass, self, *args)``.  Object
+    identity is tied to the *defining class* (and therefore to its loader),
+    which is what makes cross-name-space sharing detectable
+    (Section 8's type-safety concern; see :mod:`repro.core.sharing`).
+    """
+
+    __slots__ = ("jclass", "fields")
+
+    def __init__(self, jclass: "JClass", **fields):
+        self.jclass = jclass
+        self.fields: dict[str, object] = dict(fields)
+
+    def invoke(self, method_name: str, *args, **kwargs):
+        return self.jclass.method(method_name).invoke(self, *args, **kwargs)
+
+    def is_instance_of(self, jclass: "JClass") -> bool:
+        """Class identity check: same definition, not just same name."""
+        return self.jclass is jclass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"JObject({self.jclass.name}@"
+                f"{self.jclass.loader.name}, {self.fields!r})")
+
+
+class JMethod:
+    """A method handle; invocation pushes the class's protection domain."""
+
+    __slots__ = ("jclass", "name", "_fn")
+
+    def __init__(self, jclass: JClass, name: str, fn: Callable):
+        self.jclass = jclass
+        self.name = name
+        self._fn = fn
+
+    def invoke(self, *args, **kwargs):
+        with access.stack_frame(self.jclass.protection_domain):
+            return self._fn(self.jclass, *args, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"JMethod({self.jclass.name}.{self.name})"
+
+
+class ClassLoader:
+    """Parent-first delegating class loader.
+
+    ``load_class`` first asks the parent; only if the parent cannot find
+    the class does this loader define it from registry material
+    (``find_class``).  Subclasses (the application loader of Section 5.5,
+    the ``AppletClassLoader`` of Section 6.3) override :meth:`load_class`
+    or :meth:`find_class` to change visibility or attach extra permissions.
+    """
+
+    def __init__(self, registry: ClassRegistry,
+                 parent: Optional["ClassLoader"] = None,
+                 name: str = "classloader",
+                 policy: Optional[object] = None):
+        self.registry = registry
+        self.parent = parent
+        self.name = name
+        self.policy = policy if policy is not None or parent is None \
+            else parent.policy
+        #: The VM this loader belongs to; static initializers reach the VM
+        #: through their class's defining loader (set by the VM for the boot
+        #: loader and inherited by child loaders).
+        self.vm = parent.vm if parent is not None else None
+        self._defined: dict[str, JClass] = {}
+        self._lock = threading.RLock()
+
+    def load_class(self, name: str) -> JClass:
+        with self._lock:
+            already = self._defined.get(name)
+            if already is not None:
+                return already
+        if self.parent is not None:
+            try:
+                return self.parent.load_class(name)
+            except ClassNotFoundException:
+                pass
+        return self.find_class(name)
+
+    def find_class(self, name: str) -> JClass:
+        material = self.registry.get(name)
+        return self.define_class(material)
+
+    def define_class(self, material: ClassMaterial) -> JClass:
+        """Define (link) material in this loader's name space."""
+        with self._lock:
+            existing = self._defined.get(material.name)
+            if existing is not None:
+                return existing
+            domain = self.domain_for(material)
+            jclass = JClass(material, self, domain)
+            self._defined[material.name] = jclass
+        jclass.initialize()
+        return jclass
+
+    def domain_for(self, material: ClassMaterial) -> ProtectionDomain:
+        """Protection domain for a class this loader defines.
+
+        Material without a code source is boot-class-path code and gets the
+        fully trusted system domain; everything else gets a policy-backed
+        domain for its code source (Section 3.3, JDK 1.2 model).
+        """
+        if material.code_source is None:
+            return system_domain()
+        return ProtectionDomain(material.code_source, policy=self.policy,
+                                name=material.code_source.url or material.name)
+
+    def defined_classes(self) -> list[JClass]:
+        with self._lock:
+            return list(self._defined.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r})"

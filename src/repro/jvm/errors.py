@@ -1,0 +1,198 @@
+"""Java-style exception hierarchy for the simulated JVM.
+
+The paper's architecture leans on the distinction between different kinds of
+runtime failures — most importantly the distinction (Section 4, Feature 3)
+between a ``FileNotFoundException`` (the underlying OS hides a file from the
+JVM process user) and a ``SecurityException`` (the Java security manager
+denied the operation).  We therefore reproduce the relevant slice of the
+``java.lang`` / ``java.io`` / ``java.security`` exception tree as Python
+exception classes.
+
+All exceptions carry an optional message, mirroring the single-argument Java
+constructors that the original code base uses.
+"""
+
+from __future__ import annotations
+
+
+class JavaThrowable(Exception):
+    """Root of the simulated ``java.lang.Throwable`` hierarchy."""
+
+    def __init__(self, message: str | None = None):
+        super().__init__(message or "")
+        self.message = message
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        name = type(self).__name__
+        return f"{name}: {self.message}" if self.message else name
+
+
+class JavaError(JavaThrowable):
+    """Serious problems an application should not try to catch."""
+
+
+class JavaException(JavaThrowable):
+    """Checked exception root (``java.lang.Exception``)."""
+
+
+class RuntimeException(JavaException):
+    """Unchecked exception root (``java.lang.RuntimeException``)."""
+
+
+# --------------------------------------------------------------------------
+# java.lang
+# --------------------------------------------------------------------------
+
+class IllegalArgumentException(RuntimeException):
+    """An illegal or inappropriate argument was passed."""
+
+
+class IllegalStateException(RuntimeException):
+    """A method was invoked at an illegal or inappropriate time."""
+
+
+class IllegalThreadStateException(IllegalArgumentException):
+    """A thread is not in an appropriate state for the requested operation."""
+
+
+class NullPointerException(RuntimeException):
+    """A ``null`` reference was used where an object is required."""
+
+
+class IndexOutOfBoundsException(RuntimeException):
+    """An index is out of range."""
+
+
+class ClassCastException(RuntimeException):
+    """An object was cast to an incompatible class.
+
+    Section 8 of the paper notes that sharing objects between applications in
+    different name spaces "is still a delicate task"; crossing name spaces in
+    this library raises this exception (see :mod:`repro.jvm.classloading`).
+    """
+
+
+class ClassNotFoundException(JavaException):
+    """A class loader could not find the definition of a class."""
+
+
+class LinkageError(JavaError):
+    """A class has a dependency problem discovered at link time."""
+
+
+class NoSuchMethodException(JavaException):
+    """A requested method does not exist on the class."""
+
+
+class NoSuchFieldException(JavaException):
+    """A requested field does not exist on the class."""
+
+
+class InterruptedException(JavaException):
+    """A thread was interrupted while waiting, sleeping, or otherwise paused."""
+
+
+class ThreadDeath(JavaError):
+    """Raised in a thread that has been asked to stop.
+
+    The paper's background reaper (Section 5.1) "will eventually clean up the
+    application, stop all threads"; cooperative stop points in this library
+    raise ``ThreadDeath`` in the stopping thread.
+    """
+
+
+class UnsupportedOperationException(RuntimeException):
+    """The requested operation is not supported."""
+
+
+class ArithmeticException(RuntimeException):
+    """An exceptional arithmetic condition (e.g. divide by zero)."""
+
+
+# --------------------------------------------------------------------------
+# java.lang.SecurityException and java.security
+# --------------------------------------------------------------------------
+
+class SecurityException(RuntimeException):
+    """The security manager denied an operation (Section 3.3)."""
+
+
+class AccessControlException(SecurityException):
+    """The :class:`~repro.security.access.AccessController` denied access.
+
+    Carries the permission that was being checked, so callers and tests can
+    see exactly which permission failed.
+    """
+
+    def __init__(self, message: str | None = None, permission=None):
+        super().__init__(message)
+        self.permission = permission
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        base = super().__str__()
+        if self.permission is not None:
+            return f"{base} (denied: {self.permission})"
+        return base
+
+
+class AuthenticationException(SecurityException):
+    """A user could not be authenticated (Section 5.2 login)."""
+
+
+# --------------------------------------------------------------------------
+# java.io
+# --------------------------------------------------------------------------
+
+class IOException(JavaException):
+    """An I/O operation failed or was interrupted."""
+
+
+class FileNotFoundException(IOException):
+    """A file does not exist *as far as the JVM process can see*.
+
+    Section 4 (Feature 3) points out that on Unix "a Java application cannot
+    see files that the UNIX user who runs the JVM is not allowed to access,
+    and an attempt to access those files results in a FileNotFoundException
+    instead of a SecurityException".  The virtual file system in
+    :mod:`repro.unixfs.vfs` reproduces exactly that behaviour.
+    """
+
+
+class EOFException(IOException):
+    """End of stream reached unexpectedly."""
+
+
+class InterruptedIOException(IOException):
+    """An I/O operation was interrupted."""
+
+
+class StreamClosedException(IOException):
+    """The stream has been closed.
+
+    Section 5.1 discusses the hazard of one application closing a shared
+    stream; attempting I/O on such a stream raises this exception.
+    """
+
+
+# --------------------------------------------------------------------------
+# java.net
+# --------------------------------------------------------------------------
+
+class SocketException(IOException):
+    """A socket operation failed."""
+
+
+class UnknownHostException(IOException):
+    """A host name could not be resolved by the simulated network fabric."""
+
+
+class ConnectException(SocketException):
+    """A connection was refused (nothing listening on the remote port)."""
+
+
+class BindException(SocketException):
+    """A local port could not be bound (already in use)."""
+
+
+class RemoteException(IOException):
+    """A remote operation failed (Section 8's distributed applications)."""

@@ -1,0 +1,19 @@
+"""Registers the boot-class-path class material on a fresh VM registry."""
+
+from __future__ import annotations
+
+from repro.jvm.classloading import ClassRegistry
+from repro.lang import system, sysprops
+
+
+def register_core_classes(registry: ClassRegistry) -> None:
+    """Idempotently register ``System`` and ``SystemProperties`` material.
+
+    Both are registered without a code source, i.e. as fully trusted boot
+    class-path code; only ``System`` appears in the reloadable set of
+    Section 5.5 (see :mod:`repro.core.reload`).
+    """
+    if sysprops.CLASS_NAME not in registry:
+        registry.register(sysprops.build_material())
+    if system.CLASS_NAME not in registry:
+        registry.register(system.build_material())

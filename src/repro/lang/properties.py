@@ -1,0 +1,106 @@
+"""``java.util.Properties``: string-valued tables with a defaults chain.
+
+Section 3.1: "so called *properties* are initialized.  These are values that
+provide information about the 'system', for example the running user, the
+Java version, the underlying O/S version."  Section 5.1 additionally gives
+every application "a set of properties" as application-wide state, copied
+from the parent at creation — which the defaults chain plus :meth:`copy`
+support directly.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator, Optional
+
+from repro.jvm.errors import IllegalArgumentException
+
+
+class Properties:
+    """A thread-safe string-to-string table with optional defaults."""
+
+    def __init__(self, defaults: Optional["Properties"] = None):
+        self._values: dict[str, str] = {}
+        self._defaults = defaults
+        self._lock = threading.RLock()
+
+    def get_property(self, key: str,
+                     default: Optional[str] = None) -> Optional[str]:
+        with self._lock:
+            if key in self._values:
+                return self._values[key]
+        if self._defaults is not None:
+            value = self._defaults.get_property(key)
+            if value is not None:
+                return value
+        return default
+
+    def set_property(self, key: str, value: str) -> Optional[str]:
+        """Set ``key``; returns the previous local value (or None)."""
+        if not isinstance(key, str) or not isinstance(value, str):
+            raise IllegalArgumentException(
+                "property keys and values must be strings")
+        with self._lock:
+            previous = self._values.get(key)
+            self._values[key] = value
+            return previous
+
+    def remove_property(self, key: str) -> Optional[str]:
+        with self._lock:
+            return self._values.pop(key, None)
+
+    def property_names(self) -> list[str]:
+        """All keys visible through this table, including defaults."""
+        names = set()
+        if self._defaults is not None:
+            names.update(self._defaults.property_names())
+        with self._lock:
+            names.update(self._values)
+        return sorted(names)
+
+    def copy(self) -> "Properties":
+        """Flat snapshot copy (defaults folded in).
+
+        Used when a child application inherits the parent's properties
+        (Section 5.1): the child gets the parent's *current* view but
+        further changes do not propagate either way.
+        """
+        snapshot = Properties()
+        for name in self.property_names():
+            snapshot.set_property(name, self.get_property(name))
+        return snapshot
+
+    def __contains__(self, key: str) -> bool:
+        return self.get_property(key) is not None
+
+    def __len__(self) -> int:
+        return len(self.property_names())
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.property_names())
+
+    # -- load/store in the classic key=value format ---------------------------
+
+    def store(self) -> str:
+        """Serialize local entries as ``key=value`` lines."""
+        with self._lock:
+            lines = [f"{key}={self._values[key]}"
+                     for key in sorted(self._values)]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def load(self, text: str) -> None:
+        """Parse ``key=value`` lines; ``#`` and ``!`` start comments."""
+        for raw in text.splitlines():
+            line = raw.strip()
+            if not line or line.startswith(("#", "!")):
+                continue
+            key, separator, value = line.partition("=")
+            if not separator:
+                key, separator, value = line.partition(":")
+            if not separator:
+                raise IllegalArgumentException(
+                    f"malformed property line: {raw!r}")
+            self.set_property(key.strip(), value.strip())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Properties({len(self)} entries)"

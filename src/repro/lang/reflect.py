@@ -1,0 +1,58 @@
+"""The Reflection API slice the paper's prototype uses.
+
+Section 5.1: "using the Java Reflection API, the main method of class
+MyClass is called" — :func:`invoke_main` is exactly that call, and it is
+what ``Application.exec`` runs inside the new application's main thread.
+
+Section 5.6 adds the reflective access rule of the system security manager:
+"Public members of a class can be accessed normally through the reflection
+API.  Access to non-public members needs an appropriate permission."  By
+convention, members whose names start with ``_`` are non-public.
+"""
+
+from __future__ import annotations
+
+from repro.jvm.classloading import JClass, JMethod
+from repro.jvm.errors import NoSuchMethodException
+
+MAIN_METHOD = "main"
+
+
+def _security_manager(jclass: JClass):
+    vm = jclass.loader.vm
+    return vm.security_manager if vm is not None else None
+
+
+def get_method(jclass: JClass, name: str) -> JMethod:
+    """Reflectively obtain a method handle, enforcing member access rules."""
+    if not jclass.has_method(name):
+        raise NoSuchMethodException(f"{jclass.name}.{name}")
+    sm = _security_manager(jclass)
+    if sm is not None and not jclass.is_public_member(name):
+        sm.check_member_access(jclass, name)
+    return jclass.method(name)
+
+
+def get_members(jclass: JClass, include_non_public: bool = False) -> list[str]:
+    """List member names; declared (non-public) access is permission-gated."""
+    public = sorted(name for name in jclass.material.members
+                    if jclass.is_public_member(name))
+    if not include_non_public:
+        return public
+    sm = _security_manager(jclass)
+    if sm is not None:
+        sm.check_member_access(jclass, "<declared>")
+    return sorted(jclass.material.members)
+
+
+def invoke(jclass: JClass, method_name: str, *args, **kwargs):
+    """Reflective invocation: access check, then domain-pushing call."""
+    return get_method(jclass, method_name).invoke(*args, **kwargs)
+
+
+def invoke_main(jclass: JClass, ctx, args: list[str]):
+    """Call ``ClassName.main(args)`` — the application entry point."""
+    if not jclass.has_method(MAIN_METHOD):
+        raise NoSuchMethodException(
+            f"class {jclass.name} has no main method")
+    return jclass.method(MAIN_METHOD).invoke(ctx, list(args))

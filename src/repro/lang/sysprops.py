@@ -1,0 +1,41 @@
+"""The shared ``SystemProperties`` class of Section 5.5.
+
+    "Note that the System class contains state in the form of the system
+    properties that is truly JVM-wide.  To make sure that such system
+    properties are available to all applications, we placed them in a new
+    class called SystemProperties that is shared between all applications."
+
+The class material below is registered without a code source (boot class
+path) and is *not* in the reloadable set, so every application class loader
+delegates to the boot loader for it — one definition, one statics dict, one
+underlying :class:`~repro.lang.properties.Properties` object for the whole
+VM (Figure 5).
+"""
+
+from __future__ import annotations
+
+from repro.jvm.classloading import ClassMaterial
+
+CLASS_NAME = "java.lang.SystemProperties"
+
+
+def build_material() -> ClassMaterial:
+    material = ClassMaterial(
+        CLASS_NAME,
+        doc="JVM-wide system properties shared between all applications.")
+
+    @material.static
+    def _static_init(jclass) -> None:
+        vm = jclass.loader.vm
+        jclass.statics["properties"] = vm.system_properties
+
+    @material.member
+    def get_properties(jclass):
+        return jclass.statics["properties"]
+
+    return material
+
+
+def properties_of(jclass):
+    """The shared Properties object held by a SystemProperties class."""
+    return jclass.statics["properties"]

@@ -1,0 +1,187 @@
+"""The ``System`` class — the paper's canonical *reloadable* class.
+
+Section 3.1: when the System class is loaded, "three streams are created
+that point to standard input, standard output and error file descriptors of
+the JVM process", and the system properties are initialized.  Section 5.5
+then makes System the per-application class: every application class loader
+re-defines it "albeit from the same class material", so each application
+gets its own ``in``/``out``/``err`` statics and its own application
+security-manager slot, while the property data lives in the *shared*
+``SystemProperties`` class (Figure 5).
+
+Two pieces live here:
+
+* :func:`build_material` — the class material (registered on the boot class
+  path by :mod:`repro.lang.bootstrap`).
+* :class:`SystemFacade` — the typed Python face over a ``System``
+  :class:`~repro.jvm.classloading.JClass`; this is what application code
+  reaches through ``ctx.system``.  All mutating operations consult the
+  *system* security manager, reproducing the paper's observation that
+  application security managers "will never be consulted by system code".
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.jvm.classloading import ClassMaterial, JClass
+from repro.lang import sysprops
+from repro.lang.properties import Properties
+
+CLASS_NAME = "java.lang.System"
+
+
+def build_material() -> ClassMaterial:
+    material = ClassMaterial(
+        CLASS_NAME,
+        doc="Standard streams, properties facade, exit, security manager.")
+
+    @material.static
+    def _static_init(jclass: JClass) -> None:
+        vm = jclass.loader.vm
+        # Section 3.1: the three streams point at the JVM process's
+        # descriptors.  In the multi-processing VM the application layer
+        # immediately re-points them at the application's inherited streams.
+        jclass.statics["in"] = vm.stdin
+        jclass.statics["out"] = vm.out
+        jclass.statics["err"] = vm.err
+        # Section 5.6: the (per-application) security-manager reference is
+        # *stored in the System class*, which is why reloading System gives
+        # each application its own slot.
+        jclass.statics["security_manager"] = None
+        # Section 5.5 / Figure 5: properties are reached *through* System
+        # but live in the shared SystemProperties class.
+        jclass.statics["sysprops_class"] = jclass.loader.load_class(
+            sysprops.CLASS_NAME)
+
+    return material
+
+
+class SystemFacade:
+    """Application-facing view of one ``System`` class definition.
+
+    ``ctx.system`` hands application code an instance of this facade bound
+    to the ``System`` class *as seen through the application's loader* —
+    i.e. the application's own copy in the multi-processing VM, or the
+    single shared copy in a plain VM.
+    """
+
+    def __init__(self, jclass: JClass, app=None):
+        if jclass.name != CLASS_NAME:
+            raise ValueError(f"not a System class: {jclass.name}")
+        self._jclass = jclass
+        self._app = app
+        self._vm = jclass.loader.vm
+
+    @property
+    def jclass(self) -> JClass:
+        return self._jclass
+
+    def _system_sm(self):
+        return self._vm.security_manager
+
+    # -- standard streams (application state, Section 5.5) ---------------------
+
+    @property
+    def stdin(self):
+        return self._jclass.statics["in"]
+
+    @property
+    def out(self):
+        return self._jclass.statics["out"]
+
+    @property
+    def err(self):
+        return self._jclass.statics["err"]
+
+    def set_in(self, stream) -> None:
+        self._check_set_io()
+        self._jclass.statics["in"] = stream
+
+    def set_out(self, stream) -> None:
+        self._check_set_io()
+        self._jclass.statics["out"] = stream
+
+    def set_err(self, stream) -> None:
+        self._check_set_io()
+        self._jclass.statics["err"] = stream
+
+    def _check_set_io(self) -> None:
+        sm = self._system_sm()
+        if sm is not None:
+            sm.check_set_io()
+
+    # -- properties (JVM-wide state, Section 5.5 / Figure 5) --------------------
+
+    def _shared_properties(self) -> Properties:
+        return sysprops.properties_of(self._jclass.statics["sysprops_class"])
+
+    def get_property(self, key: str,
+                     default: Optional[str] = None) -> Optional[str]:
+        sm = self._system_sm()
+        if sm is not None:
+            sm.check_property_access(key)
+        return self._shared_properties().get_property(key, default)
+
+    def set_property(self, key: str, value: str) -> Optional[str]:
+        sm = self._system_sm()
+        if sm is not None:
+            sm.check_property_access(key, write=True)
+        return self._shared_properties().set_property(key, value)
+
+    def get_properties(self) -> Properties:
+        """The shared properties object (API unchanged, per Section 5.5)."""
+        sm = self._system_sm()
+        if sm is not None:
+            sm.check_properties_access()
+        return self._shared_properties()
+
+    # -- security manager (application-wide, Section 5.6) ------------------------
+
+    def get_security_manager(self):
+        return self._jclass.statics["security_manager"]
+
+    def set_security_manager(self, manager) -> None:
+        """Install *this application's* security manager.
+
+        The paper: "applications in theory can still set their own security
+        managers.  However, those security managers will never be consulted
+        by system code, because the system code ... sees its own version of
+        the System class that holds the system security manager."
+        """
+        self._jclass.statics["security_manager"] = manager
+
+    # -- exit -----------------------------------------------------------------
+
+    def exit(self, status: int = 0) -> None:
+        """``System.exit`` with the paper's two possible semantics.
+
+        Historically this exits the whole VM (what forced the Appletviewer
+        port to replace its calls, Section 6.3).  With
+        ``vm.system_exit_exits_application`` enabled — the paper's proposed
+        change — it only exits the calling application.
+        """
+        vm = self._vm
+        if vm.system_exit_exits_application and self._app is not None:
+            from repro.core.application import Application
+            Application.exit(status)
+            return
+        vm.exit(status)
+
+    # -- clock ------------------------------------------------------------------
+
+    @staticmethod
+    def current_time_millis() -> int:
+        return int(time.time() * 1000)
+
+    @staticmethod
+    def nano_time() -> int:
+        return time.perf_counter_ns()
+
+    def line_separator(self) -> str:
+        return self._shared_properties().get_property("line.separator", "\n")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        loader = self._jclass.loader.name
+        return f"SystemFacade(loader={loader!r})"

@@ -1,0 +1,112 @@
+"""Java-side sockets: the security-checked face of the network fabric.
+
+These are the objects application and applet code use.  Every operation
+first consults the system security manager (``checkConnect`` /
+``checkListen`` / ``checkAccept``), which funnels into the access
+controller's :class:`~repro.security.permissions.SocketPermission` checks —
+so an applet can connect back to its own host (the permission its
+``AppletClassLoader`` delegated to it, Section 6.3) but nowhere else.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.io.streams import InputStream, OutputStream
+from repro.jvm.errors import IllegalStateException, SocketException
+from repro.net.fabric import Endpoint, Listener, NetworkFabric
+
+
+def _fabric(ctx) -> NetworkFabric:
+    fabric = ctx.vm.network
+    if fabric is None:
+        raise IllegalStateException("this VM has no network attached")
+    return fabric
+
+
+def _local_host(ctx) -> str:
+    return ctx.vm.machine.hostname
+
+
+class Socket:
+    """A connected client socket."""
+
+    def __init__(self, ctx, host: str, port: int):
+        sm = ctx.vm.security_manager
+        if sm is not None:
+            sm.check_connect(host, port)
+        self._endpoint: Endpoint = _fabric(ctx).connect(
+            _local_host(ctx), host, port)
+        self.remote_host = host
+        self.remote_port = port
+        self.closed = False
+        if ctx.app is not None:
+            ctx.app.register_opened_stream(self._endpoint.input)
+            ctx.app.register_opened_stream(self._endpoint.output)
+            self._endpoint.input.owner = ctx.app
+            self._endpoint.output.owner = ctx.app
+
+    @classmethod
+    def _from_endpoint(cls, endpoint: Endpoint) -> "Socket":
+        socket = cls.__new__(cls)
+        socket._endpoint = endpoint
+        socket.remote_host = endpoint.remote_host
+        socket.remote_port = endpoint.remote_port
+        socket.closed = False
+        return socket
+
+    @property
+    def input(self) -> InputStream:
+        return self._endpoint.input
+
+    @property
+    def output(self) -> OutputStream:
+        return self._endpoint.output
+
+    def send_text(self, text: str) -> None:
+        self.output.write(text.encode("utf-8"))
+
+    def receive_text(self, size: int = -1) -> str:
+        return self.input.read(size).decode("utf-8", errors="replace")
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self._endpoint.close()
+
+    def __enter__(self) -> "Socket":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ServerSocket:
+    """A listening socket bound on this VM's own host."""
+
+    def __init__(self, ctx, port: int, backlog: int = 16):
+        sm = ctx.vm.security_manager
+        if sm is not None:
+            sm.check_listen(port)
+        self._ctx = ctx
+        host = _fabric(ctx).resolve(_local_host(ctx))
+        self._listener: Listener = host.listen(port, backlog)
+        self.port = port
+
+    def accept(self, timeout: Optional[float] = None) -> Socket:
+        endpoint = self._listener.accept(timeout)
+        if endpoint is None:
+            raise SocketException("accept timed out or socket closed")
+        sm = self._ctx.vm.security_manager
+        if sm is not None:
+            sm.check_accept(endpoint.remote_host, endpoint.remote_port)
+        return Socket._from_endpoint(endpoint)
+
+    def close(self) -> None:
+        self._listener.close()
+
+    def __enter__(self) -> "ServerSocket":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

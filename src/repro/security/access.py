@@ -1,0 +1,256 @@
+"""The AccessController: stack inspection with ``do_privileged``.
+
+This reproduces the JDK 1.2 access-control algorithm the paper builds on
+(Section 3.3, Section 5.6) plus the paper's user-based extension
+(Section 5.3):
+
+* Every invocation of a *registered class* method pushes that class's
+  :class:`~repro.security.codesource.ProtectionDomain` onto a per-thread
+  context stack (the Python analogue of protection domains attached to JVM
+  stack frames).
+* ``check_permission`` walks the stack from the most recent frame downward;
+  **every** domain it encounters must imply the checked permission, until a
+  ``do_privileged`` frame is reached (which is checked and then terminates
+  the walk).  If the walk exhausts the stack, the thread's *inherited*
+  context (captured when the thread was created) is checked as well.
+* **User-based combination** (the paper's Section 5.3): a domain that fails
+  on its own grants gets a second chance *iff* it holds a
+  :class:`~repro.security.permissions.UserPermission` — then the permissions
+  granted to the *running user* of the current application are consulted.
+  "The permissions granted to the code itself and the permissions granted to
+  the user that runs the code are combined."
+
+The luring-attack property of Section 5.6 falls out of this algorithm: when
+privileged system code calls into unprivileged application code (for
+example, an application-supplied security manager), the application domain
+joins the stack and the intersection loses the system privileges.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+from repro.jvm.errors import AccessControlException
+from repro.security.codesource import ProtectionDomain
+from repro.security.permissions import Permission, Permissions, UserPermission
+
+_USER_PERMISSION = UserPermission()
+
+#: Hook installed by the multi-processing launcher: returns the Permissions
+#: granted to the running user of the *current* application (or None when no
+#: user model is active).  Kept as a module-level injection point so that
+#: the security layer does not import the application layer.
+user_permission_resolver: Optional[Callable[[], Optional[Permissions]]] = None
+
+_fallback_stacks = threading.local()
+
+
+class _Frame:
+    """One entry of a thread's access-control stack."""
+
+    __slots__ = ("domain", "privileged", "context")
+
+    def __init__(self, domain: Optional[ProtectionDomain],
+                 privileged: bool = False,
+                 context: Optional["AccessControlContext"] = None):
+        self.domain = domain
+        self.privileged = privileged
+        self.context = context
+
+
+def _stack() -> list:
+    """The access-control stack of the calling thread.
+
+    Attached :class:`~repro.jvm.threads.JThread` instances carry their stack
+    on the thread object (so the inherited-context snapshot can be taken by
+    the creator); plain Python threads (tests, the REPL) get a thread-local
+    fallback, which behaves like fully trusted host code until frames are
+    pushed.
+    """
+    from repro.jvm.threads import JThread
+    thread = JThread.current_or_none()
+    if thread is not None:
+        return thread._acc_stack
+    stack = getattr(_fallback_stacks, "stack", None)
+    if stack is None:
+        stack = []
+        _fallback_stacks.stack = stack
+    return stack
+
+
+def _inherited_context() -> Optional["AccessControlContext"]:
+    from repro.jvm.threads import JThread
+    thread = JThread.current_or_none()
+    if thread is not None:
+        return thread.inherited_context
+    return None
+
+
+class AccessControlContext:
+    """An immutable snapshot of protection domains.
+
+    Captured by :func:`get_context` (e.g. at thread creation) and optionally
+    passed to :func:`do_privileged` to bound the privileges asserted.
+    """
+
+    __slots__ = ("domains",)
+
+    def __init__(self, domains: tuple[ProtectionDomain, ...]):
+        self.domains = tuple(domains)
+
+    def check_permission(self, permission: Permission) -> None:
+        for domain in self.domains:
+            _check_domain(domain, permission)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AccessControlContext({[d.name for d in self.domains]})"
+
+
+def _user_permissions() -> Optional[Permissions]:
+    if user_permission_resolver is None:
+        return None
+    return user_permission_resolver()
+
+
+def _domain_satisfies(domain: ProtectionDomain,
+                      permission: Permission) -> bool:
+    """Code-source grants, combined with user grants per Section 5.3."""
+    if domain.implies(permission):
+        return True
+    if domain.implies(_USER_PERMISSION):
+        user_perms = _user_permissions()
+        if user_perms is not None and user_perms.implies(permission):
+            return True
+    return False
+
+
+def _check_domain(domain: Optional[ProtectionDomain],
+                  permission: Permission) -> None:
+    if domain is None:
+        return  # host / boot frames are fully trusted
+    if not _domain_satisfies(domain, permission):
+        raise AccessControlException(
+            f"access denied to {domain.name}", permission)
+
+
+def check_permission(permission: Permission) -> None:
+    """The JDK 1.2 stack walk, with the paper's user-based extension."""
+    stack = _stack()
+    for frame in reversed(stack):
+        _check_domain(frame.domain, permission)
+        if frame.privileged:
+            if frame.context is not None:
+                frame.context.check_permission(permission)
+            return
+    inherited = _inherited_context()
+    if inherited is not None:
+        inherited.check_permission(permission)
+
+
+def get_context() -> AccessControlContext:
+    """Snapshot the effective context of the calling thread.
+
+    Collects the distinct domains on the stack down to (and including) the
+    nearest privileged frame, then appends the thread's inherited context if
+    the walk ran off the bottom of the stack.
+    """
+    domains: list[ProtectionDomain] = []
+    seen: set[int] = set()
+
+    def _collect(domain: Optional[ProtectionDomain]) -> None:
+        if domain is not None and id(domain) not in seen:
+            seen.add(id(domain))
+            domains.append(domain)
+
+    stack = _stack()
+    privileged_hit = False
+    for frame in reversed(stack):
+        _collect(frame.domain)
+        if frame.privileged:
+            if frame.context is not None:
+                for domain in frame.context.domains:
+                    _collect(domain)
+            privileged_hit = True
+            break
+    if not privileged_hit:
+        inherited = _inherited_context()
+        if inherited is not None:
+            for domain in inherited.domains:
+                _collect(domain)
+    return AccessControlContext(tuple(domains))
+
+
+def snapshot_inherited_context() -> Optional[AccessControlContext]:
+    """Context a newly created thread inherits from its creator."""
+    context = get_context()
+    if not context.domains:
+        return None
+    return context
+
+
+def current_domain() -> Optional[ProtectionDomain]:
+    """The protection domain of the most recent registered-class frame."""
+    for frame in reversed(_stack()):
+        if frame.domain is not None:
+            return frame.domain
+        if frame.privileged:
+            break
+    return None
+
+
+class _FrameGuard:
+    """Context manager pushing one frame onto the calling thread's stack."""
+
+    __slots__ = ("_frame", "_stack_ref")
+
+    def __init__(self, frame: _Frame):
+        self._frame = frame
+        self._stack_ref = None
+
+    def __enter__(self) -> "_FrameGuard":
+        self._stack_ref = _stack()
+        self._stack_ref.append(self._frame)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        popped = self._stack_ref.pop()
+        assert popped is self._frame, "access-control stack corrupted"
+
+
+def stack_frame(domain: Optional[ProtectionDomain]) -> _FrameGuard:
+    """Push ``domain`` for the duration of a registered-method invocation."""
+    return _FrameGuard(_Frame(domain))
+
+
+def do_privileged(action: Callable[[], object],
+                  context: Optional[AccessControlContext] = None) -> object:
+    """Run ``action`` with the caller's own privileges asserted.
+
+    Permission checks made inside ``action`` stop their stack walk at this
+    frame: only the caller's domain (and the optional ``context``) are
+    consulted, not the callers further down.  This is what lets the trusted
+    ``login`` program reset its running user (Section 5.2) and the trusted
+    ``Font`` code read font files on behalf of an unprivileged application
+    (Section 5.6) — and it is also why privileges are *lost* again as soon
+    as the privileged code calls back into unprivileged code, preventing
+    luring attacks.
+    """
+    frame = _Frame(current_domain(), privileged=True, context=context)
+    with _FrameGuard(frame):
+        return action()
+
+
+def do_privileged_system(action: Callable[[], object]) -> object:
+    """Run ``action`` with full system trust asserted.
+
+    This is the analogue of trusted *boot-class-path* library code calling
+    ``doPrivileged``: the walk stops at a frame with no (i.e. the fully
+    trusted) domain.  Only JVM-internal code (the toolkit creating its
+    X-connection thread in the system group, Section 5.4) uses this — it is
+    not reachable through the registered-class invocation layer, just as
+    application code cannot forge a boot-class-path stack frame.
+    """
+    frame = _Frame(None, privileged=True, context=None)
+    with _FrameGuard(frame):
+        return action()

@@ -1,0 +1,155 @@
+"""Java-level users and authentication (Section 5.2).
+
+These are the users *of the multi-processing JVM* — distinct from the OS
+account the JVM process runs under (:mod:`repro.unixfs.users`).  The paper:
+
+    "In our prototype, login-in now works similar to UNIX's login program.
+    It has the necessary privileges and resets its own running user-id to be
+    the one that it has successfully authenticated. ...  it is not necessary
+    to have the login program be executed by an all-powerful 'superuser'.
+    All we need to do is grant the login program the privilege to set its
+    own user."
+
+Passwords are salted and hashed (PBKDF2); the database never stores or
+returns plaintext.  A special *null user* exists "for bootstrapping
+purposes" — it is the running user of the initial application before any
+login has happened.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+import threading
+from dataclasses import dataclass, field
+
+from repro.jvm.errors import (
+    AuthenticationException,
+    IllegalArgumentException,
+)
+
+_PBKDF2_ITERATIONS = 1200  # modest; this is a simulation, not production KDF
+_SALT_BYTES = 16
+
+
+@dataclass(frozen=True)
+class JavaUser:
+    """A principal known to the multi-processing JVM."""
+
+    name: str
+    home: str = ""
+    full_name: str = ""
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: Section 5.2: "it might even be some sort of 'null' user for bootstrapping
+#: purposes" — the user the boot application runs as before login.
+NULL_USER = JavaUser(name="nobody", home="/", full_name="null user")
+
+#: The VM's own identity for system applications (the reaper, toolkit, ...).
+SYSTEM_USER = JavaUser(name="system", home="/", full_name="JVM system")
+
+
+@dataclass
+class _Account:
+    user: JavaUser
+    salt: bytes
+    digest: bytes
+    disabled: bool = False
+    failed_attempts: int = field(default=0)
+
+
+def _derive(password: str, salt: bytes) -> bytes:
+    return hashlib.pbkdf2_hmac("sha256", password.encode("utf-8"), salt,
+                               _PBKDF2_ITERATIONS)
+
+
+class UserDatabase:
+    """Account store and authenticator for the multi-processing JVM."""
+
+    def __init__(self, max_failed_attempts: int = 0):
+        self._accounts: dict[str, _Account] = {}
+        self._lock = threading.RLock()
+        #: 0 disables lockout; otherwise accounts lock after N failures.
+        self.max_failed_attempts = max_failed_attempts
+
+    def add_user(self, name: str, password: str, home: str = "",
+                 full_name: str = "") -> JavaUser:
+        if not name:
+            raise IllegalArgumentException("user name may not be empty")
+        with self._lock:
+            if name in self._accounts:
+                raise IllegalArgumentException(f"duplicate user {name!r}")
+            salt = os.urandom(_SALT_BYTES)
+            user = JavaUser(name=name, home=home or f"/home/{name}",
+                            full_name=full_name)
+            self._accounts[name] = _Account(user, salt,
+                                            _derive(password, salt))
+            return user
+
+    def remove_user(self, name: str) -> None:
+        with self._lock:
+            self._accounts.pop(name, None)
+
+    def set_password(self, name: str, password: str) -> None:
+        with self._lock:
+            account = self._require(name)
+            salt = os.urandom(_SALT_BYTES)
+            account.salt = salt
+            account.digest = _derive(password, salt)
+
+    def disable(self, name: str) -> None:
+        with self._lock:
+            self._require(name).disabled = True
+
+    def _require(self, name: str) -> _Account:
+        account = self._accounts.get(name)
+        if account is None:
+            raise AuthenticationException(f"no such user: {name}")
+        return account
+
+    def lookup(self, name: str) -> JavaUser:
+        with self._lock:
+            return self._require(name).user
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._accounts
+
+    def user_names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._accounts)
+
+    def authenticate(self, name: str, password: str) -> JavaUser:
+        """Verify credentials; raises AuthenticationException on failure.
+
+        Failure messages do not reveal whether the account exists.
+        """
+        with self._lock:
+            account = self._accounts.get(name)
+            if account is None:
+                raise AuthenticationException("login incorrect")
+            if account.disabled:
+                raise AuthenticationException("login incorrect")
+            candidate = _derive(password, account.salt)
+            if not hmac.compare_digest(candidate, account.digest):
+                account.failed_attempts += 1
+                if (self.max_failed_attempts
+                        and account.failed_attempts
+                        >= self.max_failed_attempts):
+                    account.disabled = True
+                raise AuthenticationException("login incorrect")
+            account.failed_attempts = 0
+            return account.user
+
+
+def standard_user_database() -> UserDatabase:
+    """Accounts used throughout the examples, tests, and benchmarks."""
+    database = UserDatabase()
+    database.add_user("alice", "wonderland", home="/home/alice",
+                      full_name="Alice")
+    database.add_user("bob", "builder", home="/home/bob", full_name="Bob")
+    return database

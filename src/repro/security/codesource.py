@@ -1,0 +1,120 @@
+"""Code sources and protection domains (JDK 1.2 model).
+
+Section 3.3: "Current Java implementations usually express their security
+policy in terms of code identity that is characterized by both digital
+signatures on the mobile code and the network origin of the mobile code."
+A :class:`CodeSource` bundles exactly those two: an origin URL and the set of
+signer names.  A :class:`ProtectionDomain` binds a code source to the
+permissions the policy grants it; every loaded class belongs to one domain.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.security.permissions import (
+    Permission,
+    PermissionCollection,
+    Permissions,
+)
+
+
+class CodeSource:
+    """Origin of a piece of code: a URL plus the names that signed it.
+
+    URL wildcard matching for policy ``codeBase`` clauses follows the JDK:
+
+    * ``http://host/dir/*`` matches code directly inside ``dir``;
+    * ``http://host/dir/-`` matches code anywhere below ``dir``;
+    * an exact URL matches only itself;
+    * a ``CodeSource`` with URL ``None`` matches any URL.
+    """
+
+    def __init__(self, url: Optional[str], signers: Iterable[str] = ()):
+        self.url = url
+        self.signers = frozenset(signers)
+
+    def implies(self, other: Optional["CodeSource"]) -> bool:
+        """True if this (policy-side) code source matches ``other``.
+
+        Signer semantics: every signer this code source requires must be
+        among the signers of ``other``.
+        """
+        if other is None:
+            return False
+        if not self.signers <= other.signers:
+            return False
+        if self.url is None:
+            return True
+        if other.url is None:
+            return False
+        return self._url_implies(self.url, other.url)
+
+    @staticmethod
+    def _url_implies(pattern: str, url: str) -> bool:
+        if pattern == url:
+            return True
+        if pattern.endswith("/-"):
+            return url.startswith(pattern[:-1]) and len(url) > len(pattern) - 1
+        if pattern.endswith("/*"):
+            prefix = pattern[:-1]
+            if not url.startswith(prefix):
+                return False
+            remainder = url[len(prefix):]
+            return bool(remainder) and "/" not in remainder
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, CodeSource)
+                and self.url == other.url
+                and self.signers == other.signers)
+
+    def __hash__(self) -> int:
+        return hash((self.url, self.signers))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        signed = f", signedBy={sorted(self.signers)}" if self.signers else ""
+        return f"CodeSource({self.url!r}{signed})"
+
+
+class ProtectionDomain:
+    """A code source plus the permissions granted to code from it.
+
+    Domains are created when a class is defined by a class loader
+    (:mod:`repro.jvm.classloading`).  Permissions come from two places,
+    matching JDK 1.2:
+
+    * *static* permissions bound at class-definition time (the
+      Appletviewer's ``AppletClassLoader`` uses these to delegate sandbox
+      permissions to the applets it loads, Section 6.3);
+    * the installed :class:`~repro.security.policy.Policy`, consulted
+      dynamically so that policy refreshes take effect.
+    """
+
+    def __init__(self, code_source: Optional[CodeSource],
+                 permissions: Optional[PermissionCollection] = None,
+                 policy: Optional[object] = None,
+                 name: str = ""):
+        self.code_source = code_source
+        self.static_permissions = permissions if permissions is not None \
+            else Permissions()
+        self.policy = policy
+        self.name = name or (code_source.url if code_source else "<system>")
+
+    def implies(self, permission: Permission) -> bool:
+        if self.static_permissions.implies(permission):
+            return True
+        if self.policy is not None:
+            return self.policy.implies(self, permission)
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ProtectionDomain({self.name!r})"
+
+
+#: The fully trusted domain used for system classes on the boot class path.
+def system_domain() -> ProtectionDomain:
+    from repro.security.permissions import AllPermission
+    permissions = Permissions([AllPermission()])
+    return ProtectionDomain(CodeSource("file:/system/"), permissions,
+                            name="<system>")

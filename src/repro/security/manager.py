@@ -1,0 +1,117 @@
+"""The security manager: the ``check*`` suite of Section 3.3.
+
+"The Java class libraries are written in such a way that all sensitive
+operations call into a centralized object, the *security manager*, to check
+whether the callee should be allowed to invoke this operation."
+
+This base class implements every check by mapping it onto a typed
+permission and delegating to the stack-inspecting
+:mod:`~repro.security.access` controller — the JDK 1.2 behaviour the paper
+builds on.  The multi-processing *system* security manager of Section 5.6
+(:mod:`repro.security.sysmanager`) subclasses this and overrides the
+thread, thread-group, and reflection checks with the paper's inter-
+application policy.
+"""
+
+from __future__ import annotations
+
+from repro.security import access
+from repro.security.permissions import (
+    AWTPermission,
+    FilePermission,
+    Permission,
+    PropertyPermission,
+    RuntimePermission,
+    SocketPermission,
+)
+
+
+class SecurityManager:
+    """Code-source-based security manager (single-application JDK 1.2)."""
+
+    # -- the funnel --------------------------------------------------------------
+
+    def check_permission(self, permission: Permission) -> None:
+        """All checks funnel into the AccessController's stack walk."""
+        access.check_permission(permission)
+
+    # -- files --------------------------------------------------------------------
+
+    def check_read(self, path: str) -> None:
+        self.check_permission(FilePermission(path, "read"))
+
+    def check_write(self, path: str) -> None:
+        self.check_permission(FilePermission(path, "write"))
+
+    def check_delete(self, path: str) -> None:
+        self.check_permission(FilePermission(path, "delete"))
+
+    def check_exec(self, path: str) -> None:
+        self.check_permission(FilePermission(path, "execute"))
+
+    # -- network --------------------------------------------------------------------
+
+    def check_connect(self, host: str, port: int) -> None:
+        self.check_permission(SocketPermission(f"{host}:{port}", "connect"))
+
+    def check_listen(self, port: int) -> None:
+        self.check_permission(SocketPermission(f"localhost:{port}", "listen"))
+
+    def check_accept(self, host: str, port: int) -> None:
+        self.check_permission(SocketPermission(f"{host}:{port}", "accept"))
+
+    def check_resolve(self, host: str) -> None:
+        self.check_permission(SocketPermission(host, "resolve"))
+
+    # -- properties --------------------------------------------------------------------
+
+    def check_property_access(self, key: str, write: bool = False) -> None:
+        actions = "read,write" if write else "read"
+        self.check_permission(PropertyPermission(key, actions))
+
+    def check_properties_access(self) -> None:
+        self.check_permission(PropertyPermission("*", "read,write"))
+
+    # -- VM-level operations -----------------------------------------------------------
+
+    def check_exit(self, status: int) -> None:
+        self.check_permission(RuntimePermission("exitVM"))
+
+    def check_create_class_loader(self) -> None:
+        self.check_permission(RuntimePermission("createClassLoader"))
+
+    def check_set_io(self) -> None:
+        self.check_permission(RuntimePermission("setIO"))
+
+    def check_set_user(self) -> None:
+        """Section 5.2: "Special privileges are needed to set the user"."""
+        self.check_permission(RuntimePermission("setUser"))
+
+    # -- threads ---------------------------------------------------------------------------
+
+    def check_access_thread(self, thread) -> None:
+        self.check_permission(RuntimePermission("modifyThread"))
+
+    def check_access_group(self, group) -> None:
+        self.check_permission(RuntimePermission("modifyThreadGroup"))
+
+    # -- applications (multi-processing additions) ----------------------------------------
+
+    def check_modify_application(self, application) -> None:
+        self.check_permission(RuntimePermission("modifyApplication"))
+
+    def check_read_application_table(self) -> None:
+        self.check_permission(RuntimePermission("readApplicationTable"))
+
+    # -- reflection ----------------------------------------------------------------------
+
+    def check_member_access(self, jclass, member: str) -> None:
+        self.check_permission(RuntimePermission("accessDeclaredMembers"))
+
+    # -- windowing ---------------------------------------------------------------------------
+
+    def check_top_level_window(self, window) -> None:
+        self.check_permission(AWTPermission("showWindow"))
+
+    def check_awt_event_queue_access(self) -> None:
+        self.check_permission(AWTPermission("accessEventQueue"))

@@ -1,0 +1,449 @@
+"""JDK 1.2-style permissions, including the paper's new *user permission*.
+
+Section 3.3 and reference [4] describe the policy-based, fine-grained access
+control model of JDK 1.2: sensitive operations are guarded by typed
+``Permission`` objects, and a policy grants collections of permissions to
+code sources.  Section 5.3 extends the model with a new kind of permission:
+
+    "(1) the security policy can grant permissions to a particular user and
+    (2) the policy can also grant certain *code sources* the privilege to
+    exercise the permissions of the running user."
+
+That privilege is :class:`UserPermission` here.  The enforcement logic that
+combines code-source permissions with the running user's permissions lives in
+:mod:`repro.security.access`.
+
+``implies`` relations follow the JDK 1.2 semantics:
+
+* :class:`FilePermission` — exact path, ``dir/*`` (immediate children),
+  ``dir/-`` (recursive subtree), ``<<ALL FILES>>``; actions are a subset
+  relation over ``read``, ``write``, ``delete``, ``execute``.
+* :class:`SocketPermission` — host (exact, ``*.suffix`` or ``*``) plus a port
+  range; ``connect``/``accept``/``listen`` each imply ``resolve``.
+* :class:`BasicPermission` subclasses — exact name or trailing-``*``
+  hierarchical wildcard (``a.b.*``).
+"""
+
+from __future__ import annotations
+
+import posixpath
+from typing import Iterable, Iterator, Optional
+
+from repro.jvm.errors import IllegalArgumentException
+
+
+class Permission:
+    """Abstract access right with a target name.
+
+    Subclasses define :meth:`implies`, which is the single question the
+    access controller ever asks of a permission.
+    """
+
+    def __init__(self, name: str):
+        if name is None:
+            raise IllegalArgumentException("permission name may not be None")
+        self.name = name
+
+    def implies(self, other: "Permission") -> bool:
+        raise NotImplementedError
+
+    def actions(self) -> str:
+        """Canonical actions string (empty for action-less permissions)."""
+        return ""
+
+    def new_permission_collection(self) -> "PermissionCollection":
+        return PermissionCollection()
+
+    def __eq__(self, other: object) -> bool:
+        return (type(self) is type(other)
+                and self.name == other.name
+                and self.actions() == other.actions())
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.name, self.actions()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        actions = self.actions()
+        if actions:
+            return f'{type(self).__name__}("{self.name}", "{actions}")'
+        return f'{type(self).__name__}("{self.name}")'
+
+
+class AllPermission(Permission):
+    """Implies every other permission (granted to fully trusted code)."""
+
+    def __init__(self, name: str = "<all permissions>", actions: str = ""):
+        super().__init__(name)
+
+    def implies(self, other: Permission) -> bool:
+        return True
+
+
+class BasicPermission(Permission):
+    """Named permission with hierarchical trailing-``*`` wildcard matching.
+
+    ``RuntimePermission("modifyThread")`` is implied by
+    ``RuntimePermission("*")`` and by ``RuntimePermission("modifyThread")``;
+    ``BasicPermission("a.b.*")`` implies ``a.b.c`` but not ``a.bc``.
+    """
+
+    def __init__(self, name: str, actions: str = ""):
+        super().__init__(name)
+        if not name:
+            raise IllegalArgumentException("permission name may not be empty")
+        self._wildcard = False
+        self._prefix = name
+        if name == "*":
+            self._wildcard = True
+            self._prefix = ""
+        elif name.endswith(".*"):
+            self._wildcard = True
+            self._prefix = name[:-1]  # keep the trailing dot
+
+    def implies(self, other: Permission) -> bool:
+        if type(other) is not type(self):
+            return False
+        if self._wildcard:
+            return other.name.startswith(self._prefix)
+        return self.name == other.name
+
+
+class RuntimePermission(BasicPermission):
+    """Guards VM-level operations.
+
+    Targets used by this reproduction include ``modifyThread``,
+    ``modifyThreadGroup``, ``setSecurityManager``, ``exitVM``, ``setIO``,
+    ``createClassLoader``, ``accessDeclaredMembers``, ``setUser`` (the
+    paper's login privilege, Section 5.2), ``modifyApplication``, and
+    ``readApplicationTable``.
+    """
+
+
+class AWTPermission(BasicPermission):
+    """Guards windowing operations (``showWindow``, ``accessEventQueue``)."""
+
+
+class UserPermission(BasicPermission):
+    """The paper's new permission kind (Section 5.3).
+
+    Code whose protection domain holds a ``UserPermission`` may *exercise
+    the permissions of the running user*: during an access-control check,
+    a domain that fails on its code-source grants alone additionally checks
+    the permissions the policy grants to the current application's user.
+
+    The paper grants this to "all local applications", so that a locally
+    installed text editor run by Alice can touch Alice's files while an
+    applet (whose code source is remote and has no UserPermission) cannot.
+    """
+
+    def __init__(self, name: str = "exerciseUserPermissions",
+                 actions: str = ""):
+        super().__init__(name)
+
+
+class PropertyPermission(BasicPermission):
+    """Guards system-property access with ``read`` / ``write`` actions."""
+
+    _VALID = ("read", "write")
+
+    def __init__(self, name: str, actions: str = "read"):
+        super().__init__(name)
+        self._actions = _parse_actions(actions, self._VALID,
+                                       "PropertyPermission")
+
+    def actions(self) -> str:
+        return ",".join(a for a in self._VALID if a in self._actions)
+
+    def implies(self, other: Permission) -> bool:
+        if not isinstance(other, PropertyPermission):
+            return False
+        if not other._actions <= self._actions:
+            return False
+        return BasicPermission.implies(
+            BasicPermission(self.name), BasicPermission(other.name))
+
+
+class FilePermission(Permission):
+    """Guards file-system access, JDK 1.2 path semantics.
+
+    Path forms (all paths are normalized POSIX paths):
+
+    * ``"/a/b"``    — exactly that file or directory;
+    * ``"/a/*"``    — all immediate children of ``/a`` (not ``/a`` itself);
+    * ``"/a/-"``    — everything in the subtree below ``/a``;
+    * ``"<<ALL FILES>>"`` — every path.
+
+    Actions: subset of ``read``, ``write``, ``delete``, ``execute``.
+    """
+
+    ALL_FILES = "<<ALL FILES>>"
+    _VALID = ("read", "write", "delete", "execute")
+
+    def __init__(self, name: str, actions: str):
+        super().__init__(name)
+        self._actions = _parse_actions(actions, self._VALID, "FilePermission")
+        if not self._actions:
+            raise IllegalArgumentException(
+                "FilePermission requires at least one action")
+        self._all_files = name == self.ALL_FILES
+        self._recursive = False
+        self._children = False
+        path = name
+        if not self._all_files:
+            if path.endswith("/-") or path == "-":
+                self._recursive = True
+                path = path[:-2] if path.endswith("/-") else ""
+            elif path.endswith("/*") or path == "*":
+                self._children = True
+                path = path[:-2] if path.endswith("/*") else ""
+            path = posixpath.normpath(path) if path else "/"
+        self._path = path
+
+    def actions(self) -> str:
+        return ",".join(a for a in self._VALID if a in self._actions)
+
+    def implies(self, other: Permission) -> bool:
+        if not isinstance(other, FilePermission):
+            return False
+        if not other._actions <= self._actions:
+            return False
+        return self._implies_path(other)
+
+    def _implies_path(self, other: "FilePermission") -> bool:
+        if self._all_files:
+            return True
+        if other._all_files:
+            return False
+        if self._recursive:
+            # "/a/-" implies any exact path, "/b/*" or "/b/-" with b under a.
+            return _is_under(other._path, self._path, allow_equal=True) \
+                if (other._recursive or other._children) \
+                else _is_under(other._path, self._path, allow_equal=False)
+        if self._children:
+            if other._recursive:
+                return False
+            if other._children:
+                return other._path == self._path
+            return posixpath.dirname(other._path) == self._path \
+                and other._path != self._path
+        if other._recursive or other._children:
+            return False
+        return self._path == other._path
+
+
+def _is_under(path: str, root: str, allow_equal: bool) -> bool:
+    """True if ``path`` lies strictly (or non-strictly) below ``root``."""
+    if path == root:
+        return allow_equal
+    if root == "/":
+        return True
+    return path.startswith(root + "/")
+
+
+class SocketPermission(Permission):
+    """Guards network access, JDK 1.2 host/port semantics.
+
+    Name forms: ``host``, ``host:port``, ``host:port1-port2``, ``host:port-``
+    and ``host:-port``; host may be exact, ``*.suffix`` or ``*``.
+    Actions: subset of ``connect``, ``accept``, ``listen``, ``resolve``;
+    any of the first three implies ``resolve``.
+    """
+
+    _VALID = ("connect", "listen", "accept", "resolve")
+    MIN_PORT = 0
+    MAX_PORT = 65535
+
+    def __init__(self, name: str, actions: str):
+        super().__init__(name)
+        parsed = _parse_actions(actions, self._VALID, "SocketPermission")
+        if parsed & {"connect", "accept", "listen"}:
+            parsed.add("resolve")
+        if not parsed:
+            raise IllegalArgumentException(
+                "SocketPermission requires at least one action")
+        self._actions = parsed
+        host, _, portspec = name.partition(":")
+        if not host:
+            raise IllegalArgumentException(f"bad socket host in {name!r}")
+        self._host = host.lower()
+        self._ports = _parse_port_range(portspec)
+
+    def actions(self) -> str:
+        return ",".join(a for a in self._VALID if a in self._actions)
+
+    def _host_implies(self, other_host: str) -> bool:
+        if self._host == "*":
+            return True
+        if self._host.startswith("*."):
+            return other_host.endswith(self._host[1:])
+        return self._host == other_host
+
+    def implies(self, other: Permission) -> bool:
+        if not isinstance(other, SocketPermission):
+            return False
+        if not other._actions <= self._actions:
+            return False
+        if not self._host_implies(other._host):
+            return False
+        low, high = self._ports
+        olow, ohigh = other._ports
+        return low <= olow and ohigh <= high
+
+
+def _parse_port_range(spec: str) -> tuple[int, int]:
+    if not spec:
+        return (SocketPermission.MIN_PORT, SocketPermission.MAX_PORT)
+    if spec == "-":
+        return (SocketPermission.MIN_PORT, SocketPermission.MAX_PORT)
+    if "-" not in spec:
+        port = int(spec)
+        return (port, port)
+    low_s, _, high_s = spec.partition("-")
+    low = int(low_s) if low_s else SocketPermission.MIN_PORT
+    high = int(high_s) if high_s else SocketPermission.MAX_PORT
+    if low > high:
+        raise IllegalArgumentException(f"invalid port range {spec!r}")
+    return (low, high)
+
+
+def _parse_actions(actions: str, valid: Iterable[str],
+                   owner: str) -> set[str]:
+    parsed: set[str] = set()
+    for raw in (actions or "").split(","):
+        action = raw.strip().lower()
+        if not action:
+            continue
+        if action not in valid:
+            raise IllegalArgumentException(
+                f"invalid {owner} action {action!r}")
+        parsed.add(action)
+    return parsed
+
+
+# --------------------------------------------------------------------------
+# Collections
+# --------------------------------------------------------------------------
+
+class PermissionCollection:
+    """A mutable bag of permissions supporting a combined ``implies``."""
+
+    def __init__(self, permissions: Iterable[Permission] = ()):
+        self._permissions: list[Permission] = []
+        self._read_only = False
+        for permission in permissions:
+            self.add(permission)
+
+    def add(self, permission: Permission) -> None:
+        if self._read_only:
+            raise IllegalArgumentException(
+                "attempt to add to a read-only PermissionCollection")
+        if permission not in self._permissions:
+            self._permissions.append(permission)
+
+    def implies(self, permission: Permission) -> bool:
+        return any(held.implies(permission) for held in self._permissions)
+
+    def set_read_only(self) -> None:
+        self._read_only = True
+
+    @property
+    def read_only(self) -> bool:
+        return self._read_only
+
+    def __iter__(self) -> Iterator[Permission]:
+        return iter(list(self._permissions))
+
+    def __len__(self) -> int:
+        return len(self._permissions)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PermissionCollection({self._permissions!r})"
+
+
+class Permissions(PermissionCollection):
+    """Heterogeneous collection, grouped by permission type for fast lookup.
+
+    Mirrors ``java.security.Permissions``: adding an :class:`AllPermission`
+    makes the collection imply everything.
+    """
+
+    def __init__(self, permissions: Iterable[Permission] = ()):
+        self._by_type: dict[type, list[Permission]] = {}
+        self._all_permission = False
+        super().__init__(permissions)
+
+    def add(self, permission: Permission) -> None:
+        if self._read_only:
+            raise IllegalArgumentException(
+                "attempt to add to a read-only Permissions object")
+        if isinstance(permission, AllPermission):
+            self._all_permission = True
+        bucket = self._by_type.setdefault(type(permission), [])
+        if permission not in bucket:
+            bucket.append(permission)
+
+    def implies(self, permission: Permission) -> bool:
+        if self._all_permission:
+            return True
+        for bucket_type, bucket in self._by_type.items():
+            if issubclass(bucket_type, type(permission)) or \
+                    issubclass(type(permission), bucket_type):
+                if any(held.implies(permission) for held in bucket):
+                    return True
+        return False
+
+    def __iter__(self) -> Iterator[Permission]:
+        for bucket in self._by_type.values():
+            yield from bucket
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._by_type.values())
+
+    def copy(self) -> "Permissions":
+        return Permissions(iter(self))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Permissions({list(self)!r})"
+
+
+# --------------------------------------------------------------------------
+# Factory used by the policy parser
+# --------------------------------------------------------------------------
+
+#: Names accepted in policy files, with their JDK-style aliases.
+PERMISSION_TYPES: dict[str, type] = {}
+
+
+def _register(cls: type, *aliases: str) -> None:
+    PERMISSION_TYPES[cls.__name__] = cls
+    for alias in aliases:
+        PERMISSION_TYPES[alias] = cls
+
+
+_register(AllPermission, "java.security.AllPermission")
+_register(RuntimePermission, "java.lang.RuntimePermission")
+_register(AWTPermission, "java.awt.AWTPermission")
+_register(UserPermission, "javax.mp.UserPermission")
+_register(PropertyPermission, "java.util.PropertyPermission")
+_register(FilePermission, "java.io.FilePermission")
+_register(SocketPermission, "java.net.SocketPermission")
+_register(BasicPermission, "java.security.BasicPermission")
+
+
+def make_permission(type_name: str, target: Optional[str] = None,
+                    actions: Optional[str] = None) -> Permission:
+    """Instantiate a permission from policy-file text."""
+    cls = PERMISSION_TYPES.get(type_name)
+    if cls is None:
+        raise IllegalArgumentException(
+            f"unknown permission type {type_name!r}")
+    if cls is AllPermission:
+        return AllPermission()
+    if cls is UserPermission and target is None:
+        return UserPermission()
+    if target is None:
+        raise IllegalArgumentException(
+            f"permission type {type_name!r} requires a target")
+    if actions is None:
+        return cls(target)
+    return cls(target, actions)

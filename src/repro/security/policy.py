@@ -1,0 +1,332 @@
+"""Security policy: grants to code sources *and* to users.
+
+Section 3.3 describes the JDK 1.2 direction: "depending on who signed the
+code and where the code came from, the user can specify which operations
+should be allowed".  Section 5.3 extends the policy language so that
+
+    "(1) the security policy can grant permissions to a particular user and
+    (2) the policy can also grant certain code sources the privilege to
+    exercise the permissions of the running user."
+
+The policy file grammar (a faithful superset of the JDK 1.2 one)::
+
+    grant [codeBase "URL"] [, signedBy "alice,bob"] [, user "alice"] {
+        permission PermissionType ["target" [, "actions"]];
+        ...
+    };
+
+``codeBase`` URLs support the ``/*`` (directory) and ``/-`` (subtree)
+wildcards; a ``grant user "alice"`` block with no ``codeBase`` grants
+permissions to the *user* alice, consulted by the access controller when a
+domain holding :class:`~repro.security.permissions.UserPermission` runs on
+behalf of alice (Section 5.3).
+
+The paper's own example policy (Section 5.3) is provided verbatim by
+:func:`paper_example_policy` and exercised by the S1 experiment tests.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.jvm.errors import IllegalArgumentException
+from repro.security.codesource import CodeSource, ProtectionDomain
+from repro.security.permissions import (
+    AllPermission,
+    Permission,
+    Permissions,
+    make_permission,
+)
+
+
+@dataclass
+class GrantEntry:
+    """One ``grant`` block of a policy."""
+
+    code_source: Optional[CodeSource] = None
+    user: Optional[str] = None
+    permissions: list[Permission] = field(default_factory=list)
+
+    def matches_code_source(self, code_source: Optional[CodeSource]) -> bool:
+        if self.user is not None and self.code_source is None:
+            return False  # pure user grant; never matches code
+        if self.code_source is None:
+            return True  # grant to all code
+        return self.code_source.implies(code_source)
+
+    def matches_user(self, user_name: str) -> bool:
+        return self.user == user_name and self.code_source is None
+
+
+class Policy:
+    """The installed security policy of the VM."""
+
+    def __init__(self, entries: Optional[list[GrantEntry]] = None):
+        self._entries: list[GrantEntry] = list(entries or [])
+        self._lock = threading.RLock()
+
+    # -- programmatic construction ------------------------------------------------
+
+    def add_grant(self, permissions: list[Permission],
+                  code_base: Optional[str] = None,
+                  signed_by: Optional[str] = None,
+                  user: Optional[str] = None) -> GrantEntry:
+        code_source = None
+        if code_base is not None or signed_by is not None:
+            signers = [s.strip() for s in (signed_by or "").split(",")
+                       if s.strip()]
+            code_source = CodeSource(code_base, signers)
+        entry = GrantEntry(code_source=code_source, user=user,
+                           permissions=list(permissions))
+        with self._lock:
+            self._entries.append(entry)
+        return entry
+
+    def entries(self) -> list[GrantEntry]:
+        with self._lock:
+            return list(self._entries)
+
+    # -- evaluation -----------------------------------------------------------------
+
+    def permissions_for_code_source(
+            self, code_source: Optional[CodeSource]) -> Permissions:
+        granted = Permissions()
+        with self._lock:
+            for entry in self._entries:
+                if entry.matches_code_source(code_source):
+                    for permission in entry.permissions:
+                        granted.add(permission)
+        return granted
+
+    def permissions_for_user(self, user_name: str) -> Permissions:
+        """Section 5.3's user grants, consulted via UserPermission."""
+        granted = Permissions()
+        with self._lock:
+            for entry in self._entries:
+                if entry.matches_user(user_name):
+                    for permission in entry.permissions:
+                        granted.add(permission)
+        return granted
+
+    def implies(self, domain: ProtectionDomain,
+                permission: Permission) -> bool:
+        """Dynamic policy lookup used by :class:`ProtectionDomain`."""
+        return self.permissions_for_code_source(
+            domain.code_source).implies(permission)
+
+    def refresh_from(self, text: str) -> None:
+        """Replace all entries with the parse of ``text``."""
+        entries = parse_policy(text).entries()
+        with self._lock:
+            self._entries = entries
+
+    def render(self) -> str:
+        """Serialize back to policy-file text (``parse_policy``-compatible).
+
+        Round trip: ``parse_policy(policy.render())`` yields a policy with
+        the same grants.
+        """
+        blocks: list[str] = []
+        with self._lock:
+            entries = list(self._entries)
+        for entry in entries:
+            selectors: list[str] = []
+            if entry.code_source is not None:
+                if entry.code_source.url is not None:
+                    selectors.append(
+                        f'codeBase "{entry.code_source.url}"')
+                if entry.code_source.signers:
+                    signers = ",".join(sorted(entry.code_source.signers))
+                    selectors.append(f'signedBy "{signers}"')
+            if entry.user is not None:
+                selectors.append(f'user "{entry.user}"')
+            header = "grant" + (" " + ", ".join(selectors)
+                                if selectors else "")
+            lines = [header + " {"]
+            for permission in entry.permissions:
+                clause = f"    permission {type(permission).__name__}"
+                if not isinstance(permission, AllPermission):
+                    clause += f' "{permission.name}"'
+                    actions = permission.actions()
+                    if actions:
+                        clause += f', "{actions}"'
+                lines.append(clause + ";")
+            lines.append("};")
+            blocks.append("\n".join(lines))
+        return "\n\n".join(blocks) + ("\n" if blocks else "")
+
+
+# --------------------------------------------------------------------------
+# Policy-file parser
+# --------------------------------------------------------------------------
+
+_PUNCTUATION = {"{", "}", ";", ","}
+
+
+def _tokenize(text: str) -> Iterator[tuple[str, str]]:
+    """Yield (kind, value) tokens; kind is 'word', 'string' or 'punct'."""
+    index, length = 0, len(text)
+    while index < length:
+        char = text[index]
+        if char in " \t\r\n":
+            index += 1
+            continue
+        if text.startswith("//", index):
+            end = text.find("\n", index)
+            index = length if end < 0 else end
+            continue
+        if text.startswith("/*", index):
+            end = text.find("*/", index)
+            if end < 0:
+                raise IllegalArgumentException("unterminated comment")
+            index = end + 2
+            continue
+        if char == '"':
+            end = text.find('"', index + 1)
+            if end < 0:
+                raise IllegalArgumentException("unterminated string")
+            yield ("string", text[index + 1:end])
+            index = end + 1
+            continue
+        if char in _PUNCTUATION:
+            yield ("punct", char)
+            index += 1
+            continue
+        start = index
+        while index < length and text[index] not in " \t\r\n{};,\"":
+            index += 1
+        yield ("word", text[start:index])
+
+
+class _TokenStream:
+    def __init__(self, tokens: Iterator[tuple[str, str]]):
+        self._tokens = list(tokens)
+        self._pos = 0
+
+    def peek(self) -> Optional[tuple[str, str]]:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def next(self) -> tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise IllegalArgumentException("unexpected end of policy file")
+        self._pos += 1
+        return token
+
+    def expect(self, kind: str, value: Optional[str] = None) -> str:
+        got_kind, got_value = self.next()
+        if got_kind != kind or (value is not None and got_value != value):
+            raise IllegalArgumentException(
+                f"expected {value or kind}, got {got_value!r}")
+        return got_value
+
+    def accept(self, kind: str, value: Optional[str] = None) -> bool:
+        token = self.peek()
+        if token is None:
+            return False
+        got_kind, got_value = token
+        if got_kind == kind and (value is None or got_value == value):
+            self._pos += 1
+            return True
+        return False
+
+
+def parse_policy(text: str) -> Policy:
+    """Parse policy-file text into a :class:`Policy`."""
+    stream = _TokenStream(_tokenize(text))
+    policy = Policy()
+    while stream.peek() is not None:
+        kind, value = stream.next()
+        if kind == "word" and value == "keystore":
+            stream.expect("string")
+            stream.accept("punct", ";")
+            continue
+        if kind == "word" and value == "grant":
+            _parse_grant(stream, policy)
+            continue
+        raise IllegalArgumentException(
+            f"unexpected token {value!r} at top level")
+    return policy
+
+
+def _parse_grant(stream: _TokenStream, policy: Policy) -> None:
+    code_base: Optional[str] = None
+    signed_by: Optional[str] = None
+    user: Optional[str] = None
+    while True:
+        token = stream.peek()
+        if token is None:
+            raise IllegalArgumentException("unterminated grant clause")
+        kind, value = token
+        if kind == "punct" and value == "{":
+            stream.next()
+            break
+        if kind == "punct" and value == ",":
+            stream.next()
+            continue
+        keyword = stream.expect("word").lower()
+        if keyword == "codebase":
+            code_base = stream.expect("string")
+        elif keyword == "signedby":
+            signed_by = stream.expect("string")
+        elif keyword == "user":
+            user = stream.expect("string")
+        else:
+            raise IllegalArgumentException(
+                f"unknown grant selector {keyword!r}")
+    permissions: list[Permission] = []
+    while not stream.accept("punct", "}"):
+        stream.expect("word", "permission")
+        type_name = stream.expect("word")
+        target: Optional[str] = None
+        actions: Optional[str] = None
+        if stream.peek() is not None and stream.peek()[0] == "string":
+            target = stream.next()[1]
+            if stream.accept("punct", ","):
+                actions = stream.expect("string")
+        stream.expect("punct", ";")
+        permissions.append(make_permission(type_name, target, actions))
+    stream.accept("punct", ";")
+    policy.add_grant(permissions, code_base=code_base,
+                     signed_by=signed_by, user=user)
+
+
+# --------------------------------------------------------------------------
+# The paper's Section 5.3 example policy
+# --------------------------------------------------------------------------
+
+PAPER_EXAMPLE_POLICY = """
+// Section 5.3: "As a result, we can specify policies like the following."
+
+// 1. All local applications can exercise their respective running users'
+//    permissions.
+grant codeBase "file:/usr/local/java/-" {
+    permission UserPermission;
+};
+
+// 2. The backup application can read all files.
+grant codeBase "file:/usr/local/java/apps/backup/*" {
+    permission FilePermission "<<ALL FILES>>", "read";
+};
+
+// 3. User Alice can access all files in /home/alice.
+grant user "alice" {
+    permission FilePermission "/home/alice", "read,write,delete";
+    permission FilePermission "/home/alice/-", "read,write,delete";
+};
+
+// 4. User Bob can access all files in /home/bob.
+grant user "bob" {
+    permission FilePermission "/home/bob", "read,write,delete";
+    permission FilePermission "/home/bob/-", "read,write,delete";
+};
+"""
+
+
+def paper_example_policy() -> Policy:
+    """The exact four-rule example policy from Section 5.3."""
+    return parse_policy(PAPER_EXAMPLE_POLICY)

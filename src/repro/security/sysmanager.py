@@ -1,0 +1,68 @@
+"""The system security manager of Section 5.6.
+
+"We installed a security manager (the *system security manager*) in our
+multi-processing JVM that implements the following policy, primarily for the
+purpose of protecting applications from each other.
+
+* A thread T may access another thread U if T's thread group is an ancestor
+  of U's thread group.  If this is not the case, T may only access U if it
+  has the appropriate permission.
+* A thread T may access a thread group G if T's thread group is an ancestor
+  of G.  If this is not the case, T may only access G if it has the
+  appropriate permission.
+* Public members of a class can be accessed normally through the reflection
+  API.  Access to non-public members needs an appropriate permission and is
+  controlled by the system security manager.
+* For all other security-relevant decisions, the AccessController is
+  consulted, which effectively means that code needs to have the appropriate
+  permission."
+
+This class is installed VM-wide by the multi-processing launcher.  Because
+each application sees its own reloaded ``System`` class (Section 5.5),
+applications can still call ``set_security_manager`` on *their* copy without
+affecting this one — system code only ever consults the VM-wide instance.
+"""
+
+from __future__ import annotations
+
+from repro.jvm.threads import JThread
+from repro.security.manager import SecurityManager
+
+
+class SystemSecurityManager(SecurityManager):
+    """Inter-application protection policy (Section 5.6)."""
+
+    def _current_group(self):
+        current = JThread.current_or_none()
+        return current.group if current is not None else None
+
+    def check_access_thread(self, thread) -> None:
+        """Ancestry rule for threads; fall back to modifyThread permission."""
+        group = self._current_group()
+        if group is None:
+            # Host (unattached) threads drive the VM from outside any
+            # application; they play the role of the native launcher and are
+            # trusted, like JNI-attached embedder threads.
+            return
+        if group.parent_of(thread.group):
+            return
+        super().check_access_thread(thread)
+
+    def check_access_group(self, group) -> None:
+        """Ancestry rule for thread groups (also guards thread creation)."""
+        current_group = self._current_group()
+        if current_group is None:
+            return
+        if current_group.parent_of(group):
+            return
+        super().check_access_group(group)
+
+    def check_member_access(self, jclass, member: str) -> None:
+        """Public members are free; non-public need the permission.
+
+        :mod:`repro.lang.reflect` only calls this for non-public members,
+        but guard again here so direct calls behave identically.
+        """
+        if member != "<declared>" and jclass.is_public_member(member):
+            return
+        super().check_member_access(jclass, member)

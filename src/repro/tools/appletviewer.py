@@ -1,0 +1,197 @@
+"""The Appletviewer, ported to an application (Section 6.3).
+
+    "we moved the Appletviewer, which is a built-in program distributed with
+    JDK and normally run as system code, to become an application as defined
+    in our framework.  More specifically, we moved the Appletviewer's
+    classes off the system class path CLASSPATH, and this has the result
+    that the classes are no longer automatically privileged.  Also, we
+    replaced all System.exit() calls with Application.exit(). ...
+
+    A significant difference is that we no longer need the Appletviewer's
+    security manager.  Instead, the AppletClassLoader now implements the
+    necessary methods to delegate permissions to the applets it loads, thus
+    implementing the original Java sandbox security model.  For example, an
+    applet will get the permission from the Appletviewer to connect back to
+    its own host."
+
+Applet contract (class material published on a network host): optional
+members ``init(jclass, ctx, frame)``, ``start(jclass, ctx, frame)``,
+``stop(jclass, ctx, frame)``, ``destroy(jclass, ctx, frame)``.  The applet
+runs *inside the viewer's application* (its threads, its event queue), but
+under its *own* protection domain — remote code source, sandbox
+permissions only.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.awt.components import Frame
+from repro.awt.events import WindowEvent
+from repro.jvm.classloading import ClassLoader, ClassMaterial
+from repro.jvm.errors import (
+    ClassNotFoundException,
+    IllegalArgumentException,
+    JavaThrowable,
+    UnknownHostException,
+)
+from repro.jvm.threads import JThread
+from repro.lang.context import InvocationContext
+from repro.security.codesource import CodeSource, ProtectionDomain
+from repro.security.permissions import Permissions, SocketPermission
+
+CLASS_NAME = "tools.AppletViewer"
+CODE_SOURCE = CodeSource("file:/usr/local/java/tools/appletviewer/AppletViewer.class")
+
+
+class AppletClassLoader(ClassLoader):
+    """Loads applet code from a network host, delegating sandbox grants.
+
+    The loader is the Section 6.3 mechanism: classes it defines carry the
+    applet's *network* code source (so the Section 5.3 policy never gives
+    them ``UserPermission``), plus the static permissions the viewer
+    delegates — by default, connecting back to the origin host.
+    """
+
+    def __init__(self, parent: ClassLoader, host):
+        sm = parent.vm.security_manager if parent.vm is not None else None
+        if sm is not None:
+            sm.check_create_class_loader()
+        super().__init__(parent.registry, parent=parent,
+                         name=f"applet:{host.name}")
+        self.host = host
+
+    def find_class(self, name: str):
+        """Download the class material from the origin host."""
+        material = self.host.fetch_class(name)
+        return self.define_class(material)
+
+    def domain_for(self, material: ClassMaterial) -> ProtectionDomain:
+        code_source = material.code_source or CodeSource(
+            f"{self.host.code_base()}{material.name}")
+        delegated = Permissions([
+            # "an applet will get the permission from the Appletviewer to
+            # connect back to its own host."
+            SocketPermission(f"{self.host.name}:1-65535",
+                             "connect,resolve"),
+        ])
+        return ProtectionDomain(code_source, permissions=delegated,
+                                policy=self.policy,
+                                name=f"applet:{material.name}")
+
+
+def parse_applet_url(url: str) -> tuple[str, str]:
+    """Split ``http://host/classes/ClassName`` into (host, class name)."""
+    if not url.startswith("http://"):
+        raise IllegalArgumentException(f"not an applet URL: {url}")
+    remainder = url[len("http://"):]
+    host, _, path = remainder.partition("/")
+    class_name = path.rsplit("/", 1)[-1]
+    if not host or not class_name:
+        raise IllegalArgumentException(f"malformed applet URL: {url}")
+    return host, class_name
+
+
+class AppletHandle:
+    """The viewer's handle on one running applet."""
+
+    def __init__(self, jclass, ctx: InvocationContext, frame: Frame):
+        self.jclass = jclass
+        self.ctx = ctx
+        self.frame = frame
+        self.started = False
+
+    def _call(self, member: str) -> None:
+        if self.jclass.has_method(member):
+            self.jclass.invoke(member, self.ctx, self.frame)
+
+    def init(self) -> None:
+        self._call("init")
+
+    def start(self) -> None:
+        self._call("start")
+        self.started = True
+
+    def stop(self) -> None:
+        if self.started:
+            self._call("stop")
+            self.started = False
+
+    def destroy(self) -> None:
+        self._call("destroy")
+
+
+def load_applet(ctx: InvocationContext, url: str) -> AppletHandle:
+    """Fetch, define, and frame an applet (shared by the viewer and tests)."""
+    host_name, class_name = parse_applet_url(url)
+    sm = ctx.vm.security_manager
+    if sm is not None:
+        sm.check_resolve(host_name)
+    host = ctx.vm.network.resolve(host_name)
+    # The viewer asserts its own createClassLoader grant: its launcher (a
+    # shell, say) is on the inherited context and must not need it.
+    from repro.security import access
+    loader = access.do_privileged(
+        lambda: AppletClassLoader(ctx.loader, host))
+    jclass = loader.load_class(class_name)
+    applet_ctx = InvocationContext(ctx.vm, loader, jclass, app=ctx.app)
+    frame = Frame(f"Applet: {class_name}", name=f"applet-{class_name}")
+    return AppletHandle(jclass, applet_ctx, frame)
+
+
+def build_material() -> ClassMaterial:
+    material = ClassMaterial(
+        CLASS_NAME, code_source=CODE_SOURCE,
+        doc="Runs applets from the network inside the sandbox (§6.3).")
+
+    @material.member
+    def main(jclass, ctx, args):
+        wait = True
+        urls = []
+        for arg in args:
+            if arg == "--no-wait":
+                wait = False
+            else:
+                urls.append(arg)
+        if not urls:
+            ctx.stderr.println("usage: appletviewer [--no-wait] URL...")
+            return 2
+        handles: list[AppletHandle] = []
+        for url in urls:
+            try:
+                handle = load_applet(ctx, url)
+            except (IllegalArgumentException, UnknownHostException,
+                    ClassNotFoundException) as exc:
+                ctx.stderr.println(f"appletviewer: {exc}")
+                return 1
+            def on_window_event(event, handle=handle):
+                if event.kind == WindowEvent.CLOSING:
+                    handle.stop()
+                    handle.destroy()
+                    handle.frame.dispose()
+
+            handle.frame.add_listener(WindowEvent, on_window_event)
+            handle.frame.show(ctx.vm.toolkit)
+            try:
+                # Run the applet's lifecycle under the viewer's own
+                # privileges: the delegated sandbox grants (connect-back)
+                # intersect with the *viewer's* domain, not with whatever
+                # launched the viewer.
+                from repro.security import access
+                access.do_privileged(handle.init)
+                access.do_privileged(handle.start)
+            except JavaThrowable as exc:
+                ctx.stderr.println(f"appletviewer: applet error: {exc}")
+            handles.append(handle)
+        # "we replaced all System.exit() calls with Application.exit()"
+        # (Section 6.3) — the viewer has shown windows, so its per-app
+        # event dispatcher is alive and a plain return would not end it.
+        from repro.core.application import Application
+        if not wait:
+            Application.exit(0)
+        # Keep serving events until every applet frame has been closed.
+        while any(not h.frame.disposed for h in handles):
+            JThread.sleep(0.02)
+        Application.exit(0)
+
+    return material

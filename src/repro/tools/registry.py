@@ -1,0 +1,31 @@
+"""Installs the Section 6 tools onto a VM: class material + command path."""
+
+from __future__ import annotations
+
+from repro.dist import daemon as rexec_daemon
+from repro.dist import rsh
+from repro.tools import appletviewer, coreutils, login, shell, terminal
+
+
+def register_tools(vm) -> None:
+    """Register every tool's class material and command-name mapping."""
+    materials = list(coreutils.ALL_MATERIALS) + [
+        shell.build_material(),
+        login.build_material(),
+        terminal.build_material(),
+        appletviewer.build_material(),
+        rexec_daemon.build_material(),
+        rsh.build_material(),
+    ]
+    for material in materials:
+        if material.name not in vm.registry:
+            vm.registry.register(material)
+    vm.tool_path.update(coreutils.COMMANDS)
+    vm.tool_path.update({
+        "sh": shell.CLASS_NAME,
+        "login": login.CLASS_NAME,
+        "terminal": terminal.CLASS_NAME,
+        "appletviewer": appletviewer.CLASS_NAME,
+        "rexecd": rexec_daemon.CLASS_NAME,
+        "rsh": rsh.CLASS_NAME,
+    })

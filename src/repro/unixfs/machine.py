@@ -1,0 +1,122 @@
+"""The simulated machine: file system, accounts, and OS process context.
+
+Section 3.1 describes the JVM as "a process in the underlying operating
+system" whose initialization (file descriptors, user id, process id) is
+inherited from the launching shell.  :class:`OsProcessContext` is exactly
+that per-process state; :func:`standard_machine` builds the canonical
+test-bed layout used by the examples, tests, and benchmarks.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.unixfs.users import OsUser, OsUserTable, standard_user_table
+from repro.unixfs.vfs import VirtualFileSystem
+
+
+@dataclass
+class Machine:
+    """One simulated computer: a file system plus its account table."""
+
+    vfs: VirtualFileSystem
+    users: OsUserTable
+    hostname: str = "javaos.example.com"
+    os_name: str = "SimUnix"
+    os_version: str = "4.3"
+    _pid_counter: int = field(default=100, repr=False)
+    _pid_lock: threading.Lock = field(default_factory=threading.Lock,
+                                      repr=False)
+
+    def next_pid(self) -> int:
+        with self._pid_lock:
+            self._pid_counter += 1
+            return self._pid_counter
+
+
+@dataclass
+class OsProcessContext:
+    """Per-process OS state a JVM inherits at launch (Section 3.1)."""
+
+    machine: Machine
+    user: OsUser
+    pid: int
+    cwd: str = "/"
+    env: dict[str, str] = field(default_factory=dict)
+    stdin: Optional[object] = None
+    stdout: Optional[object] = None
+    stderr: Optional[object] = None
+
+    @property
+    def vfs(self) -> VirtualFileSystem:
+        return self.machine.vfs
+
+
+def standard_machine(hostname: str = "javaos.example.com") -> Machine:
+    """Build the canonical simulated machine.
+
+    Layout::
+
+        /tmp                    world-writable scratch space
+        /home/alice, /home/bob  per-user homes (mode 0700, per-user owned)
+        /home/jvm               home of the account running the JVM process
+        /usr/local/java/...     locally installed Java code (tools, apps)
+        /usr/lib/fonts/...      font data read by trusted Font code (§5.6)
+        /etc/...                config; /etc/shadow is root-only (Feature 3)
+        /var/backup             destination used by the backup application
+    """
+    machine = Machine(vfs=VirtualFileSystem(),
+                      users=standard_user_table(), hostname=hostname)
+    vfs = machine.vfs
+    root = machine.users.lookup("root")
+    alice = machine.users.lookup("alice")
+    bob = machine.users.lookup("bob")
+    jvm = machine.users.lookup("jvm")
+
+    vfs.makedirs("/tmp", root, mode=0o777)
+    vfs.makedirs("/etc", root)
+    vfs.makedirs("/var/backup", root, mode=0o777)
+    vfs.makedirs("/usr/local/java/tools", root)
+    vfs.makedirs("/usr/local/java/apps", root)
+    vfs.makedirs("/usr/lib/fonts", root)
+    vfs.makedirs("/root", root, mode=0o700)
+
+    # Home directories: in the multi-user JavaOS scenario the JVM process
+    # is the only "OS user" that matters — per-user isolation is done by
+    # the *Java* policy (Section 5.3), so the JVM process account owns the
+    # homes.  /root and /etc/shadow stay root-only to reproduce Feature 3's
+    # FileNotFound-instead-of-Security behaviour.
+    vfs.makedirs("/home", root)
+    for user in (alice, bob, jvm):
+        vfs.mkdir(user.home, root, mode=0o755)
+        vfs.chown(user.home, jvm.uid, jvm.gid, root)
+
+    # Files the experiments rely on.
+    vfs.write_file("/etc/motd", b"Welcome to the multi-processing JVM.\n",
+                   root)
+    vfs.chmod("/etc/motd", 0o644, root)
+    vfs.write_file("/etc/shadow", b"root:x:0:0\n", root)
+    vfs.chmod("/etc/shadow", 0o600, root)  # invisible to the jvm user
+    vfs.write_file("/usr/lib/fonts/default.fnt",
+                   b"FONT default 12pt metrics...\n", root)
+    vfs.chmod("/usr/lib/fonts/default.fnt", 0o644, root)
+    vfs.write_file("/home/alice/notes.txt", b"alice's private notes\n", jvm)
+    vfs.write_file("/home/bob/todo.txt", b"bob's todo list\n", jvm)
+    vfs.write_file("/root/secrets.txt", b"root's secrets\n", root)
+    vfs.chmod("/root/secrets.txt", 0o600, root)
+    return machine
+
+
+def standard_process(machine: Optional[Machine] = None,
+                     user_name: str = "jvm",
+                     cwd: str = "/",
+                     hostname: str = "javaos.example.com"
+                     ) -> OsProcessContext:
+    """An OS process context for launching a JVM on ``machine``."""
+    machine = machine if machine is not None else standard_machine(hostname)
+    user = machine.users.lookup(user_name)
+    return OsProcessContext(machine=machine, user=user,
+                            pid=machine.next_pid(), cwd=cwd,
+                            env={"HOME": user.home, "USER": user.name})

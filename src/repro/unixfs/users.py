@@ -1,0 +1,87 @@
+"""Operating-system users for the simulated Unix underneath the JVM.
+
+Section 3.1: before the OS transfers control to the JVM it initializes the
+process with "open file descriptors for standard input and standard output,
+user id's, and process id's".  These are *OS-level* users — distinct from
+the paper's Java-level users (Section 5.2), which live in
+:mod:`repro.security.auth`.  The distinction matters: the JVM process runs
+as one OS user, and files that user cannot see produce
+``FileNotFoundException`` rather than ``SecurityException`` (Feature 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.jvm.errors import IllegalArgumentException
+
+ROOT_UID = 0
+
+
+@dataclass(frozen=True)
+class OsUser:
+    """A Unix account: name, numeric ids, home directory, and groups."""
+
+    name: str
+    uid: int
+    gid: int
+    home: str
+    groups: frozenset[int] = field(default_factory=frozenset)
+
+    @property
+    def is_superuser(self) -> bool:
+        return self.uid == ROOT_UID
+
+    def in_group(self, gid: int) -> bool:
+        return gid == self.gid or gid in self.groups
+
+
+class OsUserTable:
+    """The ``/etc/passwd`` of the simulated machine."""
+
+    def __init__(self):
+        self._by_name: dict[str, OsUser] = {}
+        self._by_uid: dict[int, OsUser] = {}
+
+    def add(self, user: OsUser) -> OsUser:
+        if user.name in self._by_name:
+            raise IllegalArgumentException(f"duplicate OS user {user.name!r}")
+        if user.uid in self._by_uid:
+            raise IllegalArgumentException(f"duplicate uid {user.uid}")
+        self._by_name[user.name] = user
+        self._by_uid[user.uid] = user
+        return user
+
+    def lookup(self, name: str) -> OsUser:
+        user = self._by_name.get(name)
+        if user is None:
+            raise IllegalArgumentException(f"unknown OS user {name!r}")
+        return user
+
+    def lookup_uid(self, uid: int) -> OsUser:
+        user = self._by_uid.get(uid)
+        if user is None:
+            raise IllegalArgumentException(f"unknown uid {uid}")
+        return user
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def users(self) -> list[OsUser]:
+        return list(self._by_name.values())
+
+
+def standard_user_table() -> OsUserTable:
+    """The default accounts of the simulated machine.
+
+    ``jvm`` is the unprivileged account the Java Virtual Machine process
+    runs under in the experiments; ``root`` owns files the JVM process must
+    *not* be able to see (used to reproduce the
+    FileNotFound-instead-of-Security behaviour of Feature 3).
+    """
+    table = OsUserTable()
+    table.add(OsUser("root", ROOT_UID, 0, "/root"))
+    table.add(OsUser("jvm", 1000, 1000, "/home/jvm"))
+    table.add(OsUser("alice", 1001, 1001, "/home/alice"))
+    table.add(OsUser("bob", 1002, 1002, "/home/bob"))
+    return table

@@ -1,0 +1,508 @@
+"""An in-memory Unix file system underneath the simulated JVM.
+
+The paper's file-access experiments need a real Unix permission model below
+the Java layer: owners, groups, mode bits, and the behaviour that a file the
+JVM *process* user cannot reach simply looks absent (Feature 3).  This
+module provides inodes, directories, symlinks, mode-bit permission checks,
+and a small handle-based I/O API that :mod:`repro.io.file` wraps with the
+Java security checks.
+
+Errors are VFS-specific exceptions (not Java exceptions); the Java file
+layer translates them — in particular, both :class:`VfsNotFound` and
+:class:`VfsPermissionDenied` surface to Java code as
+``FileNotFoundException``, exactly the asymmetry the paper points out.
+"""
+
+from __future__ import annotations
+
+import posixpath
+import threading
+from typing import Iterable, NamedTuple, Optional
+
+from repro.unixfs.users import OsUser
+
+_MAX_SYMLINK_DEPTH = 16
+
+
+class VfsError(Exception):
+    """Root of the VFS error hierarchy."""
+
+    def __init__(self, path: str, message: str):
+        super().__init__(f"{message}: {path}")
+        self.path = path
+
+
+class VfsNotFound(VfsError):
+    def __init__(self, path: str):
+        super().__init__(path, "no such file or directory")
+
+
+class VfsPermissionDenied(VfsError):
+    def __init__(self, path: str):
+        super().__init__(path, "permission denied")
+
+
+class VfsExists(VfsError):
+    def __init__(self, path: str):
+        super().__init__(path, "file exists")
+
+
+class VfsNotADirectory(VfsError):
+    def __init__(self, path: str):
+        super().__init__(path, "not a directory")
+
+
+class VfsIsADirectory(VfsError):
+    def __init__(self, path: str):
+        super().__init__(path, "is a directory")
+
+
+class VfsDirectoryNotEmpty(VfsError):
+    def __init__(self, path: str):
+        super().__init__(path, "directory not empty")
+
+
+class VfsSymlinkLoop(VfsError):
+    def __init__(self, path: str):
+        super().__init__(path, "too many levels of symbolic links")
+
+
+# Permission bit helpers -----------------------------------------------------
+
+READ, WRITE, EXECUTE = 4, 2, 1
+
+
+class Inode:
+    """One file-system object: regular file, directory, or symlink."""
+
+    _counter = 0
+    _counter_lock = threading.Lock()
+
+    def __init__(self, kind: str, mode: int, uid: int, gid: int):
+        assert kind in ("file", "dir", "symlink")
+        with Inode._counter_lock:
+            Inode._counter += 1
+            self.ino = Inode._counter
+        self.kind = kind
+        self.mode = mode
+        self.uid = uid
+        self.gid = gid
+        self.mtime = 0
+        self.data = bytearray() if kind == "file" else None
+        self.children: Optional[dict[str, Inode]] = (
+            {} if kind == "dir" else None)
+        self.target: Optional[str] = None  # symlink target
+        self.nlink = 1
+
+    def permits(self, user: OsUser, want: int) -> bool:
+        """Unix mode-bit check: owner, then group, then other."""
+        if user.is_superuser:
+            # root may do anything except execute a file with no x bits;
+            # we do not model executables, so root passes everything.
+            return True
+        if user.uid == self.uid:
+            bits = (self.mode >> 6) & 7
+        elif user.in_group(self.gid):
+            bits = (self.mode >> 3) & 7
+        else:
+            bits = self.mode & 7
+        return (bits & want) == want
+
+    @property
+    def size(self) -> int:
+        if self.kind == "file":
+            return len(self.data)
+        if self.kind == "symlink":
+            return len(self.target or "")
+        return len(self.children)
+
+
+class VfsStat(NamedTuple):
+    """Result of :meth:`VirtualFileSystem.stat`."""
+
+    ino: int
+    kind: str
+    mode: int
+    uid: int
+    gid: int
+    size: int
+    mtime: int
+    nlink: int
+
+
+class VfsFileHandle:
+    """An open file: position, access mode, and the owning inode."""
+
+    def __init__(self, fs: "VirtualFileSystem", inode: Inode, path: str,
+                 readable: bool, writable: bool, append: bool):
+        self._fs = fs
+        self._inode = inode
+        self.path = path
+        self.readable = readable
+        self.writable = writable
+        self._pos = len(inode.data) if append else 0
+        self._append = append
+        self.closed = False
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise VfsError(self.path, "I/O on closed file")
+
+    def read(self, size: int = -1) -> bytes:
+        self._check_open()
+        if not self.readable:
+            raise VfsPermissionDenied(self.path)
+        with self._fs._lock:
+            data = self._inode.data
+            if size is None or size < 0:
+                chunk = bytes(data[self._pos:])
+            else:
+                chunk = bytes(data[self._pos:self._pos + size])
+            self._pos += len(chunk)
+            return chunk
+
+    def write(self, payload: bytes) -> int:
+        self._check_open()
+        if not self.writable:
+            raise VfsPermissionDenied(self.path)
+        with self._fs._lock:
+            data = self._inode.data
+            if self._append:
+                self._pos = len(data)
+            end = self._pos + len(payload)
+            if self._pos > len(data):
+                data.extend(b"\0" * (self._pos - len(data)))
+            data[self._pos:end] = payload
+            self._pos = end
+            self._inode.mtime = self._fs._tick()
+            return len(payload)
+
+    def seek(self, pos: int) -> None:
+        self._check_open()
+        if pos < 0:
+            raise VfsError(self.path, "negative seek position")
+        self._pos = pos
+
+    def tell(self) -> int:
+        return self._pos
+
+    def truncate(self, size: int = 0) -> None:
+        self._check_open()
+        if not self.writable:
+            raise VfsPermissionDenied(self.path)
+        with self._fs._lock:
+            del self._inode.data[size:]
+            self._inode.mtime = self._fs._tick()
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class VirtualFileSystem:
+    """The whole in-memory file-system tree.
+
+    All mutating and resolving operations take the acting :class:`OsUser`
+    and enforce Unix semantics: search (x) permission along the path, read
+    permission to open for reading or to list a directory, write permission
+    on the *parent directory* to create/remove entries, and so on.
+    """
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._clock = 0
+        self.root = Inode("dir", 0o755, 0, 0)
+
+    def _tick(self) -> int:
+        self._clock += 1
+        return self._clock
+
+    # -- path plumbing -------------------------------------------------------
+
+    @staticmethod
+    def normalize(path: str, cwd: str = "/") -> str:
+        if not path:
+            raise VfsNotFound(path)
+        if not path.startswith("/"):
+            path = posixpath.join(cwd, path)
+        normalized = posixpath.normpath(path)
+        return normalized if normalized.startswith("/") else "/" + normalized
+
+    def _lookup(self, path: str, user: OsUser,
+                follow_final_symlink: bool = True,
+                _depth: int = 0) -> Inode:
+        """Resolve an absolute normalized path, enforcing search permission."""
+        if _depth > _MAX_SYMLINK_DEPTH:
+            raise VfsSymlinkLoop(path)
+        node = self.root
+        if path == "/":
+            return node
+        parts = path.lstrip("/").split("/")
+        walked = ""
+        for index, part in enumerate(parts):
+            if node.kind != "dir":
+                raise VfsNotADirectory(walked or "/")
+            if not node.permits(user, EXECUTE):
+                raise VfsPermissionDenied(walked or "/")
+            child = node.children.get(part)
+            walked = f"{walked}/{part}"
+            if child is None:
+                raise VfsNotFound(walked)
+            is_last = index == len(parts) - 1
+            if child.kind == "symlink" and (follow_final_symlink or
+                                            not is_last):
+                target = self.normalize(child.target,
+                                        posixpath.dirname(walked) or "/")
+                remainder = "/".join(parts[index + 1:])
+                full = target if not remainder \
+                    else posixpath.join(target, remainder)
+                return self._lookup(self.normalize(full), user,
+                                    follow_final_symlink, _depth + 1)
+            node = child
+        return node
+
+    def _parent_of(self, path: str, user: OsUser) -> tuple[Inode, str]:
+        parent_path = posixpath.dirname(path) or "/"
+        name = posixpath.basename(path)
+        if not name:
+            raise VfsError(path, "invalid path")
+        parent = self._lookup(parent_path, user)
+        if parent.kind != "dir":
+            raise VfsNotADirectory(parent_path)
+        return parent, name
+
+    # -- queries ---------------------------------------------------------------
+
+    def exists(self, path: str, user: OsUser, cwd: str = "/") -> bool:
+        try:
+            self._lookup(self.normalize(path, cwd), user)
+            return True
+        except VfsError:
+            return False
+
+    def stat(self, path: str, user: OsUser, cwd: str = "/") -> VfsStat:
+        with self._lock:
+            node = self._lookup(self.normalize(path, cwd), user)
+            return VfsStat(node.ino, node.kind, node.mode, node.uid,
+                           node.gid, node.size, node.mtime, node.nlink)
+
+    def is_dir(self, path: str, user: OsUser, cwd: str = "/") -> bool:
+        try:
+            return self.stat(path, user, cwd).kind == "dir"
+        except VfsError:
+            return False
+
+    def is_file(self, path: str, user: OsUser, cwd: str = "/") -> bool:
+        try:
+            return self.stat(path, user, cwd).kind == "file"
+        except VfsError:
+            return False
+
+    def listdir(self, path: str, user: OsUser, cwd: str = "/") -> list[str]:
+        with self._lock:
+            normalized = self.normalize(path, cwd)
+            node = self._lookup(normalized, user)
+            if node.kind != "dir":
+                raise VfsNotADirectory(normalized)
+            if not node.permits(user, READ):
+                raise VfsPermissionDenied(normalized)
+            return sorted(node.children)
+
+    # -- directory and file creation ---------------------------------------------
+
+    def mkdir(self, path: str, user: OsUser, mode: int = 0o755,
+              cwd: str = "/") -> None:
+        with self._lock:
+            normalized = self.normalize(path, cwd)
+            parent, name = self._parent_of(normalized, user)
+            if name in parent.children:
+                raise VfsExists(normalized)
+            if not parent.permits(user, WRITE | EXECUTE):
+                raise VfsPermissionDenied(normalized)
+            child = Inode("dir", mode, user.uid, user.gid)
+            child.mtime = self._tick()
+            parent.children[name] = child
+            parent.mtime = self._tick()
+
+    def makedirs(self, path: str, user: OsUser, mode: int = 0o755,
+                 cwd: str = "/") -> None:
+        normalized = self.normalize(path, cwd)
+        parts = normalized.lstrip("/").split("/")
+        built = ""
+        for part in parts:
+            built = f"{built}/{part}"
+            if not self.exists(built, user):
+                self.mkdir(built, user, mode)
+
+    def create_file(self, path: str, user: OsUser, mode: int = 0o644,
+                    cwd: str = "/", exist_ok: bool = False) -> None:
+        with self._lock:
+            normalized = self.normalize(path, cwd)
+            parent, name = self._parent_of(normalized, user)
+            if name in parent.children:
+                if exist_ok:
+                    return
+                raise VfsExists(normalized)
+            if not parent.permits(user, WRITE | EXECUTE):
+                raise VfsPermissionDenied(normalized)
+            child = Inode("file", mode, user.uid, user.gid)
+            child.mtime = self._tick()
+            parent.children[name] = child
+            parent.mtime = self._tick()
+
+    def symlink(self, target: str, path: str, user: OsUser,
+                cwd: str = "/") -> None:
+        with self._lock:
+            normalized = self.normalize(path, cwd)
+            parent, name = self._parent_of(normalized, user)
+            if not parent.permits(user, WRITE | EXECUTE):
+                raise VfsPermissionDenied(normalized)
+            if name in parent.children:
+                raise VfsExists(normalized)
+            child = Inode("symlink", 0o777, user.uid, user.gid)
+            child.target = target
+            child.mtime = self._tick()
+            parent.children[name] = child
+            parent.mtime = self._tick()
+
+    def readlink(self, path: str, user: OsUser, cwd: str = "/") -> str:
+        with self._lock:
+            normalized = self.normalize(path, cwd)
+            node = self._lookup(normalized, user, follow_final_symlink=False)
+            if node.kind != "symlink":
+                raise VfsError(normalized, "not a symlink")
+            return node.target
+
+    # -- open / read / write ----------------------------------------------------
+
+    def open(self, path: str, user: OsUser, mode: str = "r",
+             cwd: str = "/", create_mode: int = 0o644) -> VfsFileHandle:
+        """Open a file.  ``mode`` is one of r, w, a, r+ (w/a create)."""
+        if mode not in ("r", "w", "a", "r+"):
+            raise VfsError(path, f"unsupported open mode {mode!r}")
+        with self._lock:
+            normalized = self.normalize(path, cwd)
+            try:
+                node = self._lookup(normalized, user)
+            except VfsNotFound:
+                if mode in ("w", "a"):
+                    self.create_file(normalized, user, create_mode)
+                    node = self._lookup(normalized, user)
+                else:
+                    raise
+            if node.kind == "dir":
+                raise VfsIsADirectory(normalized)
+            readable = mode in ("r", "r+")
+            writable = mode in ("w", "a", "r+")
+            if readable and not node.permits(user, READ):
+                raise VfsPermissionDenied(normalized)
+            if writable and not node.permits(user, WRITE):
+                raise VfsPermissionDenied(normalized)
+            if mode == "w":
+                del node.data[:]
+                node.mtime = self._tick()
+            return VfsFileHandle(self, node, normalized, readable, writable,
+                                 append=(mode == "a"))
+
+    def read_file(self, path: str, user: OsUser, cwd: str = "/") -> bytes:
+        handle = self.open(path, user, "r", cwd)
+        try:
+            return handle.read()
+        finally:
+            handle.close()
+
+    def write_file(self, path: str, payload: bytes, user: OsUser,
+                   cwd: str = "/", mode: str = "w") -> None:
+        handle = self.open(path, user, mode, cwd)
+        try:
+            handle.write(payload)
+        finally:
+            handle.close()
+
+    # -- removal and renaming -----------------------------------------------------
+
+    def unlink(self, path: str, user: OsUser, cwd: str = "/") -> None:
+        with self._lock:
+            normalized = self.normalize(path, cwd)
+            parent, name = self._parent_of(normalized, user)
+            node = parent.children.get(name)
+            if node is None:
+                raise VfsNotFound(normalized)
+            if node.kind == "dir":
+                raise VfsIsADirectory(normalized)
+            if not parent.permits(user, WRITE | EXECUTE):
+                raise VfsPermissionDenied(normalized)
+            del parent.children[name]
+            parent.mtime = self._tick()
+
+    def rmdir(self, path: str, user: OsUser, cwd: str = "/") -> None:
+        with self._lock:
+            normalized = self.normalize(path, cwd)
+            parent, name = self._parent_of(normalized, user)
+            node = parent.children.get(name)
+            if node is None:
+                raise VfsNotFound(normalized)
+            if node.kind != "dir":
+                raise VfsNotADirectory(normalized)
+            if node.children:
+                raise VfsDirectoryNotEmpty(normalized)
+            if not parent.permits(user, WRITE | EXECUTE):
+                raise VfsPermissionDenied(normalized)
+            del parent.children[name]
+            parent.mtime = self._tick()
+
+    def rename(self, old: str, new: str, user: OsUser,
+               cwd: str = "/") -> None:
+        with self._lock:
+            old_n = self.normalize(old, cwd)
+            new_n = self.normalize(new, cwd)
+            old_parent, old_name = self._parent_of(old_n, user)
+            node = old_parent.children.get(old_name)
+            if node is None:
+                raise VfsNotFound(old_n)
+            new_parent, new_name = self._parent_of(new_n, user)
+            if not old_parent.permits(user, WRITE | EXECUTE):
+                raise VfsPermissionDenied(old_n)
+            if not new_parent.permits(user, WRITE | EXECUTE):
+                raise VfsPermissionDenied(new_n)
+            existing = new_parent.children.get(new_name)
+            if existing is not None and existing.kind == "dir":
+                raise VfsIsADirectory(new_n)
+            new_parent.children[new_name] = node
+            del old_parent.children[old_name]
+            old_parent.mtime = self._tick()
+            new_parent.mtime = self._tick()
+
+    # -- metadata -------------------------------------------------------------------
+
+    def chmod(self, path: str, mode: int, user: OsUser,
+              cwd: str = "/") -> None:
+        with self._lock:
+            normalized = self.normalize(path, cwd)
+            node = self._lookup(normalized, user)
+            if not user.is_superuser and user.uid != node.uid:
+                raise VfsPermissionDenied(normalized)
+            node.mode = mode
+            node.mtime = self._tick()
+
+    def chown(self, path: str, uid: int, gid: int, user: OsUser,
+              cwd: str = "/") -> None:
+        with self._lock:
+            normalized = self.normalize(path, cwd)
+            node = self._lookup(normalized, user)
+            if not user.is_superuser:
+                raise VfsPermissionDenied(normalized)
+            node.uid = uid
+            node.gid = gid
+            node.mtime = self._tick()
+
+    # -- bulk helpers ----------------------------------------------------------------
+
+    def walk(self, path: str, user: OsUser) -> Iterable[tuple[str, list[str]]]:
+        """Yield (dir_path, entry_names) pairs, depth-first."""
+        normalized = self.normalize(path)
+        entries = self.listdir(normalized, user)
+        yield normalized, entries
+        for entry in entries:
+            child = posixpath.join(normalized, entry)
+            if self.is_dir(child, user):
+                yield from self.walk(child, user)

@@ -1,0 +1,177 @@
+"""The component tree: listeners, semantic events, painting."""
+
+import pytest
+
+from repro.awt.components import (
+    Button,
+    Container,
+    Frame,
+    Graphics,
+    Label,
+    Menu,
+    MenuBar,
+    TextArea,
+    TextField,
+    Window,
+)
+from repro.awt.events import (
+    ActionEvent,
+    FocusEvent,
+    KeyEvent,
+    MouseEvent,
+)
+from repro.jvm.errors import IllegalArgumentException
+
+
+class TestTree:
+    def test_add_remove_and_parent(self):
+        parent = Container("parent")
+        child = Label("text", "child")
+        parent.add(child)
+        assert child.parent is parent
+        assert parent.children == [child]
+        parent.remove(child)
+        assert child.parent is None
+
+    def test_double_parent_rejected(self):
+        a, b = Container("a"), Container("b")
+        child = Label("x", "c")
+        a.add(child)
+        with pytest.raises(IllegalArgumentException):
+            b.add(child)
+
+    def test_find_depth_first(self):
+        window = Window("w", "window")
+        inner = Container("inner")
+        deep = Button("Go", "deep-button")
+        window.add(inner)
+        inner.add(deep)
+        assert window.find("deep-button") is deep
+        assert window.find("inner") is inner
+        assert window.find("nope") is None
+
+    def test_window_resolution_from_component(self):
+        window = Window("w", "window")
+        inner = Container("inner")
+        button = Button("Go", "b")
+        window.add(inner)
+        inner.add(button)
+        assert button.window() is window
+        assert Label("orphan").window() is None
+
+    def test_auto_naming_unique(self):
+        assert Label("a").name != Label("b").name
+
+
+class TestListeners:
+    def test_action_listener_fired_by_click(self):
+        button = Button("Save", action_command="save-file")
+        received = []
+        button.add_action_listener(received.append)
+        button.process_event(MouseEvent(button, 1, 1))
+        assert len(received) == 1
+        assert received[0].command == "save-file"
+
+    def test_disabled_component_ignores_events(self):
+        button = Button("Save")
+        received = []
+        button.add_action_listener(received.append)
+        button.enabled = False
+        button.process_event(MouseEvent(button, 1, 1))
+        assert received == []
+
+    def test_listener_type_filtering(self):
+        field = TextField(name="f")
+        actions, keys = [], []
+        field.add_action_listener(actions.append)
+        field.add_key_listener(keys.append)
+        field.process_event(KeyEvent(field, "a"))
+        assert len(keys) == 1
+        assert actions == []
+
+    def test_remove_listener(self):
+        button = Button("x")
+        hits = []
+        button.add_action_listener(hits.append)
+        button.remove_listener(ActionEvent, hits.append)
+        button.process_event(ActionEvent(button, "x"))
+        assert hits == []
+
+    def test_non_event_listener_type_rejected(self):
+        with pytest.raises(IllegalArgumentException):
+            Button("x").add_listener(str, lambda e: None)
+
+    def test_focus_event_updates_state(self):
+        field = TextField()
+        field.process_event(FocusEvent(field, gained=True))
+        assert field.focused
+        field.process_event(FocusEvent(field, gained=False))
+        assert not field.focused
+
+
+class TestTextComponents:
+    def test_text_field_accumulates_keys(self):
+        field = TextField()
+        for char in "hi":
+            field.process_event(KeyEvent(field, char))
+        assert field.text == "hi"
+
+    def test_text_field_backspace(self):
+        field = TextField("abc")
+        field.process_event(KeyEvent(field, "\b"))
+        assert field.text == "ab"
+
+    def test_text_field_enter_fires_action_with_content(self):
+        field = TextField()
+        received = []
+        field.add_action_listener(received.append)
+        for char in "ok\n":
+            field.process_event(KeyEvent(field, char))
+        assert [e.command for e in received] == ["ok"]
+
+    def test_text_area_append(self):
+        area = TextArea("line1\n")
+        area.append("line2\n")
+        assert area.text == "line1\nline2\n"
+
+
+class TestMenus:
+    def test_menu_item_selection(self):
+        bar = MenuBar("menubar")
+        file_menu = bar.add_menu("File", "file-menu")
+        received = []
+        file_menu.add_item("Save File", received.append, name="save-item")
+        item = bar.find("save-item")
+        item.select()
+        assert [e.command for e in received] == ["Save File"]
+
+    def test_frame_menu_bar(self):
+        frame = Frame("editor")
+        bar = MenuBar("bar")
+        frame.set_menu_bar(bar)
+        assert frame.menu_bar is bar
+        assert bar.parent is frame
+        with pytest.raises(IllegalArgumentException):
+            Frame("other").set_menu_bar(bar)
+
+
+class TestPainting:
+    def test_paint_log_records_component_draws(self):
+        window = Window("w", "win")
+        window.add(Label("hello", "lbl"))
+        window.add(Button("Go", "btn"))
+        window.repaint()
+        ops = window.paint_log
+        components = {op["component"] for op in ops}
+        assert {"lbl", "btn"} <= components
+        texts = [op["text"] for op in ops if op["op"] == "text"]
+        assert "hello" in texts
+        assert "[ Go ]" in texts
+
+    def test_graphics_primitives(self):
+        window = Window("w")
+        graphics = Graphics(window, window)
+        graphics.draw_line(0, 0, 5, 5)
+        graphics.fill_rect(1, 1, 2, 2)
+        ops = [op["op"] for op in window.paint_log]
+        assert ops == ["line", "rect"]

@@ -1,0 +1,106 @@
+"""Event objects and queues (Section 3.2)."""
+
+import pytest
+
+from repro.awt.events import (
+    ActionEvent,
+    AWTEvent,
+    EventQueue,
+    InvocationEvent,
+    KeyEvent,
+    MouseEvent,
+    WindowEvent,
+)
+from repro.jvm.errors import IllegalStateException
+from repro.jvm.threads import JThread, ThreadGroup
+
+
+class TestEventObjects:
+    def test_monotonic_when(self):
+        first = AWTEvent(None)
+        second = AWTEvent(None)
+        assert second.when > first.when
+
+    def test_specialized_payloads(self):
+        assert ActionEvent(None, "save").command == "save"
+        assert KeyEvent(None, "x").char == "x"
+        mouse = MouseEvent(None, 3, 4)
+        assert (mouse.x, mouse.y, mouse.clicks) == (3, 4, 1)
+        assert WindowEvent(None, WindowEvent.CLOSING).kind == "closing"
+
+    def test_dispatch_reaches_source(self):
+        hits = []
+
+        class FakeComponent:
+            def process_event(self, event):
+                hits.append(event)
+
+        event = AWTEvent(FakeComponent())
+        event.dispatch()
+        assert hits == [event]
+
+
+class TestEventQueue:
+    def test_fifo_order(self):
+        queue = EventQueue()
+        events = [AWTEvent(None) for _ in range(3)]
+        for event in events:
+            queue.post_event(event)
+        assert [queue.next_event() for _ in range(3)] == events
+
+    def test_pending_and_peek(self):
+        queue = EventQueue()
+        assert queue.pending() == 0
+        assert queue.peek_event() is None
+        event = AWTEvent(None)
+        queue.post_event(event)
+        assert queue.pending() == 1
+        assert queue.peek_event() is event
+        assert queue.pending() == 1  # peek does not consume
+
+    def test_close_unblocks_and_returns_none(self):
+        queue = EventQueue()
+        root = ThreadGroup(None, "system")
+        results = []
+
+        def body():
+            results.append(queue.next_event())
+
+        thread = JThread(target=body, group=root)
+        thread.start()
+        queue.close()
+        thread.join(5)
+        assert results == [None]
+        assert queue.closed
+
+    def test_post_after_close_rejected(self):
+        queue = EventQueue()
+        queue.close()
+        with pytest.raises(IllegalStateException):
+            queue.post_event(AWTEvent(None))
+
+    def test_drains_remaining_events_after_close(self):
+        queue = EventQueue()
+        event = AWTEvent(None)
+        queue.post_event(event)
+        queue.close()
+        assert queue.next_event() is event
+        assert queue.next_event() is None
+
+
+class TestInvocationEvent:
+    def test_runs_and_signals(self):
+        hits = []
+        event = InvocationEvent(lambda: hits.append(1))
+        event.dispatch()
+        assert hits == [1]
+        assert event.await_completion(0.1)
+        assert event.exception is None
+
+    def test_captures_exception(self):
+        def boom():
+            raise ValueError("from runnable")
+
+        event = InvocationEvent(boom)
+        event.dispatch()
+        assert isinstance(event.exception, ValueError)

@@ -1,0 +1,103 @@
+"""The simulated X server: registry, draw notes, input routing (§3.2)."""
+
+import pytest
+
+from repro.awt.xserver import XConnection, XServer
+from repro.jvm.errors import IllegalArgumentException
+
+
+@pytest.fixture
+def server():
+    return XServer()
+
+
+@pytest.fixture
+def connection():
+    return XConnection("jvm-1")
+
+
+class TestWindowRegistry:
+    def test_create_and_lookup(self, server, connection):
+        wid = server.create_window(connection, "Editor")
+        assert wid in server.window_ids()
+        assert server.window_title(wid) == "Editor"
+        assert server.find_window("Editor") == wid
+        assert server.find_window("Nope") is None
+
+    def test_destroy(self, server, connection):
+        wid = server.create_window(connection, "T")
+        server.destroy_window(wid)
+        assert wid not in server.window_ids()
+        with pytest.raises(IllegalArgumentException):
+            server.window_title(wid)
+
+    def test_ids_unique(self, server, connection):
+        ids = {server.create_window(connection, f"w{i}") for i in range(5)}
+        assert len(ids) == 5
+
+
+class TestDrawNotes:
+    def test_draws_recorded_per_window(self, server, connection):
+        """"making note which GUI component it drew on behalf of which
+        application" — the per-window draw log."""
+        a = server.create_window(connection, "A")
+        b = server.create_window(connection, "B")
+        server.record_draw(a, {"component": "lbl", "op": "text"})
+        server.record_draw(b, {"component": "btn", "op": "rect"})
+        assert server.draw_ops(a) == [{"component": "lbl", "op": "text"}]
+        assert server.draw_ops(b) == [{"component": "btn", "op": "rect"}]
+
+
+class TestInputRouting:
+    def test_events_delivered_to_owning_connection(self, server):
+        """"the X server will figure out which GUI component was the target
+        of that input and notify the appropriate process"."""
+        conn_a, conn_b = XConnection("jvm-a"), XConnection("jvm-b")
+        window_a = server.create_window(conn_a, "A")
+        window_b = server.create_window(conn_b, "B")
+        server.send_key(window_a, "field", "x")
+        server.click_component(window_b, "button")
+        message_a = conn_a.receive()
+        message_b = conn_b.receive()
+        assert message_a == {"type": "key", "component": "field",
+                             "char": "x", "window": window_a}
+        assert message_b["type"] == "mouse"
+        assert message_b["window"] == window_b
+
+    def test_type_text_is_per_char(self, server, connection):
+        wid = server.create_window(connection, "T")
+        server.type_text(wid, "f", "ab")
+        chars = [connection.receive()["char"] for _ in range(2)]
+        assert chars == ["a", "b"]
+
+    def test_menu_selection_and_window_close(self, server, connection):
+        wid = server.create_window(connection, "T")
+        server.select_menu_item(wid, "Save File")
+        server.request_close(wid)
+        first = connection.receive()
+        second = connection.receive()
+        assert first["type"] == "action"
+        assert first["command"] == "Save File"
+        assert second["type"] == "window-closing"
+
+    def test_input_to_unknown_window_rejected(self, server):
+        with pytest.raises(IllegalArgumentException):
+            server.send_key(999, "c", "x")
+
+    def test_request_log(self, server, connection):
+        wid = server.create_window(connection, "T")
+        server.click(wid, 10, 20)
+        message = connection.receive()
+        assert (message["x"], message["y"]) == (10, 20)
+
+
+class TestXConnection:
+    def test_close_unblocks_receiver(self, connection):
+        connection.close()
+        assert connection.receive() is None
+        assert connection.closed
+
+    def test_deliver_after_close_dropped(self, connection):
+        connection.close()
+        connection.deliver({"type": "key"})
+        assert connection.receive() is None

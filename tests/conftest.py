@@ -1,0 +1,108 @@
+"""Shared fixtures: booted VMs, host sessions, capture streams, app factory.
+
+Every fixture tears its VM down so Python daemon threads do not accumulate
+across the suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.launcher import MultiProcVM
+from repro.io.streams import ByteArrayOutputStream, PrintStream
+from repro.jvm.classloading import ClassMaterial
+from repro.jvm.vm import VirtualMachine
+from repro.security.codesource import CodeSource
+from repro.tools.terminal import TerminalDevice
+
+#: Code source for test application material, under the local grant roots.
+LOCAL_APP_CODE_BASE = "file:/usr/local/java/apps/{name}/{name}.class"
+
+
+@pytest.fixture
+def vm():
+    """A plain (single-application) booted VirtualMachine."""
+    machine = VirtualMachine().boot()
+    yield machine
+    machine._begin_shutdown(0)
+    machine.await_termination(5.0)
+
+
+@pytest.fixture
+def mvm():
+    """A booted multi-processing VM with tools installed."""
+    booted = MultiProcVM.boot()
+    yield booted
+    booted.shutdown()
+
+
+@pytest.fixture
+def host(mvm):
+    """A multi-processing VM with the test thread attached to init."""
+    with mvm.host_session():
+        yield mvm
+
+
+@pytest.fixture
+def console(mvm):
+    """A terminal device registered as 'console' on the mvm."""
+    device = TerminalDevice("console")
+    mvm.vm.consoles["console"] = device
+    return device
+
+
+class Capture:
+    """A PrintStream over a byte buffer, for asserting on output."""
+
+    def __init__(self):
+        self.buffer = ByteArrayOutputStream()
+        self.stream = PrintStream(self.buffer)
+
+    @property
+    def text(self) -> str:
+        return self.buffer.to_text()
+
+    @property
+    def lines(self) -> list[str]:
+        return self.text.splitlines()
+
+
+@pytest.fixture
+def capture():
+    """Factory for capture streams: ``out = capture()``."""
+    return Capture
+
+
+def make_app(vm, name: str, main_fn, code_source: str | None = "local",
+             **extra_members) -> str:
+    """Register a one-main application material; returns its class name.
+
+    ``code_source='local'`` places the app under the local grant root
+    (gets UserPermission by the default policy); ``None`` makes it trusted
+    boot-class-path code; any other string is used verbatim.
+    """
+    class_name = f"apps.{name}"
+    if code_source == "local":
+        source = CodeSource(
+            LOCAL_APP_CODE_BASE.format(name=name.lower()))
+    elif code_source is None:
+        source = None
+    else:
+        source = CodeSource(code_source)
+    material = ClassMaterial(class_name, code_source=source)
+    material.members["main"] = main_fn
+    for member_name, fn in extra_members.items():
+        material.members[member_name] = fn
+        if member_name.startswith("_"):
+            material.non_public.add(member_name)
+    vm.registry.register(material, replace=True)
+    return class_name
+
+
+@pytest.fixture
+def register_app(mvm):
+    """Factory fixture bound to the mvm's registry."""
+    def _register(name: str, main_fn, code_source: str | None = "local",
+                  **extra_members) -> str:
+        return make_app(mvm.vm, name, main_fn, code_source, **extra_members)
+    return _register

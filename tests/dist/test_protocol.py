@@ -1,0 +1,107 @@
+"""Unit tests for the distributed-execution wire protocol."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dist.protocol import FrameOutputStream, recv_frame, send_frame
+from repro.io.streams import (
+    ByteArrayInputStream,
+    ByteArrayOutputStream,
+)
+from repro.jvm.errors import IOException
+
+
+def roundtrip(*frames):
+    sink = ByteArrayOutputStream()
+    for frame in frames:
+        send_frame(sink, frame)
+    source = ByteArrayInputStream(sink.to_bytes())
+    received = []
+    while True:
+        frame = recv_frame(source)
+        if frame is None:
+            return received
+        received.append(frame)
+
+
+class TestFrames:
+    def test_single_frame(self):
+        assert roundtrip({"t": "x", "code": 0}) == [{"t": "x", "code": 0}]
+
+    def test_multiple_frames_in_order(self):
+        frames = [{"t": "o", "d": "one"}, {"t": "o", "d": "two"},
+                  {"t": "x", "code": 3}]
+        assert roundtrip(*frames) == frames
+
+    def test_newlines_inside_payload_survive(self):
+        frame = {"t": "o", "d": "line1\nline2\n"}
+        assert roundtrip(frame) == [frame]
+
+    def test_unicode_payload(self):
+        frame = {"t": "o", "d": "héllo — ünïcode"}
+        assert roundtrip(frame) == [frame]
+
+    def test_eof_returns_none(self):
+        assert recv_frame(ByteArrayInputStream(b"")) is None
+
+    def test_malformed_json_raises(self):
+        with pytest.raises(IOException):
+            recv_frame(ByteArrayInputStream(b"not json\n"))
+
+    def test_non_object_frame_raises(self):
+        with pytest.raises(IOException):
+            recv_frame(ByteArrayInputStream(b"[1,2,3]\n"))
+
+
+class TestFrameOutputStream:
+    def test_writes_become_o_frames(self):
+        transport = ByteArrayOutputStream()
+        stream = FrameOutputStream(transport, "o")
+        stream.write(b"payload ")
+        stream.write(b"bytes")
+        source = ByteArrayInputStream(transport.to_bytes())
+        assert recv_frame(source) == {"t": "o", "d": "payload "}
+        assert recv_frame(source) == {"t": "o", "d": "bytes"}
+
+    def test_stderr_kind(self):
+        transport = ByteArrayOutputStream()
+        FrameOutputStream(transport, "e").write(b"oops")
+        assert recv_frame(
+            ByteArrayInputStream(transport.to_bytes())) == \
+            {"t": "e", "d": "oops"}
+
+    def test_close_does_not_close_transport(self):
+        transport = ByteArrayOutputStream()
+        stream = FrameOutputStream(transport)
+        stream.close()
+        assert not transport.closed  # shared with the exit frame
+
+    def test_print_stream_over_frames(self):
+        from repro.io.streams import PrintStream
+        transport = ByteArrayOutputStream()
+        printer = PrintStream(FrameOutputStream(transport))
+        printer.println("hello")
+        frame = recv_frame(ByteArrayInputStream(transport.to_bytes()))
+        assert frame == {"t": "o", "d": "hello\n"}
+
+
+json_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), max_size=60)
+
+
+@given(frames=st.lists(
+    st.fixed_dictionaries({"t": st.sampled_from(["o", "e"]),
+                           "d": json_text}), max_size=10))
+@settings(max_examples=80, deadline=None)
+def test_arbitrary_frame_sequences_roundtrip(frames):
+    assert roundtrip(*frames) == frames
+
+
+@given(payload=st.binary(max_size=120))
+@settings(max_examples=80, deadline=None)
+def test_frame_stream_is_lossless_for_utf8_payloads(payload):
+    text = payload.decode("utf-8", errors="replace")
+    transport = ByteArrayOutputStream()
+    FrameOutputStream(transport).write(text.encode("utf-8"))
+    frame = recv_frame(ByteArrayInputStream(transport.to_bytes()))
+    assert frame["d"] == text

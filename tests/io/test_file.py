@@ -1,0 +1,169 @@
+"""The java.io.File layer: checks above, Unix below (Sections 3.3, 4)."""
+
+import pytest
+
+from repro.io.file import (
+    FileInputStream,
+    FileOutputStream,
+    JFile,
+    read_text,
+    write_text,
+)
+from repro.jvm.errors import (
+    FileNotFoundException,
+    SecurityException,
+)
+from repro.lang.context import InvocationContext
+
+
+@pytest.fixture
+def ctx(vm):
+    return InvocationContext(vm, vm.boot_loader)
+
+
+class TestJFileBasics:
+    def test_exists_and_kinds(self, ctx):
+        assert JFile(ctx, "/etc/motd").exists()
+        assert JFile(ctx, "/etc/motd").is_file()
+        assert JFile(ctx, "/etc").is_directory()
+        assert not JFile(ctx, "/no/such").exists()
+
+    def test_relative_paths_resolve_against_cwd(self, ctx):
+        assert JFile(ctx, "etc/motd").path == "/etc/motd"
+        assert JFile(ctx, "./etc/../etc/motd").path == "/etc/motd"
+
+    def test_length_and_list(self, ctx):
+        assert JFile(ctx, "/etc/motd").length() > 0
+        assert "motd" in JFile(ctx, "/etc").list()
+
+    def test_mkdir_create_delete(self, ctx):
+        directory = JFile(ctx, "/tmp/newdir")
+        directory.mkdir()
+        assert directory.is_directory()
+        child = JFile(ctx, "/tmp/newdir/file.txt")
+        assert child.create_new_file()
+        assert not child.create_new_file()  # already exists
+        child.delete()
+        assert not child.exists()
+        directory.delete()
+        assert not directory.exists()
+
+    def test_rename(self, ctx):
+        write_text(ctx, "/tmp/a.txt", "content")
+        JFile(ctx, "/tmp/a.txt").rename_to(JFile(ctx, "/tmp/b.txt"))
+        assert not JFile(ctx, "/tmp/a.txt").exists()
+        assert read_text(ctx, "/tmp/b.txt") == "content"
+
+    def test_last_modified_advances(self, ctx):
+        write_text(ctx, "/tmp/t.txt", "1")
+        first = JFile(ctx, "/tmp/t.txt").last_modified()
+        write_text(ctx, "/tmp/t.txt", "22")
+        assert JFile(ctx, "/tmp/t.txt").last_modified() > first
+
+
+class TestStreams:
+    def test_write_read_roundtrip(self, ctx):
+        write_text(ctx, "/tmp/data.txt", "line1\nline2\n")
+        assert read_text(ctx, "/tmp/data.txt") == "line1\nline2\n"
+
+    def test_append(self, ctx):
+        write_text(ctx, "/tmp/log.txt", "first\n")
+        write_text(ctx, "/tmp/log.txt", "second\n", append=True)
+        assert read_text(ctx, "/tmp/log.txt") == "first\nsecond\n"
+
+    def test_overwrite_truncates(self, ctx):
+        write_text(ctx, "/tmp/o.txt", "long content here")
+        write_text(ctx, "/tmp/o.txt", "x")
+        assert read_text(ctx, "/tmp/o.txt") == "x"
+
+    def test_missing_file_raises_file_not_found(self, ctx):
+        with pytest.raises(FileNotFoundException):
+            FileInputStream(ctx, "/tmp/missing.txt")
+
+    def test_chunked_reads(self, ctx):
+        write_text(ctx, "/tmp/chunk.txt", "abcdef")
+        stream = FileInputStream(ctx, "/tmp/chunk.txt")
+        try:
+            assert stream.read(2) == b"ab"
+            assert stream.read(2) == b"cd"
+            assert stream.read(10) == b"ef"
+            assert stream.read(1) == b""
+        finally:
+            stream.close()
+
+
+class TestFeature3Asymmetry:
+    """Feature 3: OS-invisible files yield FileNotFoundException, while a
+    Java-policy denial yields SecurityException."""
+
+    def test_os_hidden_file_is_file_not_found(self, ctx):
+        # /etc/shadow is root-only; the JVM process user is 'jvm'.  As on
+        # real Unix, stat works (only search permission on /etc is needed)
+        # but opening the file looks like it does not exist.
+        assert JFile(ctx, "/etc/shadow").exists()
+        with pytest.raises(FileNotFoundException):
+            FileInputStream(ctx, "/etc/shadow")
+        with pytest.raises(FileNotFoundException):
+            read_text(ctx, "/etc/shadow")
+        # A directory with no search permission hides even existence.
+        with pytest.raises(FileNotFoundException):
+            JFile(ctx, "/root").list()
+
+    def test_os_hidden_directory_is_file_not_found(self, ctx):
+        with pytest.raises(FileNotFoundException):
+            FileInputStream(ctx, "/root/secrets.txt")
+
+    def test_policy_denial_is_security_exception(self, vm, ctx):
+        """With a security manager installed and unprivileged code on the
+        stack, an undenied-by-OS file yields SecurityException instead."""
+        from repro.jvm.classloading import ClassMaterial
+        from repro.security.codesource import CodeSource
+        from repro.security.sysmanager import SystemSecurityManager
+
+        vm.set_security_manager(SystemSecurityManager())
+        material = ClassMaterial(
+            "demo.Reader",
+            code_source=CodeSource("file:/untrusted/Reader.class"))
+
+        @material.member
+        def main(jclass, ctx):
+            return read_text(ctx, "/etc/motd")
+
+        vm.registry.register(material)
+        reader = vm.boot_loader.load_class("demo.Reader")
+        with pytest.raises(SecurityException):
+            reader.invoke("main", ctx)
+
+
+class TestDelete:
+    def test_delete_example_of_section_3_3(self, vm, ctx):
+        """The paper's running example: checkDelete then realDelete."""
+        write_text(ctx, "/tmp/foo", "bytes")
+        JFile(ctx, "/tmp/foo").delete()
+        assert not JFile(ctx, "/tmp/foo").exists()
+
+    def test_delete_missing_raises(self, ctx):
+        with pytest.raises(FileNotFoundException):
+            JFile(ctx, "/tmp/never-existed").delete()
+
+    def test_delete_denied_by_policy(self, vm, ctx):
+        from repro.jvm.classloading import ClassMaterial
+        from repro.security.codesource import CodeSource
+        from repro.security.sysmanager import SystemSecurityManager
+
+        write_text(ctx, "/tmp/protected", "data")
+        vm.set_security_manager(SystemSecurityManager())
+        material = ClassMaterial(
+            "demo.Deleter",
+            code_source=CodeSource("file:/untrusted/Deleter.class"))
+
+        @material.member
+        def main(jclass, ctx):
+            JFile(ctx, "/tmp/protected").delete()
+
+        vm.registry.register(material)
+        deleter = vm.boot_loader.load_class("demo.Deleter")
+        with pytest.raises(SecurityException):
+            deleter.invoke("main", ctx)
+        assert JFile(ctx, "/tmp/protected").exists(), \
+            "the file must survive: the check aborts before realDelete"

@@ -1,0 +1,193 @@
+"""Class material, loaders, and name-space identity (Sections 3.1, 5.5)."""
+
+import pytest
+
+from repro.jvm.classloading import (
+    ClassLoader,
+    ClassMaterial,
+    ClassRegistry,
+    JMethod,
+)
+from repro.jvm.errors import (
+    ClassNotFoundException,
+    IllegalArgumentException,
+    NoSuchMethodException,
+)
+from repro.security import access
+from repro.security.codesource import CodeSource
+
+
+@pytest.fixture
+def registry():
+    return ClassRegistry()
+
+
+def simple_material(name="demo.Simple", code_source=None):
+    material = ClassMaterial(name, code_source=code_source)
+
+    @material.member
+    def greet(jclass, who):
+        return f"hello {who} from {jclass.name}"
+
+    @material.member
+    def _secret(jclass):
+        return "secret"
+
+    @material.static
+    def init(jclass):
+        jclass.statics["counter"] = 0
+
+    return material
+
+
+class TestClassRegistry:
+    def test_register_and_get(self, registry):
+        material = simple_material()
+        registry.register(material)
+        assert registry.get("demo.Simple") is material
+        assert "demo.Simple" in registry
+        assert registry.names() == ["demo.Simple"]
+
+    def test_duplicate_register_rejected(self, registry):
+        registry.register(simple_material())
+        with pytest.raises(IllegalArgumentException):
+            registry.register(simple_material())
+
+    def test_replace_flag(self, registry):
+        registry.register(simple_material())
+        replacement = simple_material()
+        registry.register(replacement, replace=True)
+        assert registry.get("demo.Simple") is replacement
+
+    def test_missing_class_raises(self, registry):
+        with pytest.raises(ClassNotFoundException):
+            registry.get("no.Such")
+
+
+class TestClassMaterial:
+    def test_member_decorator_registers(self):
+        material = simple_material()
+        assert "greet" in material.members
+        assert "_secret" in material.members
+
+    def test_underscore_members_are_non_public(self):
+        material = simple_material()
+        assert "_secret" in material.non_public
+        assert "greet" not in material.non_public
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(IllegalArgumentException):
+            ClassMaterial("")
+
+
+class TestLoading:
+    def test_define_runs_static_init_once(self, registry):
+        material = simple_material()
+        registry.register(material)
+        loader = ClassLoader(registry, name="test")
+        jclass = loader.load_class("demo.Simple")
+        assert jclass.statics == {"counter": 0}
+        # Loading again returns the cached definition, no re-init.
+        jclass.statics["counter"] = 99
+        assert loader.load_class("demo.Simple") is jclass
+        assert jclass.statics["counter"] == 99
+
+    def test_members_receive_their_jclass(self, registry):
+        registry.register(simple_material())
+        loader = ClassLoader(registry, name="test")
+        jclass = loader.load_class("demo.Simple")
+        assert jclass.invoke("greet", "world") == \
+            "hello world from demo.Simple"
+
+    def test_missing_method(self, registry):
+        registry.register(simple_material())
+        loader = ClassLoader(registry, name="test")
+        jclass = loader.load_class("demo.Simple")
+        with pytest.raises(NoSuchMethodException):
+            jclass.method("nope")
+        assert jclass.has_method("greet")
+        assert not jclass.has_method("nope")
+
+    def test_parent_first_delegation(self, registry):
+        registry.register(simple_material())
+        parent = ClassLoader(registry, name="parent")
+        child = ClassLoader(registry, parent=parent, name="child")
+        from_child = child.load_class("demo.Simple")
+        from_parent = parent.load_class("demo.Simple")
+        assert from_child is from_parent
+        assert from_child.loader is parent
+
+    def test_two_loaders_two_identities(self, registry):
+        """Section 5.5's foundation: same material, different classes."""
+        registry.register(simple_material())
+        loader_a = ClassLoader(registry, name="a")
+        loader_b = ClassLoader(registry, name="b")
+        class_a = loader_a.load_class("demo.Simple")
+        class_b = loader_b.load_class("demo.Simple")
+        assert class_a is not class_b
+        assert class_a.name == class_b.name
+        assert class_a.material is class_b.material
+
+    def test_statics_are_per_definition(self, registry):
+        registry.register(simple_material())
+        class_a = ClassLoader(registry, name="a").load_class("demo.Simple")
+        class_b = ClassLoader(registry, name="b").load_class("demo.Simple")
+        class_a.statics["counter"] = 42
+        assert class_b.statics["counter"] == 0
+
+
+class TestProtectionDomains:
+    def test_material_without_code_source_gets_system_domain(self, registry):
+        registry.register(simple_material())
+        jclass = ClassLoader(registry, name="t").load_class("demo.Simple")
+        from repro.security.permissions import AllPermission, FilePermission
+        assert jclass.protection_domain.implies(
+            FilePermission("/anything", "read"))
+        assert jclass.protection_domain.implies(AllPermission())
+
+    def test_material_with_code_source_gets_policy_domain(self, registry):
+        source = CodeSource("file:/usr/local/java/apps/x/X.class")
+        registry.register(simple_material(code_source=source))
+        loader = ClassLoader(registry, name="t")
+        jclass = loader.load_class("demo.Simple")
+        domain = jclass.protection_domain
+        assert domain.code_source == source
+        from repro.security.permissions import FilePermission
+        assert not domain.implies(FilePermission("/anything", "read"))
+
+    def test_invocation_pushes_domain(self, registry):
+        source = CodeSource("file:/somewhere/App.class")
+        material = ClassMaterial("demo.Domain", code_source=source)
+
+        @material.member
+        def whoami(jclass):
+            return access.current_domain()
+
+        registry.register(material)
+        jclass = ClassLoader(registry, name="t").load_class("demo.Domain")
+        domain = jclass.invoke("whoami")
+        assert domain is jclass.protection_domain
+        # ... and popped afterwards.
+        assert access.current_domain() is None
+
+    def test_static_init_runs_under_class_domain(self, registry):
+        source = CodeSource("file:/somewhere/App.class")
+        material = ClassMaterial("demo.Init", code_source=source)
+        seen = []
+
+        @material.static
+        def init(jclass):
+            seen.append(access.current_domain())
+
+        registry.register(material)
+        jclass = ClassLoader(registry, name="t").load_class("demo.Init")
+        assert seen == [jclass.protection_domain]
+
+
+class TestJMethod:
+    def test_repr_and_handle(self, registry):
+        registry.register(simple_material())
+        jclass = ClassLoader(registry, name="t").load_class("demo.Simple")
+        method = jclass.method("greet")
+        assert isinstance(method, JMethod)
+        assert method.invoke("x") == "hello x from demo.Simple"

@@ -1,0 +1,62 @@
+"""The exception hierarchy mirrors the java.lang/java.io/java.security tree."""
+
+import pytest
+
+from repro.jvm import errors
+
+
+def test_security_exception_is_runtime_exception():
+    assert issubclass(errors.SecurityException, errors.RuntimeException)
+    assert issubclass(errors.SecurityException, errors.JavaException)
+    assert issubclass(errors.SecurityException, errors.JavaThrowable)
+
+
+def test_access_control_exception_carries_permission():
+    exc = errors.AccessControlException("denied", permission="perm-object")
+    assert isinstance(exc, errors.SecurityException)
+    assert exc.permission == "perm-object"
+    assert "denied" in str(exc)
+    assert "perm-object" in str(exc)
+
+
+def test_file_not_found_is_io_exception():
+    assert issubclass(errors.FileNotFoundException, errors.IOException)
+    assert not issubclass(errors.FileNotFoundException,
+                          errors.SecurityException)
+
+
+def test_thread_death_is_error_not_exception():
+    assert issubclass(errors.ThreadDeath, errors.JavaError)
+    assert not issubclass(errors.ThreadDeath, errors.JavaException)
+
+
+def test_interrupted_exception_is_checked():
+    assert issubclass(errors.InterruptedException, errors.JavaException)
+    assert not issubclass(errors.InterruptedException,
+                          errors.RuntimeException)
+
+
+def test_illegal_thread_state_is_illegal_argument():
+    assert issubclass(errors.IllegalThreadStateException,
+                      errors.IllegalArgumentException)
+
+
+def test_socket_errors_are_io_exceptions():
+    for cls in (errors.SocketException, errors.UnknownHostException,
+                errors.ConnectException, errors.BindException):
+        assert issubclass(cls, errors.IOException)
+
+
+def test_message_formatting():
+    assert str(errors.JavaException()) == "JavaException"
+    assert str(errors.JavaException("boom")) == "JavaException: boom"
+
+
+def test_authentication_exception_is_security_exception():
+    assert issubclass(errors.AuthenticationException,
+                      errors.SecurityException)
+
+
+def test_java_throwable_catchable_as_python_exception():
+    with pytest.raises(Exception):
+        raise errors.NullPointerException("npe")

@@ -1,0 +1,190 @@
+"""Experiment F1: the JVM lifetime rule of Figure 1.
+
+"Whenever a thread finishes execution, the JVM checks to see if there is at
+least one non-daemon thread remaining.  If so, the JVM continues to execute
+all the threads.  If all remaining threads turn out to be daemon threads,
+the JVM exits, stopping all those daemon threads in the middle of whatever
+they were doing."
+"""
+
+import time
+
+import pytest
+
+from repro.jvm.classloading import ClassMaterial
+from repro.jvm.errors import ThreadDeath
+from repro.jvm.threads import JThread, checkpoint
+from repro.jvm.vm import VirtualMachine
+
+
+def register_main(vm, body):
+    material = ClassMaterial("test.Main")
+    material.members["main"] = lambda jclass, ctx, args: body(ctx, args)
+    vm.registry.register(material)
+    return "test.Main"
+
+
+def test_vm_exits_when_main_returns(vm):
+    register_main(vm, lambda ctx, args: ctx.stdout.println("done"))
+    vm.run_main("test.Main")
+    assert vm.await_termination(5.0)
+    assert vm.exit_code == 0
+    assert vm.state == "terminated"
+
+
+def test_boot_threads_are_daemons_and_do_not_block_exit(vm):
+    # After boot, only daemon threads (GC, Finalizer, Reference Handler)
+    # are alive; the VM must still exit as soon as main finishes.
+    names = {t.name for t in vm.root_group.enumerate_threads()}
+    assert {"GC", "Finalizer", "Reference Handler"} <= names
+    assert all(t.daemon for t in vm.root_group.enumerate_threads())
+    register_main(vm, lambda ctx, args: None)
+    vm.run_main("test.Main")
+    assert vm.await_termination(5.0)
+
+
+def test_non_daemon_thread_keeps_vm_alive(vm):
+    def body(ctx, args):
+        def worker():
+            JThread.sleep(0.4)
+        JThread(target=worker, name="worker", daemon=False).start()
+
+    register_main(vm, body)
+    vm.run_main("test.Main")
+    # main returned, but the worker is non-daemon: the VM must stay up.
+    assert not vm.await_termination(0.15)
+    # ... and exit once the worker ends.
+    assert vm.await_termination(5.0)
+
+
+def test_daemon_threads_stopped_in_the_middle(vm):
+    """"stopping all those daemon threads in the middle of whatever they
+    were doing" — a forever-looping daemon must get ThreadDeath."""
+    outcome = []
+
+    def body(ctx, args):
+        def forever():
+            try:
+                while True:
+                    checkpoint()
+                    time.sleep(0.005)
+            except ThreadDeath:
+                outcome.append("stopped-mid-work")
+                raise
+
+        JThread(target=forever, name="eternal", daemon=True).start()
+        JThread.sleep(0.05)
+
+    register_main(vm, body)
+    vm.run_main("test.Main")
+    assert vm.await_termination(5.0)
+    deadline = time.monotonic() + 2
+    while not outcome and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert outcome == ["stopped-mid-work"]
+
+
+def test_system_exit_stops_everything(vm):
+    progressed = []
+
+    def body(ctx, args):
+        def worker():
+            JThread.sleep(10.0)
+            progressed.append("worker survived")
+
+        JThread(target=worker, daemon=False).start()
+        JThread.sleep(0.05)
+        ctx.system.exit(7)
+
+    register_main(vm, body)
+    vm.run_main("test.Main")
+    assert vm.await_termination(5.0)
+    assert vm.exit_code == 7
+    assert progressed == []
+
+
+def test_shutdown_hooks_run_once(vm):
+    hits = []
+    vm.add_shutdown_hook(lambda: hits.append(1))
+    register_main(vm, lambda ctx, args: None)
+    vm.run_main("test.Main")
+    assert vm.await_termination(5.0)
+    vm.exit(0)  # second exit is a no-op
+    assert hits == [1]
+
+
+def test_exit_code_from_explicit_exit(vm):
+    register_main(vm, lambda ctx, args: ctx.system.exit(42))
+    vm.run_main("test.Main")
+    assert vm.await_termination(5.0)
+    assert vm.exit_code == 42
+
+
+def test_awt_style_non_daemon_thread_requires_explicit_exit(vm):
+    """Section 3.1's AWT observation: an implicitly created non-daemon
+    thread (like the event dispatcher) keeps the JVM alive after main
+    returns, until System.exit is called."""
+    holder = {}
+
+    def body(ctx, args):
+        def event_loop():
+            while True:
+                checkpoint()
+                time.sleep(0.005)
+
+        dispatcher = JThread(target=event_loop, name="AWT-EventDispatch",
+                             daemon=False)
+        dispatcher.start()
+        holder["ctx"] = ctx
+
+    register_main(vm, body)
+    vm.run_main("test.Main")
+    assert not vm.await_termination(0.2), \
+        "VM must keep running while the dispatcher thread lives"
+    holder["ctx"].system.exit(0)
+    assert vm.await_termination(5.0)
+
+
+def test_finalizer_thread_executes_jobs(vm):
+    done = []
+    vm.register_finalizer(lambda: done.append("finalized"))
+    assert vm.drain_finalizers(2.0)
+    assert done == ["finalized"]
+
+
+def test_await_termination_times_out_while_running(vm):
+    stop = []
+
+    def body(ctx, args):
+        while not stop:
+            JThread.sleep(0.01)
+
+    register_main(vm, body)
+    vm.run_main("test.Main")
+    assert not vm.await_termination(0.1)
+    stop.append(1)
+    assert vm.await_termination(5.0)
+
+
+def test_uncaught_exception_reported_and_vm_exits(vm):
+    def body(ctx, args):
+        raise ValueError("boom in main")
+
+    register_main(vm, body)
+    vm.run_main("test.Main")
+    assert vm.await_termination(5.0)
+    assert "boom in main" in vm.err.target.to_text()
+
+
+def test_run_main_passes_args(vm):
+    seen = []
+    register_main(vm, lambda ctx, args: seen.append(list(args)))
+    vm.run_main("test.Main", ["a", "b", "c"])
+    assert vm.await_termination(5.0)
+    assert seen == [["a", "b", "c"]]
+
+
+def test_double_boot_rejected(vm):
+    from repro.jvm.errors import IllegalStateException
+    with pytest.raises(IllegalStateException):
+        vm.boot()

@@ -1,0 +1,67 @@
+"""VM process state: properties, streams, OS context (Section 3.1)."""
+
+from repro.jvm.vm import JAVA_VERSION, VirtualMachine
+from repro.unixfs.machine import standard_machine, standard_process
+
+
+def test_properties_from_process_hardcoded_and_os(vm):
+    """"Some of these values are taken from the ... JVM process (e.g. the
+    running user), some ... are hard-coded (e.g. the Java version), and
+    some ... acquired by some other means (e.g. the O/S version)."""
+    props = vm.system_properties
+    assert props.get_property("user.name") == "jvm"          # process
+    assert props.get_property("java.version") == JAVA_VERSION  # hard-coded
+    assert props.get_property("os.version") == "4.3"          # "syscall"
+    assert props.get_property("os.name") == "SimUnix"
+    assert props.get_property("user.dir") == "/"
+    assert props.get_property("file.separator") == "/"
+
+
+def test_process_context_carries_pid_and_user():
+    machine = standard_machine()
+    process_a = standard_process(machine)
+    process_b = standard_process(machine)
+    assert process_a.pid != process_b.pid
+    assert process_a.user.name == "jvm"
+    assert process_a.env["HOME"] == "/home/jvm"
+
+
+def test_two_vms_share_a_machine():
+    machine = standard_machine()
+    vm_a = VirtualMachine(standard_process(machine)).boot()
+    vm_b = VirtualMachine(standard_process(machine)).boot()
+    try:
+        assert vm_a.machine is vm_b.machine
+        assert vm_a.os_context.pid != vm_b.os_context.pid
+    finally:
+        vm_a._begin_shutdown(0)
+        vm_b._begin_shutdown(0)
+
+
+def test_default_streams_capture(vm):
+    vm.out.println("to stdout")
+    vm.err.println("to stderr")
+    assert "to stdout" in vm.out.target.to_text()
+    assert "to stderr" in vm.err.target.to_text()
+
+
+def test_core_classes_registered_at_boot(vm):
+    assert "java.lang.System" in vm.registry
+    assert "java.lang.SystemProperties" in vm.registry
+
+
+def test_boot_loader_reaches_vm(vm):
+    assert vm.boot_loader.vm is vm
+    system = vm.boot_loader.load_class("java.lang.System")
+    assert system.loader.vm is vm
+
+
+def test_attach_main_thread(vm):
+    thread = vm.attach_main_thread()
+    try:
+        assert thread.group is vm.main_group
+        assert not thread.daemon
+    finally:
+        thread.detach()
+    # Detaching the only non-daemon thread ends the VM (Figure 1).
+    assert vm.await_termination(5.0)

@@ -1,0 +1,92 @@
+"""Properties tables: defaults chain, copy snapshot, load/store."""
+
+import pytest
+
+from repro.jvm.errors import IllegalArgumentException
+from repro.lang.properties import Properties
+
+
+def test_get_set_roundtrip():
+    props = Properties()
+    assert props.get_property("k") is None
+    assert props.get_property("k", "fallback") == "fallback"
+    assert props.set_property("k", "v") is None
+    assert props.get_property("k") == "v"
+    assert props.set_property("k", "v2") == "v"
+
+
+def test_non_string_rejected():
+    props = Properties()
+    with pytest.raises(IllegalArgumentException):
+        props.set_property("k", 42)
+    with pytest.raises(IllegalArgumentException):
+        props.set_property(1, "v")
+
+
+def test_defaults_chain():
+    base = Properties()
+    base.set_property("shared", "base-value")
+    base.set_property("overridden", "base")
+    derived = Properties(defaults=base)
+    derived.set_property("overridden", "derived")
+    assert derived.get_property("shared") == "base-value"
+    assert derived.get_property("overridden") == "derived"
+    # Changes in the defaults show through until locally overridden.
+    base.set_property("shared", "changed")
+    assert derived.get_property("shared") == "changed"
+
+
+def test_property_names_includes_defaults():
+    base = Properties()
+    base.set_property("a", "1")
+    derived = Properties(defaults=base)
+    derived.set_property("b", "2")
+    assert derived.property_names() == ["a", "b"]
+    assert "a" in derived
+    assert len(derived) == 2
+    assert sorted(derived) == ["a", "b"]
+
+
+def test_copy_is_snapshot():
+    """Section 5.1: the child inherits the parent's *current* state; later
+    changes do not propagate in either direction."""
+    parent = Properties()
+    parent.set_property("color", "blue")
+    child = parent.copy()
+    assert child.get_property("color") == "blue"
+    parent.set_property("color", "red")
+    child.set_property("shape", "round")
+    assert child.get_property("color") == "blue"
+    assert parent.get_property("shape") is None
+
+
+def test_remove_property():
+    props = Properties()
+    props.set_property("k", "v")
+    assert props.remove_property("k") == "v"
+    assert props.remove_property("k") is None
+    assert props.get_property("k") is None
+
+
+def test_store_load_roundtrip():
+    props = Properties()
+    props.set_property("user.name", "alice")
+    props.set_property("java.version", "1.2")
+    text = props.store()
+    restored = Properties()
+    restored.load(text)
+    assert restored.get_property("user.name") == "alice"
+    assert restored.get_property("java.version") == "1.2"
+
+
+def test_load_skips_comments_and_blank_lines():
+    props = Properties()
+    props.load("# comment\n\n! another\nkey=value\nother: thing\n")
+    assert props.get_property("key") == "value"
+    assert props.get_property("other") == "thing"
+
+
+def test_load_malformed_line_rejected():
+    props = Properties()
+    with pytest.raises(IllegalArgumentException):
+        props.load("no separator here")

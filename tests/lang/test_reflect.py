@@ -1,0 +1,120 @@
+"""The Reflection API slice: invoke_main and member-access rules (§5.6)."""
+
+import pytest
+
+from repro.jvm.classloading import ClassMaterial
+from repro.jvm.errors import NoSuchMethodException, SecurityException
+from repro.lang import reflect
+from repro.lang.context import InvocationContext
+from repro.security.codesource import CodeSource
+from repro.security.sysmanager import SystemSecurityManager
+
+
+@pytest.fixture
+def demo_class(vm):
+    material = ClassMaterial(
+        "demo.Reflected",
+        code_source=CodeSource("file:/usr/local/java/apps/r/R.class"))
+
+    @material.member
+    def main(jclass, ctx, args):
+        return f"main ran with {args}"
+
+    @material.member
+    def visible(jclass):
+        return "public"
+
+    @material.member
+    def _hidden(jclass):
+        return "non-public"
+
+    vm.registry.register(material)
+    return vm.boot_loader.load_class("demo.Reflected")
+
+
+def test_invoke_main(vm, demo_class):
+    ctx = InvocationContext(vm, vm.boot_loader, demo_class)
+    assert reflect.invoke_main(demo_class, ctx, ["x"]) == \
+        "main ran with ['x']"
+
+
+def test_invoke_main_missing(vm):
+    material = ClassMaterial("demo.NoMain")
+    vm.registry.register(material)
+    jclass = vm.boot_loader.load_class("demo.NoMain")
+    ctx = InvocationContext(vm, vm.boot_loader, jclass)
+    with pytest.raises(NoSuchMethodException):
+        reflect.invoke_main(jclass, ctx, [])
+
+
+def test_public_members_listed_by_default(demo_class):
+    assert reflect.get_members(demo_class) == ["main", "visible"]
+
+
+def test_public_member_access_without_sm(demo_class):
+    assert reflect.invoke(demo_class, "visible") == "public"
+    assert reflect.invoke(demo_class, "_hidden") == "non-public"
+
+
+class TestWithSystemSecurityManager:
+    """Section 5.6: "Public members of a class can be accessed normally
+    through the reflection API.  Access to non-public members needs an
+    appropriate permission"."""
+
+    @pytest.fixture(autouse=True)
+    def install_sm(self, vm):
+        vm.set_security_manager(SystemSecurityManager())
+
+    def test_public_member_still_free(self, vm, demo_class):
+        # Invoke from inside unprivileged code of the same class.
+        material = ClassMaterial(
+            "demo.Caller",
+            code_source=CodeSource("file:/untrusted/Caller.class"))
+
+        @material.member
+        def main(jclass, target):
+            return reflect.invoke(target, "visible")
+
+        vm.registry.register(material)
+        caller = vm.boot_loader.load_class("demo.Caller")
+        assert caller.invoke("main", demo_class) == "public"
+
+    def test_non_public_member_needs_permission(self, vm, demo_class):
+        material = ClassMaterial(
+            "demo.Snooper",
+            code_source=CodeSource("file:/untrusted/Snooper.class"))
+
+        @material.member
+        def main(jclass, target):
+            return reflect.invoke(target, "_hidden")
+
+        vm.registry.register(material)
+        snooper = vm.boot_loader.load_class("demo.Snooper")
+        with pytest.raises(SecurityException):
+            snooper.invoke("main", demo_class)
+
+    def test_trusted_code_may_access_non_public(self, vm, demo_class):
+        # Boot-class-path (trusted) code has AllPermission.
+        material = ClassMaterial("demo.TrustedCaller")  # no code source
+
+        @material.member
+        def main(jclass, target):
+            return reflect.invoke(target, "_hidden")
+
+        vm.registry.register(material)
+        trusted = vm.boot_loader.load_class("demo.TrustedCaller")
+        assert trusted.invoke("main", demo_class) == "non-public"
+
+    def test_declared_member_listing_needs_permission(self, vm, demo_class):
+        material = ClassMaterial(
+            "demo.Lister",
+            code_source=CodeSource("file:/untrusted/Lister.class"))
+
+        @material.member
+        def main(jclass, target):
+            return reflect.get_members(target, include_non_public=True)
+
+        vm.registry.register(material)
+        lister = vm.boot_loader.load_class("demo.Lister")
+        with pytest.raises(SecurityException):
+            lister.invoke("main", demo_class)

@@ -1,0 +1,85 @@
+"""The System class material and facade (Sections 3.1, 5.5, 5.6)."""
+
+import pytest
+
+from repro.io.streams import ByteArrayOutputStream, PrintStream
+from repro.lang.system import CLASS_NAME, SystemFacade
+
+
+def load_system(vm):
+    return vm.boot_loader.load_class(CLASS_NAME)
+
+
+def test_static_init_binds_process_streams(vm):
+    """Section 3.1: "three streams are created that point to standard
+    input, standard output and error file descriptors of the JVM
+    process"."""
+    system = load_system(vm)
+    assert system.statics["in"] is vm.stdin
+    assert system.statics["out"] is vm.out
+    assert system.statics["err"] is vm.err
+    assert system.statics["security_manager"] is None
+
+
+def test_facade_stream_accessors(vm):
+    facade = SystemFacade(load_system(vm))
+    assert facade.stdin is vm.stdin
+    assert facade.out is vm.out
+    assert facade.err is vm.err
+
+
+def test_set_streams_through_facade(vm):
+    facade = SystemFacade(load_system(vm))
+    replacement = PrintStream(ByteArrayOutputStream())
+    facade.set_out(replacement)
+    assert facade.out is replacement
+    facade.set_err(replacement)
+    assert facade.err is replacement
+
+
+def test_properties_reached_through_shared_class(vm):
+    facade = SystemFacade(load_system(vm))
+    assert facade.get_property("java.version") == \
+        vm.system_properties.get_property("java.version")
+    facade.set_property("custom.key", "custom-value")
+    assert vm.system_properties.get_property("custom.key") == "custom-value"
+    assert facade.get_properties() is vm.system_properties
+
+
+def test_get_property_default(vm):
+    facade = SystemFacade(load_system(vm))
+    assert facade.get_property("no.such.key", "dflt") == "dflt"
+
+
+def test_security_manager_slot_per_definition(vm):
+    facade = SystemFacade(load_system(vm))
+    marker = object()
+    facade.set_security_manager(marker)
+    assert facade.get_security_manager() is marker
+    assert load_system(vm).statics["security_manager"] is marker
+
+
+def test_exit_stops_vm(vm):
+    facade = SystemFacade(load_system(vm))
+    thread = vm.attach_main_thread()
+    try:
+        facade.exit(3)
+    finally:
+        thread.detach()
+    assert vm.await_termination(5.0)
+    assert vm.exit_code == 3
+
+
+def test_clock_methods(vm):
+    facade = SystemFacade(load_system(vm))
+    assert facade.current_time_millis() > 0
+    first = facade.nano_time()
+    second = facade.nano_time()
+    assert second >= first
+    assert facade.line_separator() == "\n"
+
+
+def test_facade_rejects_non_system_class(vm):
+    other = vm.boot_loader.load_class("java.lang.SystemProperties")
+    with pytest.raises(ValueError):
+        SystemFacade(other)

@@ -1,0 +1,125 @@
+"""The simulated network: hosts, listeners, connections, served code."""
+
+import pytest
+
+from repro.jvm.classloading import ClassMaterial
+from repro.jvm.errors import (
+    BindException,
+    ClassNotFoundException,
+    ConnectException,
+    UnknownHostException,
+)
+from repro.jvm.threads import JThread, ThreadGroup
+from repro.net.fabric import NetworkFabric
+from repro.security.codesource import CodeSource
+
+
+@pytest.fixture
+def fabric():
+    fabric = NetworkFabric()
+    fabric.add_host("server.example.com")
+    fabric.add_host("client.example.com")
+    return fabric
+
+
+class TestResolution:
+    def test_resolve(self, fabric):
+        assert fabric.resolve("server.example.com").name \
+            == "server.example.com"
+        assert fabric.hosts() == ["client.example.com",
+                                  "server.example.com"]
+
+    def test_unknown_host(self, fabric):
+        with pytest.raises(UnknownHostException):
+            fabric.resolve("nowhere.example.com")
+
+    def test_add_host_idempotent(self, fabric):
+        first = fabric.add_host("x.example.com")
+        assert fabric.add_host("x.example.com") is first
+
+
+class TestConnections:
+    def test_data_flows_both_ways(self, fabric):
+        server = fabric.resolve("server.example.com")
+        listener = server.listen(7)
+        client_end = fabric.connect("client.example.com",
+                                    "server.example.com", 7)
+        server_end = listener.accept(timeout=2)
+        assert server_end is not None
+        client_end.output.write(b"ping")
+        assert server_end.input.read(4) == b"ping"
+        server_end.output.write(b"pong")
+        assert client_end.input.read(4) == b"pong"
+        assert server_end.remote_host == "client.example.com"
+        client_end.close()
+        server_end.close()
+
+    def test_connection_refused_without_listener(self, fabric):
+        with pytest.raises(ConnectException):
+            fabric.connect("client.example.com", "server.example.com", 99)
+
+    def test_double_bind_rejected(self, fabric):
+        server = fabric.resolve("server.example.com")
+        server.listen(80)
+        with pytest.raises(BindException):
+            server.listen(80)
+
+    def test_close_frees_the_port(self, fabric):
+        server = fabric.resolve("server.example.com")
+        listener = server.listen(80)
+        listener.close()
+        server.listen(80)
+
+    def test_accept_timeout(self, fabric):
+        listener = fabric.resolve("server.example.com").listen(5)
+        assert listener.accept(timeout=0.1) is None
+
+    def test_backlog_limit(self, fabric):
+        server = fabric.resolve("server.example.com")
+        server.listen(9, backlog=1)
+        fabric.connect("client.example.com", "server.example.com", 9)
+        with pytest.raises(ConnectException):
+            fabric.connect("client.example.com", "server.example.com", 9)
+
+    def test_blocking_accept_from_thread(self, fabric):
+        root = ThreadGroup(None, "system")
+        listener = fabric.resolve("server.example.com").listen(21)
+        results = []
+
+        def acceptor():
+            endpoint = listener.accept(timeout=5)
+            results.append(endpoint.input.read(5))
+
+        thread = JThread(target=acceptor, group=root)
+        thread.start()
+        client = fabric.connect("client.example.com",
+                                "server.example.com", 21)
+        client.output.write(b"hello")
+        thread.join(5)
+        assert results == [b"hello"]
+
+    def test_request_log_records_connects(self, fabric):
+        server = fabric.resolve("server.example.com")
+        server.listen(23)
+        fabric.connect("client.example.com", "server.example.com", 23)
+        assert ("connect", "client.example.com", 23) in server.request_log
+
+
+class TestServedCode:
+    def test_publish_and_fetch(self, fabric):
+        server = fabric.resolve("server.example.com")
+        material = ClassMaterial(
+            "applets.Demo",
+            code_source=CodeSource(server.code_base() + "applets.Demo"))
+        server.publish_class(material)
+        assert server.fetch_class("applets.Demo") is material
+        assert ("fetch", "applets.Demo") in server.request_log
+
+    def test_fetch_missing_class(self, fabric):
+        server = fabric.resolve("server.example.com")
+        with pytest.raises(ClassNotFoundException):
+            server.fetch_class("applets.Nope")
+
+    def test_code_base_url(self, fabric):
+        assert fabric.resolve("server.example.com").code_base() \
+            == "http://server.example.com/classes/"

@@ -1,0 +1,123 @@
+"""The Section 2 process-cost model: arithmetic and monotonicity."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.procsim.model import (
+    ComparisonRow,
+    ProcessCostModel,
+    format_table,
+    section2_table,
+)
+
+
+@pytest.fixture
+def model():
+    return ProcessCostModel()
+
+
+class TestMemory:
+    def test_multi_jvm_memory_linear(self, model):
+        assert model.multi_jvm_memory_kb(1) == model.jvm_base_memory_kb
+        assert model.multi_jvm_memory_kb(4) == 4 * model.jvm_base_memory_kb
+
+    def test_single_jvm_memory_base_plus_apps(self, model):
+        assert model.single_jvm_memory_kb(0) == model.jvm_base_memory_kb
+        assert model.single_jvm_memory_kb(3) == \
+            model.jvm_base_memory_kb + 3 * model.per_app_memory_kb
+
+    def test_saving_factor_grows_with_fleet(self, model):
+        assert model.memory_saving_factor(8) > model.memory_saving_factor(2)
+
+    @given(n=st.integers(min_value=1, max_value=1000))
+    @settings(max_examples=50, deadline=None)
+    def test_single_always_cheaper_for_realistic_params(self, n):
+        model = ProcessCostModel()
+        # Holds whenever per-app cost < one full JVM (the premise of §2).
+        assert model.single_jvm_memory_kb(n) < \
+            model.multi_jvm_memory_kb(n) + model.jvm_base_memory_kb
+
+
+class TestStartup:
+    def test_multi_jvm_startup_linear(self, model):
+        assert model.multi_jvm_startup_s(5) == \
+            pytest.approx(5 * model.jvm_startup_s)
+
+    def test_single_jvm_startup_uses_measured_launch(self, model):
+        modelled = model.single_jvm_startup_s(10)
+        measured = model.single_jvm_startup_s(10,
+                                              measured_launch_s=0.0001)
+        assert measured < modelled
+
+    def test_crossover_at_one_app(self, model):
+        # With exactly one application there is no advantage (same JVM).
+        assert model.single_jvm_startup_s(1) == pytest.approx(
+            model.jvm_startup_s + model.in_vm_launch_s)
+
+
+class TestSwitchAndIpc:
+    def test_process_switch_includes_refill(self, model):
+        assert model.process_context_switch_us() == \
+            model.process_switch_us + model.cache_refill_penalty_us
+
+    def test_switch_speedup_over_one(self, model):
+        assert model.switch_speedup() > 1.0
+        assert model.switch_speedup(measured_thread_switch_us=1.0) > \
+            model.switch_speedup(measured_thread_switch_us=10.0)
+
+    def test_ipc_speedup(self, model):
+        assert model.ipc_speedup() == pytest.approx(
+            model.in_vm_pipe_mb_s / model.process_pipe_mb_s)
+        assert model.ipc_speedup(measured_in_vm_mb_s=1000.0) > \
+            model.ipc_speedup()
+
+
+class TestTable:
+    def test_rows_and_units(self, model):
+        rows = section2_table(4, model)
+        metrics = [row.metric for row in rows]
+        assert metrics == ["memory for 4 apps", "startup for 4 apps",
+                           "context switch", "IPC cost per MB"]
+        assert all(row.advantage > 1.0 for row in rows)
+
+    def test_measured_values_override(self, model):
+        fast = section2_table(4, model, measured_launch_s=1e-6,
+                              measured_thread_switch_us=0.5,
+                              measured_in_vm_pipe_mb_s=2000.0)
+        slow = section2_table(4, model)
+        assert fast[1].single_vm < slow[1].single_vm
+        assert fast[2].single_vm < slow[2].single_vm
+        assert fast[3].single_vm < slow[3].single_vm
+
+    def test_format_table_renders_every_row(self, model):
+        rows = section2_table(2, model)
+        text = format_table(rows, "title")
+        assert "title" in text
+        for row in rows:
+            assert row.metric in text
+
+    def test_comparison_row_advantage(self):
+        row = ComparisonRow("m", 10.0, 2.0, "u")
+        assert row.advantage == pytest.approx(5.0)
+        zero = ComparisonRow("m", 10.0, 0.0, "u")
+        assert zero.advantage == float("inf")
+
+    @given(n=st.integers(min_value=2, max_value=64))
+    @settings(max_examples=30, deadline=None)
+    def test_memory_advantage_monotone_in_n(self, n):
+        model = ProcessCostModel()
+        smaller = section2_table(n, model)[0].advantage
+        larger = section2_table(n + 1, model)[0].advantage
+        assert larger >= smaller
+
+
+class TestModelIsFrozen:
+    def test_parameters_immutable(self, model):
+        with pytest.raises(Exception):
+            model.jvm_startup_s = 99.0
+
+    def test_custom_calibration(self):
+        modern = ProcessCostModel(jvm_startup_s=0.05,
+                                  jvm_base_memory_kb=65536)
+        assert modern.multi_jvm_startup_s(4) == pytest.approx(0.2)
+        assert modern.memory_saving_factor(4) > 1.0

@@ -1,0 +1,218 @@
+"""The AccessController stack walk, do_privileged, inherited contexts,
+and the paper's user-based combination (Section 5.3)."""
+
+import pytest
+
+from repro.jvm.errors import AccessControlException
+from repro.jvm.threads import JThread, ThreadGroup
+from repro.security import access
+from repro.security.codesource import CodeSource, ProtectionDomain
+from repro.security.permissions import (
+    Permissions,
+    RuntimePermission,
+    UserPermission,
+)
+
+PERM = RuntimePermission("doSensitiveThing")
+
+
+def domain(name: str, *permissions) -> ProtectionDomain:
+    return ProtectionDomain(CodeSource(f"file:/{name}"),
+                            Permissions(permissions), name=name)
+
+
+TRUSTED = lambda: domain("trusted", PERM)  # noqa: E731
+UNTRUSTED = lambda: domain("untrusted")    # noqa: E731
+
+
+class TestStackWalk:
+    def test_empty_stack_is_trusted(self):
+        access.check_permission(PERM)  # host code: no exception
+
+    def test_single_granting_domain(self):
+        with access.stack_frame(TRUSTED()):
+            access.check_permission(PERM)
+
+    def test_single_denying_domain(self):
+        with access.stack_frame(UNTRUSTED()):
+            with pytest.raises(AccessControlException) as info:
+                access.check_permission(PERM)
+        assert info.value.permission == PERM
+
+    def test_intersection_all_must_grant(self):
+        """The defining property: one untrusted frame anywhere poisons
+        the whole stack."""
+        with access.stack_frame(TRUSTED()):
+            with access.stack_frame(UNTRUSTED()):
+                with access.stack_frame(TRUSTED()):
+                    with pytest.raises(AccessControlException):
+                        access.check_permission(PERM)
+
+    def test_none_frames_are_transparent(self):
+        with access.stack_frame(None):
+            with access.stack_frame(TRUSTED()):
+                access.check_permission(PERM)
+
+    def test_frames_pop_cleanly_after_exception(self):
+        try:
+            with access.stack_frame(UNTRUSTED()):
+                access.check_permission(PERM)
+        except AccessControlException:
+            pass
+        access.check_permission(PERM)  # stack is clean again
+
+
+class TestDoPrivileged:
+    def test_privilege_stops_the_walk(self):
+        """Trusted code may act on behalf of untrusted callers."""
+        with access.stack_frame(UNTRUSTED()):
+            with access.stack_frame(TRUSTED()):
+                # without do_privileged: denied by the untrusted caller
+                with pytest.raises(AccessControlException):
+                    access.check_permission(PERM)
+                # with do_privileged: the walk stops at the trusted frame
+                access.do_privileged(lambda: access.check_permission(PERM))
+
+    def test_do_privileged_asserts_callers_own_domain_only(self):
+        """An untrusted caller cannot gain anything from do_privileged."""
+        with access.stack_frame(UNTRUSTED()):
+            with pytest.raises(AccessControlException):
+                access.do_privileged(
+                    lambda: access.check_permission(PERM))
+
+    def test_privilege_lost_when_calling_into_untrusted_code(self):
+        """The luring-attack protection: "even privileged system code
+        cannot call into unprivileged code without losing its
+        privileges" (Section 5.6)."""
+        def untrusted_callback():
+            with access.stack_frame(UNTRUSTED()):
+                access.check_permission(PERM)
+
+        with access.stack_frame(TRUSTED()):
+            with pytest.raises(AccessControlException):
+                access.do_privileged(untrusted_callback)
+
+    def test_do_privileged_with_bounding_context(self):
+        context = access.AccessControlContext((UNTRUSTED(),))
+        with access.stack_frame(TRUSTED()):
+            with pytest.raises(AccessControlException):
+                access.do_privileged(
+                    lambda: access.check_permission(PERM), context=context)
+
+    def test_do_privileged_returns_action_result(self):
+        assert access.do_privileged(lambda: 42) == 42
+
+
+class TestGetContext:
+    def test_snapshot_contains_stack_domains(self):
+        trusted = TRUSTED()
+        untrusted = UNTRUSTED()
+        with access.stack_frame(trusted):
+            with access.stack_frame(untrusted):
+                context = access.get_context()
+        assert set(context.domains) == {trusted, untrusted}
+
+    def test_snapshot_checks_like_the_stack(self):
+        with access.stack_frame(UNTRUSTED()):
+            context = access.get_context()
+        with pytest.raises(AccessControlException):
+            context.check_permission(PERM)
+
+    def test_current_domain(self):
+        trusted = TRUSTED()
+        assert access.current_domain() is None
+        with access.stack_frame(trusted):
+            assert access.current_domain() is trusted
+
+
+class TestInheritedContext:
+    def test_child_thread_inherits_creator_context(self):
+        """JDK 1.2 semantics: a thread created by untrusted code cannot
+        shed its creator's restrictions."""
+        root = ThreadGroup(None, "system")
+        outcome = []
+
+        def child_body():
+            try:
+                access.check_permission(PERM)
+                outcome.append("allowed")
+            except AccessControlException:
+                outcome.append("denied")
+
+        def creator_body():
+            with access.stack_frame(UNTRUSTED()):
+                child = JThread(target=child_body, group=root)
+            child.start()
+            child.join(5)
+
+        creator = JThread(target=creator_body, group=root)
+        creator.start()
+        creator.join(5)
+        assert outcome == ["denied"]
+
+    def test_trusted_creator_gives_clean_context(self):
+        root = ThreadGroup(None, "system")
+        outcome = []
+
+        def child_body():
+            try:
+                access.check_permission(PERM)
+                outcome.append("allowed")
+            except AccessControlException:
+                outcome.append("denied")
+
+        def creator_body():
+            child = JThread(target=child_body, group=root)
+            child.start()
+            child.join(5)
+
+        creator = JThread(target=creator_body, group=root)
+        creator.start()
+        creator.join(5)
+        assert outcome == ["allowed"]
+
+
+class TestUserBasedCombination:
+    """Section 5.3: a domain holding UserPermission exercises the running
+    user's permissions in addition to its own."""
+
+    @pytest.fixture(autouse=True)
+    def user_permissions(self):
+        granted = Permissions([PERM])
+        state = {"active": True}
+
+        def resolver():
+            return granted if state["active"] else None
+
+        previous = access.user_permission_resolver
+        access.user_permission_resolver = resolver
+        yield state
+        access.user_permission_resolver = previous
+
+    def test_user_permission_domain_gains_user_grants(self):
+        local = domain("local-app", UserPermission())
+        with access.stack_frame(local):
+            access.check_permission(PERM)  # granted via the user
+
+    def test_domain_without_user_permission_gains_nothing(self):
+        remote = domain("applet")
+        with access.stack_frame(remote):
+            with pytest.raises(AccessControlException):
+                access.check_permission(PERM)
+
+    def test_no_user_active_means_no_combination(self, user_permissions):
+        user_permissions["active"] = False
+        local = domain("local-app", UserPermission())
+        with access.stack_frame(local):
+            with pytest.raises(AccessControlException):
+                access.check_permission(PERM)
+
+    def test_combination_applies_per_frame(self):
+        """Every frame combines independently: a remote frame below a
+        local frame still poisons the stack."""
+        local = domain("local-app", UserPermission())
+        remote = domain("applet")
+        with access.stack_frame(remote):
+            with access.stack_frame(local):
+                with pytest.raises(AccessControlException):
+                    access.check_permission(PERM)

@@ -1,0 +1,96 @@
+"""Property-based tests of the AccessController's stack-walk algorithm.
+
+The correctness condition of the JDK 1.2 walk is simple to state: with no
+privileged frames, access is granted iff *every* domain on the stack (plus
+the inherited context) satisfies the permission.  With a privileged frame,
+only the frames above it (inclusive) matter.  We generate random stacks and
+check the implementation against that specification.
+"""
+
+import contextlib
+
+from hypothesis import given, settings, strategies as st
+
+from repro.jvm.errors import AccessControlException
+from repro.security import access
+from repro.security.codesource import CodeSource, ProtectionDomain
+from repro.security.permissions import Permissions, RuntimePermission
+
+PERM = RuntimePermission("propertyUnderTest")
+
+
+def make_domain(grants: bool) -> ProtectionDomain:
+    permissions = Permissions([PERM] if grants else [])
+    return ProtectionDomain(CodeSource("file:/d"), permissions,
+                            name=f"{'grant' if grants else 'deny'}-domain")
+
+
+def allowed() -> bool:
+    try:
+        access.check_permission(PERM)
+        return True
+    except AccessControlException:
+        return False
+
+
+# Each stack frame: (has_domain, domain_grants, is_privileged)
+frame_specs = st.lists(
+    st.tuples(st.booleans(), st.booleans(), st.booleans()), max_size=8)
+
+
+@given(specs=frame_specs)
+@settings(max_examples=150, deadline=None)
+def test_walk_matches_specification(specs):
+    frames = []
+    for has_domain, grants, privileged in specs:
+        domain = make_domain(grants) if has_domain else None
+        frames.append((domain, privileged))
+
+    # Specification: walk top -> bottom; every non-None domain must grant;
+    # stop (granted) after checking the first privileged frame.
+    def expected() -> bool:
+        for domain, privileged in reversed(frames):
+            if domain is not None and not domain.implies(PERM):
+                return False
+            if privileged:
+                return True
+        return True  # ran off the stack: host code, trusted
+
+    with contextlib.ExitStack() as stack:
+        for domain, privileged in frames:
+            if privileged:
+                frame = access._Frame(domain, privileged=True)
+                stack.enter_context(access._FrameGuard(frame))
+            else:
+                stack.enter_context(access.stack_frame(domain))
+        assert allowed() == expected()
+
+
+@given(specs=frame_specs)
+@settings(max_examples=100, deadline=None)
+def test_get_context_check_agrees_with_live_stack(specs):
+    """A snapshot taken on a stack must deny iff the live stack denies
+    (for stacks without privileged frames, where the snapshot is total)."""
+    frames = [(make_domain(grants) if has_domain else None)
+              for has_domain, grants, _ in specs]
+    with contextlib.ExitStack() as stack:
+        for domain in frames:
+            stack.enter_context(access.stack_frame(domain))
+        live = allowed()
+        snapshot = access.get_context()
+    try:
+        snapshot.check_permission(PERM)
+        snap_allowed = True
+    except AccessControlException:
+        snap_allowed = False
+    assert snap_allowed == live
+
+
+@given(depth=st.integers(min_value=0, max_value=10))
+@settings(max_examples=50, deadline=None)
+def test_stack_always_clean_after_use(depth):
+    with contextlib.ExitStack() as stack:
+        for _ in range(depth):
+            stack.enter_context(access.stack_frame(make_domain(False)))
+    assert allowed(), "stack must be empty (trusted) after frames pop"
+    assert access.current_domain() is None

@@ -1,0 +1,86 @@
+"""CodeSource URL/signers matching and ProtectionDomain evaluation."""
+
+from repro.security.codesource import (
+    CodeSource,
+    ProtectionDomain,
+    system_domain,
+)
+from repro.security.permissions import (
+    FilePermission,
+    Permissions,
+    RuntimePermission,
+)
+
+
+class TestUrlMatching:
+    def test_exact(self):
+        assert CodeSource("file:/a/b.class").implies(
+            CodeSource("file:/a/b.class"))
+        assert not CodeSource("file:/a/b.class").implies(
+            CodeSource("file:/a/c.class"))
+
+    def test_directory_star(self):
+        pattern = CodeSource("file:/apps/*")
+        assert pattern.implies(CodeSource("file:/apps/App.class"))
+        assert not pattern.implies(CodeSource("file:/apps/sub/App.class"))
+        assert not pattern.implies(CodeSource("file:/apps/"))
+        assert not pattern.implies(CodeSource("file:/other/App.class"))
+
+    def test_recursive_dash(self):
+        pattern = CodeSource("file:/apps/-")
+        assert pattern.implies(CodeSource("file:/apps/App.class"))
+        assert pattern.implies(CodeSource("file:/apps/a/b/C.class"))
+        assert not pattern.implies(CodeSource("file:/appsX/C.class"))
+
+    def test_none_url_matches_everything(self):
+        assert CodeSource(None).implies(CodeSource("http://x/y"))
+        assert not CodeSource("http://x/*").implies(CodeSource(None))
+
+    def test_none_other_rejected(self):
+        assert not CodeSource("file:/x").implies(None)
+
+
+class TestSigners:
+    def test_required_signers_must_be_present(self):
+        pattern = CodeSource(None, signers=["alice"])
+        assert pattern.implies(CodeSource("u", signers=["alice", "bob"]))
+        assert not pattern.implies(CodeSource("u", signers=["bob"]))
+        assert not pattern.implies(CodeSource("u"))
+
+    def test_unsigned_pattern_matches_signed_code(self):
+        assert CodeSource(None).implies(CodeSource("u", signers=["alice"]))
+
+    def test_equality(self):
+        a = CodeSource("u", signers=["x", "y"])
+        b = CodeSource("u", signers=["y", "x"])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != CodeSource("u")
+
+
+class TestProtectionDomain:
+    def test_static_permissions(self):
+        domain = ProtectionDomain(
+            CodeSource("http://h/a"),
+            Permissions([RuntimePermission("special")]))
+        assert domain.implies(RuntimePermission("special"))
+        assert not domain.implies(RuntimePermission("other"))
+
+    def test_policy_consulted_dynamically(self):
+        class FakePolicy:
+            def __init__(self):
+                self.granted = False
+
+            def implies(self, domain, permission):
+                return self.granted
+
+        policy = FakePolicy()
+        domain = ProtectionDomain(CodeSource("u"), policy=policy)
+        assert not domain.implies(RuntimePermission("x"))
+        policy.granted = True
+        assert domain.implies(RuntimePermission("x"))
+
+    def test_system_domain_is_all_powerful(self):
+        domain = system_domain()
+        assert domain.implies(FilePermission("/anything", "delete"))
+        assert domain.implies(RuntimePermission("setUser"))

@@ -1,0 +1,88 @@
+"""Property-based tests for code-source matching and authentication."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.security.auth import UserDatabase
+from repro.security.codesource import CodeSource
+from repro.jvm.errors import AuthenticationException
+
+segment = st.text(alphabet=st.sampled_from("abcxyz"), min_size=1,
+                  max_size=6)
+url_path = st.lists(segment, min_size=1, max_size=4).map("/".join)
+
+
+@given(path=url_path)
+@settings(max_examples=80, deadline=None)
+def test_exact_url_matches_itself(path):
+    url = f"file:/{path}"
+    assert CodeSource(url).implies(CodeSource(url))
+
+
+@given(base=url_path, child=segment)
+@settings(max_examples=80, deadline=None)
+def test_star_matches_direct_children_only(base, child):
+    pattern = CodeSource(f"file:/{base}/*")
+    assert pattern.implies(CodeSource(f"file:/{base}/{child}"))
+    assert not pattern.implies(
+        CodeSource(f"file:/{base}/{child}/deeper"))
+    assert not pattern.implies(CodeSource(f"file:/{base}"))
+
+
+@given(base=url_path, tail=url_path)
+@settings(max_examples=80, deadline=None)
+def test_dash_matches_any_depth(base, tail):
+    pattern = CodeSource(f"file:/{base}/-")
+    assert pattern.implies(CodeSource(f"file:/{base}/{tail}"))
+
+
+@given(base=url_path, sibling=segment)
+@settings(max_examples=80, deadline=None)
+def test_dash_never_matches_prefix_siblings(base, sibling):
+    pattern = CodeSource(f"file:/{base}/-")
+    # file:/<base>X... is a sibling whose name merely extends the prefix.
+    assert not pattern.implies(CodeSource(f"file:/{base}{sibling}"))
+
+
+@given(required=st.frozensets(segment, max_size=3),
+       extra=st.frozensets(segment, max_size=3))
+@settings(max_examples=80, deadline=None)
+def test_signer_subset_rule(required, extra):
+    pattern = CodeSource(None, signers=required)
+    code = CodeSource("u", signers=required | extra)
+    assert pattern.implies(code)
+    if required - extra:
+        weak = CodeSource("u", signers=extra)
+        assert not pattern.implies(weak)
+
+
+passwords = st.text(min_size=1, max_size=24)
+
+
+@given(password=passwords, wrong=passwords)
+@settings(max_examples=60, deadline=None)
+def test_authentication_accepts_exactly_the_password(password, wrong):
+    database = UserDatabase()
+    database.add_user("probe", password)
+    assert database.authenticate("probe", password).name == "probe"
+    if wrong != password:
+        try:
+            database.authenticate("probe", wrong)
+            raised = False
+        except AuthenticationException:
+            raised = True
+        assert raised
+
+
+@given(password=passwords)
+@settings(max_examples=40, deadline=None)
+def test_password_change_invalidates_old(password):
+    database = UserDatabase()
+    database.add_user("probe", password)
+    database.set_password("probe", password + "-v2")
+    try:
+        database.authenticate("probe", password)
+        raised = False
+    except AuthenticationException:
+        raised = True
+    assert raised
+    assert database.authenticate("probe", password + "-v2")

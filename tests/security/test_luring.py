@@ -1,0 +1,125 @@
+"""Experiment S2: the luring-attack analysis of Section 5.6.
+
+The paper's example:
+
+    "Consider, for example, an application that is not allowed to read
+    files, but wishes to write text to the screen.  In order to do that,
+    the Font class needs to read in font characteristics from the file
+    system.  Since the Font class is trusted, it has enough privileges to
+    read from the file system despite the fact that the application is not
+    allowed to do so directly.  However, as soon as the Font class calls
+    into application code, like the application security manager, those
+    privileges are lost, and file access will be — wrongly — denied."
+
+We reproduce all four steps:
+
+1. the application cannot read the font file directly;
+2. the trusted Font class *can* read it on the application's behalf
+   (``do_privileged``);
+3. privileged system code that calls back into application code loses its
+   privileges (the luring-attack protection itself);
+4. therefore an *application security manager* invoked from system code
+   cannot perform privileged checks — the paper's conclusion that app
+   security managers "cannot be used to override behaviors of the system
+   security manager".
+"""
+
+import pytest
+
+from repro.io.file import read_text
+from repro.jvm.classloading import ClassMaterial
+from repro.jvm.errors import SecurityException
+from repro.lang.context import InvocationContext
+from repro.security import access
+from repro.security.codesource import CodeSource
+from repro.security.sysmanager import SystemSecurityManager
+
+FONT_FILE = "/usr/lib/fonts/default.fnt"
+
+
+@pytest.fixture
+def setup(vm):
+    """A trusted Font class and an untrusted application class."""
+    vm.set_security_manager(SystemSecurityManager())
+
+    font = ClassMaterial("java.awt.Font")  # boot class path: trusted
+
+    @font.member
+    def load_metrics(jclass, ctx):
+        """Trusted code reading the font file on the caller's behalf."""
+        return access.do_privileged(lambda: read_text(ctx, FONT_FILE))
+
+    @font.member
+    def load_metrics_via_callback(jclass, ctx, callback_class):
+        """Trusted code that consults application code *inside* its
+        privileged section (the luring hazard)."""
+        def action():
+            # The application "security manager" callback joins the stack
+            # here, inside the privileged region.
+            callback_class.invoke("check", ctx)
+            return read_text(ctx, FONT_FILE)
+        return access.do_privileged(action)
+
+    app = ClassMaterial(
+        "apps.TextApp",
+        code_source=CodeSource("file:/untrusted/TextApp.class"))
+
+    @app.member
+    def read_font_directly(jclass, ctx):
+        return read_text(ctx, FONT_FILE)
+
+    @app.member
+    def draw_text(jclass, ctx, font_class):
+        return font_class.invoke("load_metrics", ctx)
+
+    @app.member
+    def draw_text_with_app_sm(jclass, ctx, font_class, callback_class):
+        return font_class.invoke("load_metrics_via_callback", ctx,
+                                 callback_class)
+
+    app_sm = ClassMaterial(
+        "apps.AppSecurityManager",
+        code_source=CodeSource("file:/untrusted/AppSM.class"))
+
+    @app_sm.member
+    def check(jclass, ctx):
+        """An application security manager doing its *own* file check —
+        unprivileged code on the stack."""
+        read_text(ctx, FONT_FILE)
+
+    for material in (font, app, app_sm):
+        vm.registry.register(material)
+    loader = vm.boot_loader
+    return {
+        "ctx": InvocationContext(vm, loader),
+        "font": loader.load_class("java.awt.Font"),
+        "app": loader.load_class("apps.TextApp"),
+        "app_sm": loader.load_class("apps.AppSecurityManager"),
+    }
+
+
+def test_application_cannot_read_font_file_directly(setup):
+    with pytest.raises(SecurityException):
+        setup["app"].invoke("read_font_directly", setup["ctx"])
+
+
+def test_trusted_font_class_reads_on_behalf_of_application(setup):
+    """Step 2: do_privileged lets the trusted Font code act despite the
+    unprivileged application on the stack."""
+    metrics = setup["app"].invoke("draw_text", setup["ctx"], setup["font"])
+    assert "FONT default" in metrics
+
+
+def test_privileges_lost_when_calling_application_security_manager(setup):
+    """Steps 3-4: the Font class calling into the application security
+    manager loses its privileges; "file access will be — wrongly —
+    denied"."""
+    with pytest.raises(SecurityException):
+        setup["app"].invoke("draw_text_with_app_sm", setup["ctx"],
+                            setup["font"], setup["app_sm"])
+
+
+def test_callback_alone_cannot_read_either(setup):
+    """Sanity: the application security manager has no power of its own."""
+    with pytest.raises(SecurityException):
+        setup["app_sm"].invoke("check", setup["ctx"])

@@ -1,0 +1,264 @@
+"""Permission implies-semantics (the JDK 1.2 rules, Section 3.3/5.3)."""
+
+import pytest
+
+from repro.jvm.errors import IllegalArgumentException
+from repro.security.permissions import (
+    AllPermission,
+    AWTPermission,
+    BasicPermission,
+    FilePermission,
+    Permission,
+    PermissionCollection,
+    Permissions,
+    PropertyPermission,
+    RuntimePermission,
+    SocketPermission,
+    UserPermission,
+    make_permission,
+)
+
+
+def implies(a: Permission, b: Permission) -> bool:
+    return a.implies(b)
+
+
+class TestFilePermission:
+    @pytest.mark.parametrize("holder,target,expected", [
+        # exact paths
+        ("/a/b", "/a/b", True),
+        ("/a/b", "/a/c", False),
+        ("/a/b", "/a/b/c", False),
+        # directory wildcard /*
+        ("/a/*", "/a/b", True),
+        ("/a/*", "/a/b/c", False),   # not recursive
+        ("/a/*", "/a", False),       # not the directory itself
+        ("/a/*", "/a/*", True),
+        ("/a/*", "/a/-", False),
+        # recursive wildcard /-
+        ("/a/-", "/a/b", True),
+        ("/a/-", "/a/b/c/d", True),
+        ("/a/-", "/a", False),       # not the directory itself
+        ("/a/-", "/a/*", True),
+        ("/a/-", "/a/b/-", True),
+        ("/a/-", "/ab", False),      # sibling with same prefix
+        # all files
+        ("<<ALL FILES>>", "/anything/at/all", True),
+        ("<<ALL FILES>>", "/x/-", True),
+        ("/a/-", "<<ALL FILES>>", False),
+        # root recursion
+        ("/-", "/any/path", True),
+    ])
+    def test_path_matrix(self, holder, target, expected):
+        a = FilePermission(holder, "read")
+        b = FilePermission(target, "read")
+        assert implies(a, b) is expected
+
+    def test_actions_subset(self):
+        rw = FilePermission("/f", "read,write")
+        r = FilePermission("/f", "read")
+        assert rw.implies(r)
+        assert not r.implies(rw)
+        assert not r.implies(FilePermission("/f", "delete"))
+
+    def test_actions_normalized_order(self):
+        assert FilePermission("/f", "write , read").actions() == "read,write"
+
+    def test_invalid_action_rejected(self):
+        with pytest.raises(IllegalArgumentException):
+            FilePermission("/f", "fly")
+        with pytest.raises(IllegalArgumentException):
+            FilePermission("/f", "")
+
+    def test_path_normalization(self):
+        assert FilePermission("/a/./b/../c", "read").implies(
+            FilePermission("/a/c", "read"))
+
+    def test_cross_type_never_implied(self):
+        assert not FilePermission("/f", "read").implies(
+            RuntimePermission("exitVM"))
+
+    def test_equality_and_hash(self):
+        a = FilePermission("/f", "read,write")
+        b = FilePermission("/f", "write,read")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != FilePermission("/f", "read")
+
+
+class TestSocketPermission:
+    def test_exact_host_and_port(self):
+        holder = SocketPermission("server.example.com:80", "connect")
+        assert holder.implies(
+            SocketPermission("server.example.com:80", "connect"))
+        assert not holder.implies(
+            SocketPermission("server.example.com:81", "connect"))
+        assert not holder.implies(
+            SocketPermission("other.example.com:80", "connect"))
+
+    def test_port_ranges(self):
+        holder = SocketPermission("h:1024-2048", "connect")
+        assert holder.implies(SocketPermission("h:1500", "connect"))
+        assert not holder.implies(SocketPermission("h:80", "connect"))
+        assert holder.implies(SocketPermission("h:1024-1025", "connect"))
+        assert not holder.implies(SocketPermission("h:2000-3000", "connect"))
+
+    def test_open_ended_ranges(self):
+        assert SocketPermission("h:1024-", "connect").implies(
+            SocketPermission("h:60000", "connect"))
+        assert SocketPermission("h:-1023", "connect").implies(
+            SocketPermission("h:80", "connect"))
+        assert SocketPermission("h", "connect").implies(
+            SocketPermission("h:9999", "connect"))
+
+    def test_wildcard_hosts(self):
+        assert SocketPermission("*.example.com", "connect").implies(
+            SocketPermission("a.example.com:80", "connect"))
+        assert not SocketPermission("*.example.com", "connect").implies(
+            SocketPermission("example.org:80", "connect"))
+        assert SocketPermission("*", "connect").implies(
+            SocketPermission("anything:1", "connect"))
+
+    def test_connect_implies_resolve(self):
+        holder = SocketPermission("h", "connect")
+        assert holder.implies(SocketPermission("h", "resolve"))
+        assert not SocketPermission("h", "resolve").implies(
+            SocketPermission("h", "connect"))
+
+    def test_action_subset(self):
+        holder = SocketPermission("h", "connect,accept")
+        assert holder.implies(SocketPermission("h", "accept"))
+        assert not holder.implies(SocketPermission("h", "listen"))
+
+    def test_invalid_range(self):
+        with pytest.raises(IllegalArgumentException):
+            SocketPermission("h:90-10", "connect")
+
+
+class TestBasicPermissions:
+    def test_exact_name(self):
+        assert RuntimePermission("exitVM").implies(
+            RuntimePermission("exitVM"))
+        assert not RuntimePermission("exitVM").implies(
+            RuntimePermission("setUser"))
+
+    def test_star_wildcard(self):
+        assert RuntimePermission("*").implies(
+            RuntimePermission("anything.at.all"))
+
+    def test_hierarchical_wildcard(self):
+        holder = BasicPermission("a.b.*")
+        assert holder.implies(BasicPermission("a.b.c"))
+        assert holder.implies(BasicPermission("a.b.c.d"))
+        assert not holder.implies(BasicPermission("a.bc"))
+        assert not holder.implies(BasicPermission("a.b"))
+
+    def test_subclasses_do_not_cross(self):
+        assert not RuntimePermission("*").implies(AWTPermission("showWindow"))
+        assert not AWTPermission("*").implies(RuntimePermission("exitVM"))
+
+    def test_user_permission_default_name(self):
+        assert UserPermission().name == "exerciseUserPermissions"
+        assert UserPermission().implies(UserPermission())
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(IllegalArgumentException):
+            RuntimePermission("")
+
+
+class TestPropertyPermission:
+    def test_name_wildcard_and_actions(self):
+        holder = PropertyPermission("java.*", "read,write")
+        assert holder.implies(PropertyPermission("java.version", "read"))
+        assert holder.implies(PropertyPermission("java.vendor",
+                                                 "read,write"))
+        assert not holder.implies(PropertyPermission("os.name", "read"))
+
+    def test_write_not_implied_by_read(self):
+        assert not PropertyPermission("k", "read").implies(
+            PropertyPermission("k", "write"))
+
+    def test_invalid_action(self):
+        with pytest.raises(IllegalArgumentException):
+            PropertyPermission("k", "execute")
+
+
+class TestAllPermission:
+    def test_implies_everything(self):
+        everything = [
+            FilePermission("/x", "read,write,delete,execute"),
+            SocketPermission("*", "connect,accept,listen"),
+            RuntimePermission("*"),
+            PropertyPermission("*", "read,write"),
+            UserPermission(),
+            AllPermission(),
+        ]
+        for permission in everything:
+            assert AllPermission().implies(permission)
+
+
+class TestCollections:
+    def test_basic_collection(self):
+        collection = PermissionCollection()
+        collection.add(FilePermission("/a/-", "read"))
+        collection.add(RuntimePermission("exitVM"))
+        assert collection.implies(FilePermission("/a/b", "read"))
+        assert collection.implies(RuntimePermission("exitVM"))
+        assert not collection.implies(FilePermission("/b", "read"))
+        assert len(collection) == 2
+
+    def test_read_only(self):
+        collection = PermissionCollection()
+        collection.set_read_only()
+        with pytest.raises(IllegalArgumentException):
+            collection.add(RuntimePermission("x"))
+
+    def test_permissions_heterogeneous(self):
+        permissions = Permissions([
+            FilePermission("/home/alice/-", "read,write"),
+            SocketPermission("*.example.com", "connect"),
+            RuntimePermission("setUser"),
+        ])
+        assert permissions.implies(
+            FilePermission("/home/alice/f", "read"))
+        assert permissions.implies(
+            SocketPermission("www.example.com:80", "connect"))
+        assert permissions.implies(RuntimePermission("setUser"))
+        assert not permissions.implies(RuntimePermission("exitVM"))
+        assert len(permissions) == 3
+
+    def test_permissions_all_permission_short_circuit(self):
+        permissions = Permissions([AllPermission()])
+        assert permissions.implies(FilePermission("/any", "delete"))
+
+    def test_permissions_dedupe(self):
+        permissions = Permissions()
+        permissions.add(RuntimePermission("x"))
+        permissions.add(RuntimePermission("x"))
+        assert len(permissions) == 1
+
+    def test_copy_is_independent(self):
+        original = Permissions([RuntimePermission("x")])
+        clone = original.copy()
+        clone.add(RuntimePermission("y"))
+        assert not original.implies(RuntimePermission("y"))
+
+
+class TestFactory:
+    def test_known_types(self):
+        assert isinstance(make_permission("FilePermission", "/f", "read"),
+                          FilePermission)
+        assert isinstance(make_permission("java.io.FilePermission", "/f",
+                                          "read"), FilePermission)
+        assert isinstance(make_permission("UserPermission"), UserPermission)
+        assert isinstance(make_permission("AllPermission"), AllPermission)
+        assert isinstance(make_permission("RuntimePermission", "exitVM"),
+                          RuntimePermission)
+
+    def test_unknown_type(self):
+        with pytest.raises(IllegalArgumentException):
+            make_permission("MagicPermission", "x")
+
+    def test_missing_target(self):
+        with pytest.raises(IllegalArgumentException):
+            make_permission("FilePermission")

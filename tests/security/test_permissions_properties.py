@@ -1,0 +1,85 @@
+"""Property-based tests on the permission lattice."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.security.permissions import (
+    FilePermission,
+    Permissions,
+    RuntimePermission,
+    SocketPermission,
+)
+
+segment = st.text(alphabet=st.sampled_from("abcd"), min_size=1, max_size=4)
+path = st.lists(segment, min_size=1, max_size=4).map(
+    lambda parts: "/" + "/".join(parts))
+suffix = st.sampled_from(["", "/*", "/-"])
+actions = st.lists(
+    st.sampled_from(["read", "write", "delete", "execute"]),
+    min_size=1, max_size=4, unique=True).map(",".join)
+
+
+@given(path=path, suffix=suffix, acts=actions)
+@settings(max_examples=100, deadline=None)
+def test_file_permission_implies_is_reflexive(path, suffix, acts):
+    permission = FilePermission(path + suffix, acts)
+    assert permission.implies(permission)
+
+
+@given(path=path, acts_small=actions, acts_big=actions)
+@settings(max_examples=100, deadline=None)
+def test_action_superset_monotonicity(path, acts_small, acts_big):
+    small = set(acts_small.split(","))
+    big = set(acts_big.split(",")) | small
+    holder = FilePermission(path, ",".join(sorted(big)))
+    target = FilePermission(path, ",".join(sorted(small)))
+    assert holder.implies(target)
+
+
+@given(base=path, child=segment, acts=actions)
+@settings(max_examples=100, deadline=None)
+def test_recursive_implies_children_and_star(base, child, acts):
+    recursive = FilePermission(base + "/-", acts)
+    assert recursive.implies(FilePermission(f"{base}/{child}", acts))
+    assert recursive.implies(FilePermission(f"{base}/{child}/deep", acts))
+    assert recursive.implies(FilePermission(base + "/*", acts))
+    star = FilePermission(base + "/*", acts)
+    assert star.implies(FilePermission(f"{base}/{child}", acts))
+    assert not star.implies(FilePermission(f"{base}/{child}/deep", acts))
+
+
+@given(permissions=st.lists(
+    st.tuples(path, suffix, actions), min_size=1, max_size=8))
+@settings(max_examples=60, deadline=None)
+def test_collection_implies_each_member(permissions):
+    collection = Permissions(
+        FilePermission(p + s, a) for p, s, a in permissions)
+    for p, s, a in permissions:
+        assert collection.implies(FilePermission(p + s, a))
+
+
+@given(name=st.text(alphabet=st.sampled_from("abc."), min_size=1,
+                    max_size=8).filter(
+                        lambda n: not n.endswith(".") and ".." not in n
+                        and not n.startswith(".")))
+@settings(max_examples=100, deadline=None)
+def test_runtime_wildcard_dominates(name):
+    assert RuntimePermission("*").implies(RuntimePermission(name))
+    assert RuntimePermission(name).implies(RuntimePermission(name))
+
+
+@given(host=st.text(alphabet=st.sampled_from("abcxyz."), min_size=1,
+                    max_size=10).filter(
+                        lambda h: "." not in (h[0], h[-1]) and ".." not in h),
+       low=st.integers(0, 65535), high=st.integers(0, 65535))
+@settings(max_examples=100, deadline=None)
+def test_socket_range_containment(host, low, high):
+    low, high = min(low, high), max(low, high)
+    holder = SocketPermission(f"{host}:{low}-{high}", "connect")
+    mid = (low + high) // 2
+    assert holder.implies(SocketPermission(f"{host}:{mid}", "connect"))
+    if low > 0:
+        assert not holder.implies(
+            SocketPermission(f"{host}:{low - 1}", "connect"))
+    if high < 65535:
+        assert not holder.implies(
+            SocketPermission(f"{host}:{high + 1}", "connect"))

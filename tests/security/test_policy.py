@@ -1,0 +1,248 @@
+"""Policy files: grammar, code-source grants, user grants (Section 5.3)."""
+
+import pytest
+
+from repro.jvm.errors import IllegalArgumentException
+from repro.security.codesource import CodeSource, ProtectionDomain
+from repro.security.permissions import (
+    FilePermission,
+    RuntimePermission,
+    UserPermission,
+)
+from repro.security.policy import (
+    Policy,
+    paper_example_policy,
+    parse_policy,
+)
+
+
+class TestParsing:
+    def test_minimal_grant(self):
+        policy = parse_policy("""
+            grant {
+                permission RuntimePermission "everywhere";
+            };
+        """)
+        granted = policy.permissions_for_code_source(CodeSource("file:/x"))
+        assert granted.implies(RuntimePermission("everywhere"))
+
+    def test_code_base_grant(self):
+        policy = parse_policy("""
+            grant codeBase "file:/apps/*" {
+                permission FilePermission "/data/-", "read,write";
+                permission RuntimePermission "setIO";
+            };
+        """)
+        inside = policy.permissions_for_code_source(
+            CodeSource("file:/apps/App.class"))
+        outside = policy.permissions_for_code_source(
+            CodeSource("file:/other/App.class"))
+        assert inside.implies(FilePermission("/data/f", "read"))
+        assert inside.implies(RuntimePermission("setIO"))
+        assert not outside.implies(RuntimePermission("setIO"))
+
+    def test_signed_by_grant(self):
+        policy = parse_policy("""
+            grant signedBy "alice" {
+                permission RuntimePermission "signedOnly";
+            };
+        """)
+        signed = policy.permissions_for_code_source(
+            CodeSource("http://h/x", signers=["alice"]))
+        unsigned = policy.permissions_for_code_source(
+            CodeSource("http://h/x"))
+        assert signed.implies(RuntimePermission("signedOnly"))
+        assert not unsigned.implies(RuntimePermission("signedOnly"))
+
+    def test_user_grant_separate_from_code(self):
+        policy = parse_policy("""
+            grant user "alice" {
+                permission FilePermission "/home/alice/-", "read";
+            };
+        """)
+        assert policy.permissions_for_user("alice").implies(
+            FilePermission("/home/alice/x", "read"))
+        assert not policy.permissions_for_user("bob").implies(
+            FilePermission("/home/alice/x", "read"))
+        # A user grant never applies to code sources directly.
+        assert not policy.permissions_for_code_source(
+            CodeSource("file:/x")).implies(
+                FilePermission("/home/alice/x", "read"))
+
+    def test_comments_and_keystore(self):
+        policy = parse_policy("""
+            // line comment
+            keystore "ignored.jks";
+            /* block
+               comment */
+            grant { permission UserPermission; };
+        """)
+        assert policy.permissions_for_code_source(
+            CodeSource("u")).implies(UserPermission())
+
+    def test_permission_without_actions(self):
+        policy = parse_policy("""
+            grant { permission RuntimePermission "exitVM"; };
+        """)
+        assert policy.permissions_for_code_source(None) is not None
+
+    def test_syntax_errors(self):
+        for bad in (
+                'grant { permission RuntimePermission "x" }',  # missing ;
+                'grant { permission } ;',
+                'grant codeBase { };',
+                'bogus;',
+                'grant { permission RuntimePermission "x"; ',
+                '"dangling string',
+                '/* unterminated',
+        ):
+            with pytest.raises(IllegalArgumentException):
+                parse_policy(bad)
+
+    def test_unknown_selector(self):
+        with pytest.raises(IllegalArgumentException):
+            parse_policy('grant planet "mars" { };')
+
+
+class TestEvaluation:
+    def test_multiple_grants_accumulate(self):
+        policy = parse_policy("""
+            grant codeBase "file:/apps/-" {
+                permission RuntimePermission "a";
+            };
+            grant codeBase "file:/apps/sub/*" {
+                permission RuntimePermission "b";
+            };
+        """)
+        deep = policy.permissions_for_code_source(
+            CodeSource("file:/apps/sub/X.class"))
+        shallow = policy.permissions_for_code_source(
+            CodeSource("file:/apps/X.class"))
+        assert deep.implies(RuntimePermission("a"))
+        assert deep.implies(RuntimePermission("b"))
+        assert shallow.implies(RuntimePermission("a"))
+        assert not shallow.implies(RuntimePermission("b"))
+
+    def test_domain_implies_via_policy(self):
+        policy = parse_policy("""
+            grant codeBase "file:/apps/*" {
+                permission RuntimePermission "granted";
+            };
+        """)
+        domain = ProtectionDomain(CodeSource("file:/apps/A.class"),
+                                  policy=policy)
+        assert domain.implies(RuntimePermission("granted"))
+        assert not domain.implies(RuntimePermission("other"))
+
+    def test_programmatic_add_grant(self):
+        policy = Policy()
+        policy.add_grant([RuntimePermission("x")], code_base="file:/a/*")
+        policy.add_grant([FilePermission("/h/-", "read")], user="alice")
+        assert policy.permissions_for_code_source(
+            CodeSource("file:/a/B.class")).implies(RuntimePermission("x"))
+        assert policy.permissions_for_user("alice").implies(
+            FilePermission("/h/f", "read"))
+
+    def test_refresh_replaces_entries(self):
+        policy = parse_policy(
+            'grant { permission RuntimePermission "old"; };')
+        policy.refresh_from(
+            'grant { permission RuntimePermission "new"; };')
+        granted = policy.permissions_for_code_source(None)
+        assert granted.implies(RuntimePermission("new"))
+        assert not granted.implies(RuntimePermission("old"))
+
+
+class TestPaperExample:
+    """The Section 5.3 example policy parses into the four rules."""
+
+    def test_rule_1_local_apps_exercise_user_permissions(self):
+        policy = paper_example_policy()
+        local = policy.permissions_for_code_source(
+            CodeSource("file:/usr/local/java/tools/ls/Ls.class"))
+        remote = policy.permissions_for_code_source(
+            CodeSource("http://evil.example.com/Applet.class"))
+        assert local.implies(UserPermission())
+        assert not remote.implies(UserPermission())
+
+    def test_rule_2_backup_reads_all_files(self):
+        policy = paper_example_policy()
+        backup = policy.permissions_for_code_source(
+            CodeSource("file:/usr/local/java/apps/backup/Backup.class"))
+        assert backup.implies(FilePermission("/home/alice/x", "read"))
+        assert backup.implies(FilePermission("/etc/motd", "read"))
+        assert not backup.implies(FilePermission("/home/alice/x", "write"))
+
+    def test_rules_3_and_4_user_home_grants(self):
+        policy = paper_example_policy()
+        alice = policy.permissions_for_user("alice")
+        bob = policy.permissions_for_user("bob")
+        assert alice.implies(
+            FilePermission("/home/alice/notes.txt", "read"))
+        assert alice.implies(
+            FilePermission("/home/alice/sub/deep.txt", "write"))
+        assert not alice.implies(
+            FilePermission("/home/bob/todo.txt", "read"))
+        assert bob.implies(FilePermission("/home/bob/todo.txt", "delete"))
+        assert not bob.implies(
+            FilePermission("/home/alice/notes.txt", "read"))
+
+
+class TestRendering:
+    def test_render_parse_roundtrip_of_paper_policy(self):
+        original = paper_example_policy()
+        rendered = original.render()
+        reparsed = parse_policy(rendered)
+        probes = [
+            (CodeSource("file:/usr/local/java/tools/ls/Ls.class"),
+             UserPermission()),
+            (CodeSource("file:/usr/local/java/apps/backup/Backup.class"),
+             FilePermission("/anything", "read")),
+        ]
+        for code_source, permission in probes:
+            assert original.permissions_for_code_source(
+                code_source).implies(permission) == \
+                reparsed.permissions_for_code_source(
+                    code_source).implies(permission)
+        for user in ("alice", "bob"):
+            target = FilePermission(f"/home/{user}/f", "read")
+            assert original.permissions_for_user(user).implies(target) == \
+                reparsed.permissions_for_user(user).implies(target)
+
+    def test_render_all_permission(self):
+        policy = Policy()
+        from repro.security.permissions import AllPermission
+        policy.add_grant([AllPermission()], code_base="file:/trusted/*")
+        rendered = policy.render()
+        assert "permission AllPermission;" in rendered
+        reparsed = parse_policy(rendered)
+        assert reparsed.permissions_for_code_source(
+            CodeSource("file:/trusted/X.class")).implies(
+                RuntimePermission("anything"))
+
+    def test_render_empty_policy(self):
+        assert Policy().render() == ""
+        assert parse_policy(Policy().render()).entries() == []
+
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+_paths = st.lists(st.text(alphabet=st.sampled_from("abcd"), min_size=1,
+                          max_size=4), min_size=1, max_size=3).map(
+                              lambda parts: "/" + "/".join(parts))
+_actions = st.lists(st.sampled_from(["read", "write", "delete"]),
+                    min_size=1, max_size=3, unique=True).map(",".join)
+_users = st.sampled_from(["alice", "bob", "carol"])
+
+
+@given(grants=st.lists(st.tuples(_users, _paths, _actions),
+                       min_size=1, max_size=6))
+@settings(max_examples=50, deadline=None)
+def test_user_grant_render_roundtrip_property(grants):
+    policy = Policy()
+    for user, path, actions in grants:
+        policy.add_grant([FilePermission(path, actions)], user=user)
+    reparsed = parse_policy(policy.render())
+    for user, path, actions in grants:
+        probe = FilePermission(path, actions.split(",")[0])
+        assert reparsed.permissions_for_user(user).implies(probe)

@@ -1,0 +1,161 @@
+"""The system security manager's policy (Section 5.6): thread/thread-group
+ancestry rules, with permission fallback."""
+
+import pytest
+
+from repro.jvm.classloading import ClassMaterial
+from repro.jvm.errors import SecurityException
+from repro.jvm.threads import JThread, ThreadGroup
+from repro.security.codesource import CodeSource
+from repro.security.sysmanager import SystemSecurityManager
+
+
+@pytest.fixture
+def sm(vm):
+    manager = SystemSecurityManager()
+    vm.set_security_manager(manager)
+    return manager
+
+
+def untrusted_runner(vm, fn, name="demo.Untrusted"):
+    """Run ``fn`` under an untrusted protection domain on this thread."""
+    material = ClassMaterial(
+        name, code_source=CodeSource(f"file:/untrusted/{name}.class"))
+    material.members["run"] = lambda jclass, *args: fn(*args)
+    vm.registry.register(material, replace=True)
+    return vm.boot_loader.load_class(name)
+
+
+def parked_thread(group, duration=5.0):
+    thread = JThread(target=lambda: JThread.sleep(duration), group=group)
+    thread.start()
+    return thread
+
+
+class TestThreadAccess:
+    def test_ancestor_may_access_descendant(self, vm, sm):
+        """Section 5.6 rule: ancestor thread groups grant access."""
+        parent_group = ThreadGroup(vm.main_group, "parent")
+        child_group = ThreadGroup(parent_group, "child")
+        outcome = []
+
+        def parent_body():
+            victim = parked_thread(child_group)
+            jclass = untrusted_runner(vm, victim.interrupt)
+            try:
+                jclass.invoke("run")  # untrusted code, but ancestor group
+                outcome.append("allowed")
+            except SecurityException:
+                outcome.append("denied")
+            victim.stop()
+
+        runner = JThread(target=parent_body, group=parent_group)
+        runner.start()
+        runner.join(5)
+        assert outcome == ["allowed"]
+
+    def test_sibling_denied_without_permission(self, vm, sm):
+        group_a = ThreadGroup(vm.main_group, "app-a")
+        group_b = ThreadGroup(vm.main_group, "app-b")
+        outcome = []
+
+        def attacker_body():
+            victim = parked_thread(group_b)
+            jclass = untrusted_runner(vm, victim.stop)
+            try:
+                jclass.invoke("run")
+                outcome.append("allowed")
+            except SecurityException:
+                outcome.append("denied")
+            # cleanup with trusted (host-library) credentials
+            victim.stop()
+
+        attacker = JThread(target=attacker_body, group=group_a)
+        attacker.start()
+        attacker.join(5)
+        assert outcome == ["denied"]
+
+    def test_self_interrupt_always_allowed(self, vm, sm):
+        group = ThreadGroup(vm.main_group, "self")
+        outcome = []
+
+        def body():
+            JThread.current().interrupt()
+            outcome.append(JThread.current().is_interrupted(clear=True))
+
+        thread = JThread(target=body, group=group)
+        thread.start()
+        thread.join(5)
+        assert outcome == [True]
+
+    def test_trusted_code_may_cross_groups(self, vm, sm):
+        """Trusted (boot) code holds AllPermission, so the permission
+        fallback applies."""
+        group_a = ThreadGroup(vm.main_group, "a")
+        group_b = ThreadGroup(vm.main_group, "b")
+        outcome = []
+
+        def body():
+            victim = parked_thread(group_b)
+            try:
+                victim.interrupt()  # trusted library frame: no domain
+                outcome.append("allowed")
+            except SecurityException:
+                outcome.append("denied")
+            victim.stop()
+
+        thread = JThread(target=body, group=group_a)
+        thread.start()
+        thread.join(5)
+        assert outcome == ["allowed"]
+
+
+class TestThreadGroupAccess:
+    def test_thread_creation_confined_to_own_subtree(self, vm, sm):
+        """Section 5.1: threads may only be created in one's own group."""
+        group_a = ThreadGroup(vm.main_group, "a")
+        group_b = ThreadGroup(vm.main_group, "b")
+        outcome = []
+
+        def body():
+            def spawn_in_b():
+                JThread(target=lambda: None, group=group_b)
+
+            jclass = untrusted_runner(vm, spawn_in_b)
+            try:
+                jclass.invoke("run")
+                outcome.append("allowed")
+            except SecurityException:
+                outcome.append("denied")
+
+        thread = JThread(target=body, group=group_a)
+        thread.start()
+        thread.join(5)
+        assert outcome == ["denied"]
+
+    def test_creation_in_own_group_allowed(self, vm, sm):
+        group = ThreadGroup(vm.main_group, "own")
+        outcome = []
+
+        def body():
+            def spawn_here():
+                JThread(target=lambda: None)
+
+            jclass = untrusted_runner(vm, spawn_here)
+            try:
+                jclass.invoke("run")
+                outcome.append("allowed")
+            except SecurityException:
+                outcome.append("denied")
+
+        thread = JThread(target=body, group=group)
+        thread.start()
+        thread.join(5)
+        assert outcome == ["allowed"]
+
+    def test_host_threads_are_trusted(self, vm, sm):
+        # Unattached host threads drive the VM like the native launcher.
+        group = ThreadGroup(vm.main_group, "any")
+        victim = parked_thread(group)
+        victim.interrupt()
+        victim.stop()

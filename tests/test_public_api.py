@@ -1,0 +1,57 @@
+"""The public API surface: everything advertised is importable and sane."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"missing export: {name}"
+
+
+def test_version_present():
+    assert repro.__version__
+
+
+@pytest.mark.parametrize("module_name", [
+    "repro.jvm.errors", "repro.jvm.threads", "repro.jvm.classloading",
+    "repro.jvm.vm",
+    "repro.lang.properties", "repro.lang.system", "repro.lang.sysprops",
+    "repro.lang.context", "repro.lang.reflect", "repro.lang.bootstrap",
+    "repro.io.streams", "repro.io.file",
+    "repro.unixfs.vfs", "repro.unixfs.users", "repro.unixfs.machine",
+    "repro.security.permissions", "repro.security.codesource",
+    "repro.security.policy", "repro.security.access",
+    "repro.security.manager", "repro.security.sysmanager",
+    "repro.security.auth",
+    "repro.awt.events", "repro.awt.components", "repro.awt.xserver",
+    "repro.awt.toolkit", "repro.awt.dispatch",
+    "repro.core.application", "repro.core.context", "repro.core.reload",
+    "repro.core.usermodel", "repro.core.launcher", "repro.core.sharing",
+    "repro.net.fabric", "repro.net.sockets",
+    "repro.tools.shell", "repro.tools.terminal", "repro.tools.login",
+    "repro.tools.coreutils", "repro.tools.appletviewer",
+    "repro.tools.registry",
+    "repro.dist.protocol", "repro.dist.daemon", "repro.dist.client",
+    "repro.dist.rsh",
+    "repro.procsim.model",
+])
+def test_every_module_imports_and_has_a_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+
+
+def test_public_classes_documented():
+    for name in repro.__all__:
+        item = getattr(repro, name)
+        if isinstance(item, type):
+            assert item.__doc__, f"{name} lacks a docstring"
+
+
+def test_paper_policy_exported_and_parses():
+    policy = repro.paper_example_policy()
+    assert policy.entries()
+    assert "UserPermission" in repro.DEFAULT_POLICY

@@ -1,0 +1,173 @@
+"""Shell tokenizer and parser (Section 6.1 syntax)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.jvm.errors import IllegalArgumentException
+from repro.tools.shell import Token, parse, tokenize
+
+
+def words(tokens):
+    return [t.value for t in tokens if t.kind == "word"]
+
+
+class TestTokenizer:
+    def test_simple_words(self):
+        assert words(tokenize("ls -l /tmp")) == ["ls", "-l", "/tmp"]
+
+    def test_operators_split_without_spaces(self):
+        tokens = tokenize("cat a|wc>out")
+        assert [(t.kind, t.value) for t in tokens] == [
+            ("word", "cat"), ("word", "a"), ("op", "|"),
+            ("word", "wc"), ("op", ">"), ("word", "out")]
+
+    def test_double_gt_wins_over_single(self):
+        tokens = tokenize("echo x >> log")
+        assert ("op", ">>") in [(t.kind, t.value) for t in tokens]
+
+    def test_single_quotes(self):
+        assert words(tokenize("echo 'hello world | not a pipe'")) == \
+            ["echo", "hello world | not a pipe"]
+
+    def test_double_quotes_with_escape(self):
+        assert words(tokenize('echo "say \\"hi\\""')) == \
+            ["echo", 'say "hi"']
+
+    def test_backslash_escapes_space_and_ops(self):
+        assert words(tokenize(r"echo a\ b \| c")) == \
+            ["echo", "a b", "|", "c"]
+
+    def test_adjacent_quoted_parts_join(self):
+        assert words(tokenize("echo 'a'\"b\"c")) == ["echo", "abc"]
+
+    def test_comment_stripped(self):
+        assert words(tokenize("ls # trailing comment")) == ["ls"]
+
+    def test_empty_line(self):
+        assert tokenize("") == []
+        assert tokenize("   ") == []
+
+    def test_unterminated_quote_rejected(self):
+        with pytest.raises(IllegalArgumentException):
+            tokenize("echo 'oops")
+
+    def test_trailing_backslash_rejected(self):
+        with pytest.raises(IllegalArgumentException):
+            tokenize("echo x\\")
+
+
+class TestParser:
+    def test_single_command(self):
+        pipelines = parse(tokenize("ls -l"))
+        assert len(pipelines) == 1
+        assert pipelines[0].commands[0].argv == ["ls", "-l"]
+        assert not pipelines[0].background
+
+    def test_pipeline_stages(self):
+        pipelines = parse(tokenize("cat f | grep x | wc -l"))
+        argvs = [c.argv for c in pipelines[0].commands]
+        assert argvs == [["cat", "f"], ["grep", "x"], ["wc", "-l"]]
+
+    def test_redirections(self):
+        command = parse(tokenize("sort < in.txt > out.txt"))[0].commands[0]
+        assert command.argv == ["sort"]
+        assert command.redirect_in == "in.txt"
+        assert command.redirect_out == "out.txt"
+        assert not command.append_out
+
+    def test_append_redirect(self):
+        command = parse(tokenize("echo x >> log"))[0].commands[0]
+        assert command.redirect_out == "log"
+        assert command.append_out
+
+    def test_background_flag(self):
+        pipelines = parse(tokenize("sleep 5 &"))
+        assert pipelines[0].background
+
+    def test_sequencing(self):
+        pipelines = parse(tokenize("echo a ; echo b; echo c"))
+        assert len(pipelines) == 3
+
+    def test_background_then_foreground(self):
+        pipelines = parse(tokenize("server & client"))
+        assert pipelines[0].background
+        assert not pipelines[1].background
+        assert pipelines[1].commands[0].argv == ["client"]
+
+    def test_empty_pipeline_segments_dropped(self):
+        assert parse(tokenize(";;;")) == []
+
+    def test_pipe_without_left_side_rejected(self):
+        with pytest.raises(IllegalArgumentException):
+            parse(tokenize("| wc"))
+
+    def test_redirect_without_target_rejected(self):
+        with pytest.raises(IllegalArgumentException):
+            parse(tokenize("echo x >"))
+
+    def test_ampersand_alone_rejected(self):
+        with pytest.raises(IllegalArgumentException):
+            parse(tokenize("&"))
+
+
+# -- property-based ----------------------------------------------------------
+
+plain_word = st.text(
+    alphabet=st.sampled_from("abcdefXYZ0123./-_"), min_size=1, max_size=8)
+
+
+@given(argv=st.lists(plain_word, min_size=1, max_size=6))
+@settings(max_examples=80, deadline=None)
+def test_plain_words_tokenize_losslessly(argv):
+    line = " ".join(argv)
+    assert words(tokenize(line)) == argv
+
+
+@given(argv=st.lists(st.text(
+    alphabet=st.characters(blacklist_characters="'\n\r",
+                           blacklist_categories=("Cs",)),
+    min_size=1, max_size=10), min_size=1, max_size=4))
+@settings(max_examples=80, deadline=None)
+def test_single_quoting_preserves_arbitrary_words(argv):
+    line = " ".join(f"'{word}'" for word in argv)
+    assert words(tokenize(line)) == argv
+
+
+@given(stages=st.lists(st.lists(plain_word, min_size=1, max_size=3),
+                       min_size=1, max_size=4))
+@settings(max_examples=80, deadline=None)
+def test_pipeline_roundtrip(stages):
+    line = " | ".join(" ".join(stage) for stage in stages)
+    pipeline = parse(tokenize(line))[0]
+    assert [c.argv for c in pipeline.commands] == stages
+
+
+class TestConditionalChaining:
+    def test_and_or_tokens(self):
+        tokens = tokenize("a && b || c")
+        ops = [t.value for t in tokens if t.kind == "op"]
+        assert ops == ["&&", "||"]
+
+    def test_conditions_attached_to_pipelines(self):
+        pipelines = parse(tokenize("mk && use || recover"))
+        assert [p.condition for p in pipelines] == [None, "and", "or"]
+        assert [p.commands[0].argv[0] for p in pipelines] == \
+            ["mk", "use", "recover"]
+
+    def test_and_with_pipes_inside(self):
+        pipelines = parse(tokenize("cat f | wc && echo ok"))
+        assert len(pipelines) == 2
+        assert len(pipelines[0].commands) == 2
+        assert pipelines[1].condition == "and"
+
+    def test_double_ampersand_not_confused_with_background(self):
+        pipelines = parse(tokenize("slow & fast && after"))
+        assert pipelines[0].background
+        assert pipelines[1].condition is None
+        assert pipelines[2].condition == "and"
+
+    def test_dangling_operator_rejected(self):
+        with pytest.raises(IllegalArgumentException):
+            parse(tokenize("a &&"))
+        with pytest.raises(IllegalArgumentException):
+            parse(tokenize("&& b"))

@@ -1,0 +1,149 @@
+"""The terminal of Section 6.2: echo control, history, stream discovery."""
+
+from repro.io.streams import ByteArrayOutputStream, PrintStream
+from repro.jvm.threads import JThread, ThreadGroup
+from repro.tools.terminal import Terminal, TerminalDevice
+
+
+def typed(device, *lines):
+    for line in lines:
+        device.type_line(line)
+
+
+class TestDevice:
+    def test_echo_on_by_default(self):
+        device = TerminalDevice()
+        device.type_text("abc")
+        assert device.transcript() == "abc"
+
+    def test_echo_off_hides_typed_text(self):
+        device = TerminalDevice()
+        device.set_echo(False)
+        device.type_text("secret")
+        assert device.transcript() == ""
+        device.set_echo(True)
+        device.type_text("x")
+        assert device.transcript() == "x"
+
+    def test_read_char_order(self):
+        device = TerminalDevice()
+        device.type_text("ab")
+        assert device.read_char() == "a"
+        assert device.read_char() == "b"
+
+    def test_hang_up_returns_none(self):
+        device = TerminalDevice()
+        device.hang_up()
+        assert device.read_char() is None
+
+    def test_blocking_read_from_thread(self):
+        root = ThreadGroup(None, "system")
+        device = TerminalDevice()
+        got = []
+
+        def body():
+            got.append(device.read_char())
+
+        thread = JThread(target=body, group=root)
+        thread.start()
+        device.type_text("z")
+        thread.join(5)
+        assert got == ["z"]
+
+
+class TestTerminal:
+    def test_read_string_echoes_prompt(self):
+        device = TerminalDevice()
+        terminal = Terminal(device)
+        device.type_line("hello")
+        assert terminal.read_string("$ ") == "hello"
+        assert "$ " in device.transcript()
+
+    def test_backspace_editing(self):
+        device = TerminalDevice()
+        terminal = Terminal(device)
+        device.type_line("cax\bt")
+        assert terminal.read_string() == "cat"
+
+    def test_read_password_suppresses_echo(self):
+        device = TerminalDevice()
+        terminal = Terminal(device)
+        root = ThreadGroup(None, "system")
+        got = []
+
+        def reader():
+            got.append(terminal.read_password("Password: "))
+
+        thread = JThread(target=reader, group=root)
+        thread.start()
+        # Type only once the prompt is up (echo is off by then).
+        assert device.wait_for_output("Password: ")
+        device.type_line("hunter2")
+        thread.join(5)
+        assert got == ["hunter2"]
+        assert "hunter2" not in device.transcript()
+        assert "Password: " in device.transcript()
+        assert device.echo  # restored afterwards
+
+    def test_history_recorded(self):
+        device = TerminalDevice()
+        terminal = Terminal(device)
+        typed(device, "first", "second")
+        terminal.read_string()
+        terminal.read_string()
+        assert terminal.history == ["first", "second"]
+
+    def test_bang_bang_repeats_last(self):
+        device = TerminalDevice()
+        terminal = Terminal(device)
+        typed(device, "ls /tmp", "!!")
+        assert terminal.read_string() == "ls /tmp"
+        assert terminal.read_string() == "ls /tmp"
+        assert terminal.history == ["ls /tmp", "ls /tmp"]
+
+    def test_bang_n_recalls_numbered_entry(self):
+        device = TerminalDevice()
+        terminal = Terminal(device)
+        typed(device, "one", "two", "!1")
+        terminal.read_string()
+        terminal.read_string()
+        assert terminal.read_string() == "one"
+
+    def test_bang_out_of_range_is_empty(self):
+        device = TerminalDevice()
+        terminal = Terminal(device)
+        typed(device, "!7")
+        assert terminal.read_string() == ""
+
+    def test_history_bounded(self):
+        device = TerminalDevice()
+        terminal = Terminal(device, history_size=2)
+        typed(device, "a", "b", "c")
+        for _ in range(3):
+            terminal.read_string()
+        assert terminal.history == ["b", "c"]
+
+    def test_hang_up_mid_session(self):
+        device = TerminalDevice()
+        terminal = Terminal(device)
+        device.hang_up()
+        assert terminal.read_string("$ ") is None
+
+
+class TestFromStream:
+    def test_found_on_terminal_streams(self):
+        terminal = Terminal(TerminalDevice())
+        assert Terminal.from_stream(terminal.input) is terminal
+        assert Terminal.from_stream(terminal.output) is terminal
+
+    def test_found_through_print_stream_wrapper(self):
+        terminal = Terminal(TerminalDevice())
+        wrapped = PrintStream(terminal.output)
+        assert Terminal.from_stream(wrapped) is terminal
+
+    def test_none_for_plain_streams(self):
+        """"applications like cat only use the standard streams, and
+        therefore also work if they are not run from a terminal"."""
+        assert Terminal.from_stream(ByteArrayOutputStream()) is None
+        assert Terminal.from_stream(
+            PrintStream(ByteArrayOutputStream())) is None

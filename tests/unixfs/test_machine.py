@@ -1,0 +1,79 @@
+"""The standard simulated machine layout and OS accounts."""
+
+import pytest
+
+from repro.jvm.errors import IllegalArgumentException
+from repro.unixfs.machine import standard_machine, standard_process
+from repro.unixfs.users import OsUser, OsUserTable, standard_user_table
+from repro.unixfs.vfs import VfsPermissionDenied
+
+
+class TestUserTable:
+    def test_standard_accounts(self):
+        table = standard_user_table()
+        assert table.lookup("root").is_superuser
+        assert not table.lookup("jvm").is_superuser
+        assert table.lookup_uid(1001).name == "alice"
+        assert "bob" in table
+        assert "eve" not in table
+
+    def test_duplicates_rejected(self):
+        table = OsUserTable()
+        table.add(OsUser("x", 1, 1, "/x"))
+        with pytest.raises(IllegalArgumentException):
+            table.add(OsUser("x", 2, 2, "/x2"))
+        with pytest.raises(IllegalArgumentException):
+            table.add(OsUser("y", 1, 1, "/y"))
+
+    def test_unknown_lookup(self):
+        table = standard_user_table()
+        with pytest.raises(IllegalArgumentException):
+            table.lookup("nobody-here")
+        with pytest.raises(IllegalArgumentException):
+            table.lookup_uid(9999)
+
+    def test_group_membership(self):
+        user = OsUser("g", 5, 10, "/g", groups=frozenset({20, 30}))
+        assert user.in_group(10)
+        assert user.in_group(20)
+        assert not user.in_group(40)
+
+
+class TestStandardMachine:
+    def test_layout(self):
+        machine = standard_machine()
+        jvm = machine.users.lookup("jvm")
+        vfs = machine.vfs
+        for path in ("/tmp", "/etc", "/home/alice", "/home/bob",
+                     "/usr/local/java/tools", "/var/backup",
+                     "/usr/lib/fonts"):
+            assert vfs.is_dir(path, jvm), path
+        assert vfs.read_file("/etc/motd", jvm).startswith(b"Welcome")
+        assert b"FONT" in vfs.read_file("/usr/lib/fonts/default.fnt", jvm)
+
+    def test_shadow_hidden_from_jvm_process(self):
+        machine = standard_machine()
+        jvm = machine.users.lookup("jvm")
+        root = machine.users.lookup("root")
+        with pytest.raises(VfsPermissionDenied):
+            machine.vfs.read_file("/etc/shadow", jvm)
+        assert machine.vfs.read_file("/etc/shadow", root)
+
+    def test_home_files_visible_to_jvm_process(self):
+        """The Java layer, not the OS, isolates users (Section 5.3)."""
+        machine = standard_machine()
+        jvm = machine.users.lookup("jvm")
+        assert b"private notes" in \
+            machine.vfs.read_file("/home/alice/notes.txt", jvm)
+        assert b"todo" in machine.vfs.read_file("/home/bob/todo.txt", jvm)
+
+    def test_pids_increment(self):
+        machine = standard_machine()
+        assert machine.next_pid() < machine.next_pid()
+
+    def test_standard_process_defaults(self):
+        process = standard_process()
+        assert process.user.name == "jvm"
+        assert process.cwd == "/"
+        assert process.env["USER"] == "jvm"
+        assert process.vfs is process.machine.vfs

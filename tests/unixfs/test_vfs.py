@@ -1,0 +1,216 @@
+"""The virtual Unix file system: inodes, modes, owners, symlinks."""
+
+import pytest
+
+from repro.unixfs.users import OsUser
+from repro.unixfs.vfs import (
+    VfsDirectoryNotEmpty,
+    VfsExists,
+    VfsIsADirectory,
+    VfsNotADirectory,
+    VfsNotFound,
+    VfsPermissionDenied,
+    VfsSymlinkLoop,
+    VirtualFileSystem,
+)
+
+ROOT = OsUser("root", 0, 0, "/root")
+ALICE = OsUser("alice", 1001, 1001, "/home/alice")
+BOB = OsUser("bob", 1002, 1002, "/home/bob")
+GROUPIE = OsUser("groupie", 1003, 1001, "/home/groupie")  # alice's group
+
+
+@pytest.fixture
+def fs():
+    fs = VirtualFileSystem()
+    fs.mkdir("/home", ROOT)
+    fs.mkdir("/home/alice", ROOT)
+    fs.chown("/home/alice", ALICE.uid, ALICE.gid, ROOT)
+    fs.mkdir("/tmp", ROOT, mode=0o777)
+    return fs
+
+
+class TestPaths:
+    def test_normalize(self):
+        normalize = VirtualFileSystem.normalize
+        assert normalize("/a/b") == "/a/b"
+        assert normalize("b", "/a") == "/a/b"
+        assert normalize("../x", "/a/b") == "/a/x"
+        assert normalize("/a/./b/../c") == "/a/c"
+        assert normalize(".", "/a") == "/a"
+        assert normalize("/") == "/"
+        assert normalize("..", "/") == "/"
+
+    def test_missing_component(self, fs):
+        with pytest.raises(VfsNotFound):
+            fs.stat("/home/alice/nope", ALICE)
+        with pytest.raises(VfsNotFound):
+            fs.stat("/nowhere/deep/path", ALICE)
+
+    def test_file_as_directory(self, fs):
+        fs.write_file("/tmp/f", b"x", ALICE)
+        with pytest.raises(VfsNotADirectory):
+            fs.stat("/tmp/f/child", ALICE)
+
+
+class TestFilesAndDirectories:
+    def test_create_write_read(self, fs):
+        fs.write_file("/home/alice/doc.txt", b"hello", ALICE)
+        assert fs.read_file("/home/alice/doc.txt", ALICE) == b"hello"
+        stat = fs.stat("/home/alice/doc.txt", ALICE)
+        assert stat.kind == "file"
+        assert stat.size == 5
+        assert stat.uid == ALICE.uid
+
+    def test_append_mode(self, fs):
+        fs.write_file("/tmp/log", b"a", ALICE)
+        fs.write_file("/tmp/log", b"b", ALICE, mode="a")
+        assert fs.read_file("/tmp/log", ALICE) == b"ab"
+
+    def test_truncate_on_w(self, fs):
+        fs.write_file("/tmp/t", b"longer", ALICE)
+        fs.write_file("/tmp/t", b"s", ALICE)
+        assert fs.read_file("/tmp/t", ALICE) == b"s"
+
+    def test_handle_seek_tell_truncate(self, fs):
+        fs.write_file("/tmp/h", b"0123456789", ALICE)
+        handle = fs.open("/tmp/h", ALICE, "r+")
+        handle.seek(5)
+        assert handle.tell() == 5
+        assert handle.read(2) == b"56"
+        handle.seek(0)
+        handle.write(b"AB")
+        handle.truncate(4)
+        handle.close()
+        assert fs.read_file("/tmp/h", ALICE) == b"AB23"
+
+    def test_open_directory_fails(self, fs):
+        with pytest.raises(VfsIsADirectory):
+            fs.open("/tmp", ALICE, "r")
+
+    def test_mkdir_exists(self, fs):
+        with pytest.raises(VfsExists):
+            fs.mkdir("/home/alice", ALICE)
+
+    def test_makedirs(self, fs):
+        fs.makedirs("/tmp/a/b/c", ALICE)
+        assert fs.is_dir("/tmp/a/b/c", ALICE)
+        fs.makedirs("/tmp/a/b/c", ALICE)  # idempotent
+
+    def test_listdir_sorted(self, fs):
+        fs.write_file("/tmp/z", b"", ALICE)
+        fs.write_file("/tmp/a", b"", ALICE)
+        assert fs.listdir("/tmp", ALICE) == ["a", "z"]
+
+    def test_unlink_and_rmdir(self, fs):
+        fs.write_file("/tmp/gone", b"x", ALICE)
+        fs.unlink("/tmp/gone", ALICE)
+        assert not fs.exists("/tmp/gone", ALICE)
+        fs.mkdir("/tmp/d", ALICE)
+        fs.rmdir("/tmp/d", ALICE)
+        assert not fs.exists("/tmp/d", ALICE)
+
+    def test_rmdir_non_empty(self, fs):
+        fs.mkdir("/tmp/d", ALICE)
+        fs.write_file("/tmp/d/f", b"", ALICE)
+        with pytest.raises(VfsDirectoryNotEmpty):
+            fs.rmdir("/tmp/d", ALICE)
+
+    def test_unlink_directory_fails(self, fs):
+        fs.mkdir("/tmp/d", ALICE)
+        with pytest.raises(VfsIsADirectory):
+            fs.unlink("/tmp/d", ALICE)
+
+    def test_rename(self, fs):
+        fs.write_file("/tmp/old", b"v", ALICE)
+        fs.rename("/tmp/old", "/tmp/new", ALICE)
+        assert fs.read_file("/tmp/new", ALICE) == b"v"
+        assert not fs.exists("/tmp/old", ALICE)
+
+    def test_mtime_monotonic(self, fs):
+        fs.write_file("/tmp/m", b"1", ALICE)
+        first = fs.stat("/tmp/m", ALICE).mtime
+        fs.write_file("/tmp/m", b"2", ALICE, mode="a")
+        assert fs.stat("/tmp/m", ALICE).mtime > first
+
+    def test_walk(self, fs):
+        fs.makedirs("/tmp/w/x", ALICE)
+        fs.write_file("/tmp/w/f", b"", ALICE)
+        walked = dict(fs.walk("/tmp/w", ALICE))
+        assert walked["/tmp/w"] == ["f", "x"]
+        assert "/tmp/w/x" in walked
+
+
+class TestPermissions:
+    def test_owner_group_other_bits(self, fs):
+        fs.write_file("/tmp/shared", b"data", ALICE)
+        fs.chmod("/tmp/shared", 0o640, ALICE)
+        assert fs.read_file("/tmp/shared", ALICE) == b"data"   # owner
+        assert fs.read_file("/tmp/shared", GROUPIE) == b"data"  # group
+        with pytest.raises(VfsPermissionDenied):
+            fs.read_file("/tmp/shared", BOB)                   # other
+
+    def test_write_denied_without_bit(self, fs):
+        fs.write_file("/tmp/ro", b"data", ALICE)
+        fs.chmod("/tmp/ro", 0o444, ALICE)
+        with pytest.raises(VfsPermissionDenied):
+            fs.write_file("/tmp/ro", b"nope", BOB)
+
+    def test_search_permission_on_path(self, fs):
+        fs.mkdir("/tmp/private", ALICE, mode=0o700)
+        fs.write_file("/tmp/private/f", b"x", ALICE)
+        with pytest.raises(VfsPermissionDenied):
+            fs.read_file("/tmp/private/f", BOB)
+
+    def test_parent_write_needed_to_create(self, fs):
+        fs.mkdir("/tmp/theirs", ALICE, mode=0o755)
+        with pytest.raises(VfsPermissionDenied):
+            fs.create_file("/tmp/theirs/mine", BOB)
+
+    def test_root_bypasses_everything(self, fs):
+        fs.mkdir("/tmp/locked", ALICE, mode=0o700)
+        fs.write_file("/tmp/locked/f", b"x", ALICE)
+        assert fs.read_file("/tmp/locked/f", ROOT) == b"x"
+
+    def test_chmod_only_owner_or_root(self, fs):
+        fs.write_file("/tmp/c", b"", ALICE)
+        with pytest.raises(VfsPermissionDenied):
+            fs.chmod("/tmp/c", 0o777, BOB)
+        fs.chmod("/tmp/c", 0o600, ROOT)
+
+    def test_chown_only_root(self, fs):
+        fs.write_file("/tmp/o", b"", ALICE)
+        with pytest.raises(VfsPermissionDenied):
+            fs.chown("/tmp/o", BOB.uid, BOB.gid, ALICE)
+        fs.chown("/tmp/o", BOB.uid, BOB.gid, ROOT)
+        assert fs.stat("/tmp/o", ROOT).uid == BOB.uid
+
+    def test_listdir_requires_read(self, fs):
+        fs.mkdir("/tmp/noread", ALICE, mode=0o311)
+        with pytest.raises(VfsPermissionDenied):
+            fs.listdir("/tmp/noread", BOB)
+
+
+class TestSymlinks:
+    def test_follow(self, fs):
+        fs.write_file("/tmp/target", b"real", ALICE)
+        fs.symlink("/tmp/target", "/tmp/link", ALICE)
+        assert fs.read_file("/tmp/link", ALICE) == b"real"
+        assert fs.readlink("/tmp/link", ALICE) == "/tmp/target"
+
+    def test_relative_target(self, fs):
+        fs.write_file("/tmp/target", b"real", ALICE)
+        fs.symlink("target", "/tmp/rel", ALICE)
+        assert fs.read_file("/tmp/rel", ALICE) == b"real"
+
+    def test_intermediate_symlinked_dir(self, fs):
+        fs.makedirs("/tmp/real/dir", ALICE)
+        fs.write_file("/tmp/real/dir/f", b"deep", ALICE)
+        fs.symlink("/tmp/real", "/tmp/alias", ALICE)
+        assert fs.read_file("/tmp/alias/dir/f", ALICE) == b"deep"
+
+    def test_loop_detected(self, fs):
+        fs.symlink("/tmp/b", "/tmp/a", ALICE)
+        fs.symlink("/tmp/a", "/tmp/b", ALICE)
+        with pytest.raises(VfsSymlinkLoop):
+            fs.read_file("/tmp/a", ALICE)

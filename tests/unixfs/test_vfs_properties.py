@@ -1,0 +1,70 @@
+"""Property-based tests on VFS path handling and content integrity."""
+
+import posixpath
+
+from hypothesis import given, settings, strategies as st
+
+from repro.unixfs.users import OsUser
+from repro.unixfs.vfs import VirtualFileSystem
+
+ROOT = OsUser("root", 0, 0, "/root")
+
+name = st.text(
+    alphabet=st.sampled_from("abcdefghij"),
+    min_size=1, max_size=8)
+segments = st.lists(name, min_size=1, max_size=4)
+
+
+@given(parts=segments)
+@settings(max_examples=60, deadline=None)
+def test_normalize_is_idempotent(parts):
+    path = "/" + "/".join(parts)
+    once = VirtualFileSystem.normalize(path)
+    assert VirtualFileSystem.normalize(once) == once
+
+
+@given(parts=segments, cwd_parts=st.lists(name, max_size=3))
+@settings(max_examples=60, deadline=None)
+def test_relative_equals_joined_absolute(parts, cwd_parts):
+    cwd = "/" + "/".join(cwd_parts) if cwd_parts else "/"
+    relative = "/".join(parts)
+    assert VirtualFileSystem.normalize(relative, cwd) == \
+        VirtualFileSystem.normalize(posixpath.join(cwd, relative))
+
+
+@given(parts=segments, payload=st.binary(max_size=300))
+@settings(max_examples=40, deadline=None)
+def test_create_then_read_roundtrip(parts, payload):
+    fs = VirtualFileSystem()
+    directory = "/" + "/".join(parts[:-1]) if len(parts) > 1 else "/"
+    if directory != "/":
+        fs.makedirs(directory, ROOT)
+    path = posixpath.join(directory, parts[-1])
+    fs.write_file(path, payload, ROOT)
+    assert fs.read_file(path, ROOT) == payload
+    assert fs.stat(path, ROOT).size == len(payload)
+
+
+@given(parts=segments)
+@settings(max_examples=40, deadline=None)
+def test_makedirs_then_listdir_consistent(parts):
+    fs = VirtualFileSystem()
+    path = "/" + "/".join(parts)
+    fs.makedirs(path, ROOT)
+    # Every prefix exists and contains its successor.
+    prefix = ""
+    for index, part in enumerate(parts):
+        parent = prefix or "/"
+        assert part in fs.listdir(parent, ROOT)
+        prefix = f"{prefix}/{part}"
+        assert fs.is_dir(prefix, ROOT)
+
+
+@given(appends=st.lists(st.binary(min_size=1, max_size=50),
+                        min_size=1, max_size=10))
+@settings(max_examples=40, deadline=None)
+def test_appends_concatenate(appends):
+    fs = VirtualFileSystem()
+    for chunk in appends:
+        fs.write_file("/f", chunk, ROOT, mode="a")
+    assert fs.read_file("/f", ROOT) == b"".join(appends)
