@@ -30,3 +30,24 @@ def bench_mvm():
 def banner(title: str) -> str:
     line = "=" * max(8, len(title))
     return f"\n{line}\n{title}\n{line}"
+
+
+def install_trace_exporter(path: str):
+    """Install a process-global trace collector; returns an export closure.
+
+    Backs the suite's ``--trace-out`` option: the collector sees spans from
+    every VM booted during the run (the tracer's guarded fast path only
+    pays when a collector is installed).  Calling the returned closure
+    writes the JSONL file, uninstalls the collector, and returns the
+    record count.
+    """
+    from repro.telemetry import TraceCollector, install_collector
+
+    collector = TraceCollector()
+    install_collector(collector)
+
+    def export() -> int:
+        install_collector(None)
+        return collector.export_jsonl(path)
+
+    return export

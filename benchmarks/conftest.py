@@ -1,0 +1,40 @@
+"""Benchmark-suite options: ``--trace-out`` exports a JSONL trace.
+
+With ``--trace-out PATH``, a process-global trace collector is installed
+before any benchmark boots a VM, so spans and events from every VM in the
+run land in one file — the always-on telemetry demonstrated end to end.
+Without the option nothing is installed and tracing stays on its no-op
+fast path.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+_exporter = None
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--trace-out", action="store", default=None, metavar="PATH",
+        help="export a JSONL trace of all benchmark VM activity to PATH")
+
+
+def pytest_configure(config):
+    global _exporter
+    path = config.getoption("--trace-out")
+    if path:
+        from _common import install_trace_exporter
+        _exporter = install_trace_exporter(path)
+
+
+def pytest_unconfigure(config):
+    global _exporter
+    if _exporter is not None:
+        count = _exporter()
+        _exporter = None
+        print(f"\n[trace-out] wrote {count} records to "
+              f"{config.getoption('--trace-out')}")

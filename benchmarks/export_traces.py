@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Smoke-test the end-to-end trace pipeline (``--trace-out``).
+
+Runs one benchmark per instrumented subsystem — application lifecycle, AWT
+dispatch, and the shell (whose ``cat`` triggers audited security checks) —
+with a trace collector installed, then verifies that the exported JSONL
+parses line by line and contains lifecycle spans, dispatch spans, and at
+least one audited security-check event.
+
+Usage::
+
+    python benchmarks/export_traces.py [output.jsonl]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(BENCH_DIR)
+
+#: One benchmark per instrumented subsystem.
+SELECTED = [
+    "bench_app_lifecycle.py::test_bench_application_launch_and_wait",
+    "bench_dispatch.py::test_bench_dispatch_round_trip",
+    "bench_shell.py::test_bench_simple_command",
+]
+
+
+def run(trace_path: str) -> None:
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    command = [sys.executable, "-m", "pytest", "-q", "-p", "no:cacheprovider",
+               "--trace-out", trace_path]
+    command += [os.path.join(BENCH_DIR, item) for item in SELECTED]
+    completed = subprocess.run(command, cwd=REPO_ROOT, env=env)
+    if completed.returncode != 0:
+        sys.exit(f"benchmark run failed with status {completed.returncode}")
+
+
+def verify(trace_path: str) -> None:
+    with open(trace_path, encoding="utf-8") as source:
+        records = [json.loads(line) for line in source if line.strip()]
+    if not records:
+        sys.exit("trace is empty")
+    names = {r["name"] for r in records}
+    missing = [needed for needed in
+               ("app.exec", "app.main", "app.lifecycle", "awt.dispatch",
+                "security.check")
+               if needed not in names]
+    if missing:
+        sys.exit(f"trace is missing record kinds: {missing}")
+    checks = [r for r in records if r["name"] == "security.check"]
+    print(f"ok: {len(records)} records, {len(names)} distinct names, "
+          f"{len(checks)} security checks")
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        trace_path = sys.argv[1]
+        run(trace_path)
+        verify(trace_path)
+        return
+    with tempfile.TemporaryDirectory() as scratch:
+        trace_path = os.path.join(scratch, "trace.jsonl")
+        run(trace_path)
+        verify(trace_path)
+
+
+if __name__ == "__main__":
+    main()

@@ -21,6 +21,7 @@ distinguishing between the two cases."
 from __future__ import annotations
 
 import threading
+import time
 from typing import Optional
 
 from repro.awt.events import AWTEvent, EventQueue, InvocationEvent
@@ -28,12 +29,25 @@ from repro.jvm.threads import JThread, ThreadGroup
 
 
 class EventDispatchThread:
-    """A thread that drains one event queue until the queue closes."""
+    """A thread that drains one event queue until the queue closes.
+
+    When a telemetry ``hub`` is supplied, every drained event feeds the
+    per-application ``awt.dispatch.latency_s`` histogram (post-to-dispatch
+    time, via the ``_posted_ns`` stamp the dispatchers set) and the
+    ``awt.events.dispatched`` counter; with tracing on, each dispatch is
+    an ``awt.dispatch`` span.
+    """
 
     def __init__(self, queue: EventQueue, group: ThreadGroup, name: str,
-                 daemon: bool = False, error_sink=None):
+                 daemon: bool = False, error_sink=None,
+                 hub=None, app_label: Optional[str] = None):
         self.queue = queue
         self._error_sink = error_sink
+        self._hub = hub
+        self._app_label = app_label
+        #: label -> (latency histogram, dispatched counter); the dispatch
+        #: loop must not pay a registry lookup per event.
+        self._instruments: dict = {}
         self.thread = JThread(target=self._loop, name=name, group=group,
                               daemon=daemon)
 
@@ -41,16 +55,49 @@ class EventDispatchThread:
         self.thread.start()
         return self
 
+    def _label_for(self, event: AWTEvent) -> str:
+        application = event.application
+        if application is not None:
+            return application.name
+        return self._app_label or "system"
+
+    def _instruments_for(self, label: str):
+        pair = self._instruments.get(label)
+        if pair is None:
+            metrics = self._hub.metrics
+            pair = (metrics.histogram("awt.dispatch.latency_s", app=label),
+                    metrics.counter("awt.events.dispatched", app=label))
+            self._instruments[label] = pair
+        return pair
+
     def _loop(self) -> None:
+        hub = self._hub
+        tracer = hub.tracer if hub is not None else None
         while True:
             event = self.queue.next_event()
             if event is None:
                 return
+            span = None
+            if hub is not None:
+                label = self._label_for(event)
+                latency, dispatched = self._instruments_for(label)
+                posted = event._posted_ns
+                if posted is not None:
+                    latency.observe((time.monotonic_ns() - posted) / 1e9)
+                dispatched.inc()
+                if tracer.recording:
+                    span = tracer.span("awt.dispatch", app=label,
+                                       event=type(event).__name__)
             try:
                 event.dispatch()
             except BaseException as exc:  # noqa: BLE001 - EDT must survive
+                if span is not None:
+                    span.set(error=type(exc).__name__)
                 if self._error_sink is not None:
                     self._error_sink(event, exc)
+            finally:
+                if span is not None:
+                    span.end()
 
     def shutdown(self) -> None:
         self.queue.close()
@@ -91,6 +138,8 @@ class CentralizedDispatcher(Dispatcher):
         self._edt: Optional[EventDispatchThread] = None
         self._lock = threading.Lock()
         self._error_sink = error_sink
+        self._depth_gauge = vm.telemetry.metrics.gauge(
+            "awt.queue.depth", app="global")
         #: The group the EDT ended up in (observable footnote-5 behaviour).
         self.edt_group: Optional[ThreadGroup] = None
 
@@ -106,11 +155,14 @@ class CentralizedDispatcher(Dispatcher):
             self.edt_group = group
             self._edt = EventDispatchThread(
                 self.queue, group, "AWT-EventDispatch", daemon=False,
-                error_sink=self._error_sink).start()
+                error_sink=self._error_sink, hub=self.vm.telemetry,
+                app_label="global").start()
 
     def post(self, event: AWTEvent) -> None:
         self._ensure_edt()
-        self.queue.post_event(event)
+        event._posted_ns = time.monotonic_ns()
+        # Depth of the single shared queue (Figure 2's bottleneck).
+        self._depth_gauge.set(self.queue.post_event(event))
 
     @property
     def started(self) -> bool:
@@ -131,6 +183,8 @@ class PerApplicationDispatcher(Dispatcher):
         self.vm = vm
         self._lock = threading.Lock()
         self._error_sink = error_sink
+        #: label -> queue-depth gauge (one per application + "system").
+        self._depth_gauges: dict = {}
         #: Events whose application cannot be determined fall back to a
         #: system queue drained by a daemon thread in the system group.
         self._system_queue: Optional[EventQueue] = None
@@ -151,7 +205,8 @@ class PerApplicationDispatcher(Dispatcher):
                 edt = EventDispatchThread(
                     queue, application.thread_group,
                     f"AWT-EventDispatch-{application.name}", daemon=False,
-                    error_sink=self._error_sink)
+                    error_sink=self._error_sink, hub=self.vm.telemetry,
+                    app_label=application.name)
                 application.event_queue = queue
                 application.event_dispatch_thread = edt
                 edt.start()
@@ -164,16 +219,26 @@ class PerApplicationDispatcher(Dispatcher):
                 self._system_edt = EventDispatchThread(
                     self._system_queue, self.vm.root_group,
                     "AWT-EventDispatch-system", daemon=True,
-                    error_sink=self._error_sink).start()
+                    error_sink=self._error_sink, hub=self.vm.telemetry,
+                    app_label="system").start()
             return self._system_queue
 
     def post(self, event: AWTEvent) -> None:
         application = event.application
         if application is not None and not application.terminated:
             queue = self.ensure_application_dispatcher(application)
+            label = application.name
         else:
             queue = self._ensure_system_edt()
-        queue.post_event(event)
+            label = "system"
+        gauge = self._depth_gauges.get(label)
+        if gauge is None:
+            gauge = self.vm.telemetry.metrics.gauge("awt.queue.depth",
+                                                    app=label)
+            self._depth_gauges[label] = gauge
+        event._posted_ns = time.monotonic_ns()
+        # Per-application queue depth (Figure 4: independent queues).
+        gauge.set(queue.post_event(event))
 
     def shutdown_application(self, application) -> None:
         """Close an application's queue (reaper teardown path)."""

@@ -26,6 +26,10 @@ _sequence = itertools.count(1)
 class AWTEvent:
     """Base event: a source component and a monotonically increasing id."""
 
+    #: Monotonic stamp set by the dispatchers at post time; feeds the
+    #: post-to-dispatch latency histogram.
+    _posted_ns = None
+
     def __init__(self, source):
         self.source = source
         self.when = next(_sequence)
@@ -123,13 +127,15 @@ class EventQueue:
         self._cond = threading.Condition()
         self._closed = False
 
-    def post_event(self, event: AWTEvent) -> None:
+    def post_event(self, event: AWTEvent) -> int:
+        """Enqueue the event; returns the resulting queue depth."""
         with self._cond:
             if self._closed:
                 raise IllegalStateException(
                     f"event queue {self.name} is closed")
             self._events.append(event)
             self._cond.notify_all()
+            return len(self._events)
 
     def next_event(self) -> Optional[AWTEvent]:
         """Block for the next event; None once the queue is closed."""

@@ -83,7 +83,20 @@ class ResourceLimits:
 
 
 class ResourceLimitExceeded(IllegalStateException):
-    """An application hit one of its resource ceilings."""
+    """An application hit one of its resource ceilings.
+
+    Typed (enforce-and-record): ``limit`` names the
+    :class:`ResourceLimits` field that was hit (``"max_threads"``, ...)
+    and ``maximum`` carries the configured ceiling.  Every rejection also
+    increments the per-application ``limits.rejected`` counter.
+    """
+
+    def __init__(self, message: str | None = None,
+                 limit: str | None = None,
+                 maximum: int | None = None):
+        super().__init__(message)
+        self.limit = limit
+        self.maximum = maximum
 
 
 class Application:
@@ -172,12 +185,15 @@ class Application:
         self.stats = {"threads": 0, "streams": 0, "windows": 0,
                       "children": 0}
 
+        #: Cross-thread lifecycle span: begun by ``_start`` on the
+        #: launching thread, ended by the reaper in ``_teardown``.
+        self._lifecycle_span = None
+
         if parent is not None:
             maximum = parent.limits.max_children
             if maximum is not None and len(parent.children) >= maximum:
-                raise ResourceLimitExceeded(
-                    f"application {parent.name} reached its child limit "
-                    f"({maximum})")
+                raise parent._limit_rejected("max_children", "child",
+                                             maximum)
             parent.children.append(self)
             parent.stats["children"] += 1
         registry = vm.application_registry
@@ -220,23 +236,39 @@ class Application:
                 raise IllegalStateException(
                     f"application {self.name} already started")
             self._state = STATE_RUNNING
-        jclass = self.loader.load_class(self.class_name)
-        ctx = InvocationContext(self.vm, self.loader, jclass, app=self)
+        tracer = self.vm.telemetry.tracer
+        # The exec span lives on the *launching* thread, so a child's exec
+        # nests inside the parent's app.main span; the lifecycle span
+        # covers exec-to-reap and is closed by the reaper in _teardown.
+        exec_span = tracer.span("app.exec", app=self.name,
+                                cls=self.class_name)
+        self._lifecycle_span = tracer.begin_span(
+            "app.lifecycle", app=self.name, cls=self.class_name,
+            user=self._user.name)
+        with exec_span:
+            jclass = self.loader.load_class(self.class_name)
+            ctx = InvocationContext(self.vm, self.loader, jclass, app=self)
+            exec_parent = exec_span.span_id
 
-        def body() -> None:
-            result = invoke_main(jclass, ctx, args)
-            # A non-zero integer return from main becomes the exit code
-            # (the auto-exit path reports 0 for a normal return).
-            if isinstance(result, int) and result != 0:
-                self._begin_exit(result)
+            def body() -> None:
+                with tracer.span("app.main", app=self.name,
+                                 parent_id=exec_parent,
+                                 cls=self.class_name):
+                    result = invoke_main(jclass, ctx, args)
+                # A non-zero integer return from main becomes the exit code
+                # (the auto-exit path reports 0 for a normal return).
+                if isinstance(result, int) and result != 0:
+                    self._begin_exit(result)
 
-        # "the main method of class MyClass is called ... within a new
-        # thread in the newly-created thread group.  Since the main method
-        # is executed in its own thread, the exec method returns
-        # immediately."
-        self.main_thread = JThread(target=body, name=f"main-{self.name}",
-                                   group=self.thread_group, daemon=False)
-        self.main_thread.start()
+            # "the main method of class MyClass is called ... within a new
+            # thread in the newly-created thread group.  Since the main
+            # method is executed in its own thread, the exec method returns
+            # immediately."
+            self.main_thread = JThread(target=body,
+                                       name=f"main-{self.name}",
+                                       group=self.thread_group,
+                                       daemon=False)
+            self.main_thread.start()
 
     def context(self) -> InvocationContext:
         """A context for host code to act inside this application."""
@@ -292,6 +324,15 @@ class Application:
     # thread accounting (application lifetime, Section 5.1)
     # ------------------------------------------------------------------
 
+    def _limit_rejected(self, limit: str, kind_word: str,
+                        maximum: int) -> ResourceLimitExceeded:
+        """Enforce-and-record: count the rejection, build the typed error."""
+        self.vm.telemetry.metrics.counter(
+            "limits.rejected", app=self.name, limit=limit).inc()
+        return ResourceLimitExceeded(
+            f"application {self.name} reached its {kind_word} limit "
+            f"({maximum})", limit=limit, maximum=maximum)
+
     def adopt_thread(self, thread: JThread) -> None:
         """Called when a thread starts inside this application's groups."""
         with self._cond:
@@ -301,13 +342,14 @@ class Application:
             maximum = self.limits.max_threads
             live = sum(1 for t in self._threads if t.is_alive())
             if maximum is not None and live >= maximum:
-                raise ResourceLimitExceeded(
-                    f"application {self.name} reached its thread limit "
-                    f"({maximum})")
+                raise self._limit_rejected("max_threads", "thread", maximum)
             self._threads.append(thread)
             self.stats["threads"] += 1
             if not thread.daemon:
                 self._non_daemon += 1
+        metrics = self.vm.telemetry.metrics
+        metrics.counter("app.threads.started", app=self.name).inc()
+        metrics.gauge("app.threads.live", app=self.name).set(live + 1)
         thread.finish_hooks.append(self._on_thread_finished)
 
     def _on_thread_finished(self, thread: JThread) -> None:
@@ -315,12 +357,15 @@ class Application:
         with self._cond:
             if thread in self._threads:
                 self._threads.remove(thread)
+            live = sum(1 for t in self._threads if t.is_alive())
             if not thread.daemon:
                 self._non_daemon -= 1
                 if (self._non_daemon <= 0 and self.auto_exit
                         and self._state == STATE_RUNNING):
                     auto = True
             self._cond.notify_all()
+        self.vm.telemetry.metrics.gauge(
+            "app.threads.live", app=self.name).set(live)
         if auto:
             # "If the application does not explicitly call exit(), then the
             # JVM will call the exit method as soon as there are only
@@ -345,9 +390,7 @@ class Application:
             maximum = self.limits.max_windows
             if (maximum is not None and window not in self.windows
                     and len(self.windows) >= maximum):
-                raise ResourceLimitExceeded(
-                    f"application {self.name} reached its window limit "
-                    f"({maximum})")
+                raise self._limit_rejected("max_windows", "window", maximum)
             if window not in self.windows:
                 self.windows.append(window)
                 self.stats["windows"] += 1
@@ -365,9 +408,8 @@ class Application:
                 open_now = sum(1 for s in self.opened_streams
                                if not s.closed)
                 if open_now >= maximum:
-                    raise ResourceLimitExceeded(
-                        f"application {self.name} reached its open-stream "
-                        f"limit ({maximum})")
+                    raise self._limit_rejected("max_open_streams",
+                                               "open-stream", maximum)
             self.opened_streams.append(stream)
             self.stats["streams"] += 1
 
@@ -426,6 +468,8 @@ class Application:
             self._state = STATE_EXITING
             self.exit_code = status
             self._cond.notify_all()
+        self.vm.telemetry.tracer.event("app.exit", app=self.name,
+                                       code=status)
         registry = self.vm.application_registry
         if registry is not None:
             registry.schedule_destruction(self)
@@ -468,6 +512,12 @@ class Application:
             registry.unregister(self)
         if self.parent is not None and self in self.parent.children:
             self.parent.children.remove(self)
+        telemetry = self.vm.telemetry
+        telemetry.tracer.event("app.reaped", app=self.name,
+                               code=self.exit_code)
+        if self._lifecycle_span is not None:
+            self._lifecycle_span.end(exit_code=self.exit_code)
+        telemetry.metrics.counter("apps.reaped").inc()
 
     def _begin_exit_for_teardown(self) -> None:
         with self._cond:
@@ -537,10 +587,16 @@ class ApplicationRegistry:
     def register(self, application: Application) -> None:
         with self._lock:
             self._applications[application.app_id] = application
+            live = len(self._applications)
+        metrics = self.vm.telemetry.metrics
+        metrics.counter("apps.launched").inc()
+        metrics.gauge("apps.live").set(live)
 
     def unregister(self, application: Application) -> None:
         with self._lock:
             self._applications.pop(application.app_id, None)
+            live = len(self._applications)
+        self.vm.telemetry.metrics.gauge("apps.live").set(live)
 
     def applications(self, check: bool = True) -> list[Application]:
         """A snapshot of live applications (the ``ps`` table)."""

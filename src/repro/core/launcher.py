@@ -46,6 +46,7 @@ from repro.security.auth import (
 )
 from repro.security.policy import PAPER_EXAMPLE_POLICY, Policy, parse_policy
 from repro.security.sysmanager import SystemSecurityManager
+import repro.telemetry as telemetry
 
 #: Code base under which all locally installed Java code lives.
 LOCAL_CODE_BASE = "file:/usr/local/java/-"
@@ -73,6 +74,8 @@ grant codeBase "file:/usr/local/java/-" {
     permission FilePermission "/home", "read";
     permission FilePermission "/tmp", "read";
     permission FilePermission "/tmp/-", "read,write,delete";
+    permission FilePermission "/proc", "read";
+    permission FilePermission "/proc/-", "read";
     permission SocketPermission "*", "resolve";
     permission RuntimePermission "shareObject.bind";
     permission RuntimePermission "shareObject.lookup";
@@ -150,6 +153,22 @@ def _stream_close_policy(stream) -> None:
         "application may only close streams that it opened")
 
 
+def _stream_diagnostic(stream, message: str) -> None:
+    """Satellite diagnostic sink: stream-layer trouble goes to the
+    *application's own* ``System.err``, never the host process's stdout.
+    """
+    application = current_application_or_none()
+    if application is None:
+        return
+    sink = application.stderr
+    if sink is None or sink is stream:
+        return  # never report a broken stderr to itself
+    try:
+        sink.println(f"repro: {message}")
+    except Exception:
+        pass  # diagnostics must never take down the stream layer
+
+
 _hooks_installed = False
 _hooks_lock = threading.Lock()
 
@@ -162,6 +181,8 @@ def install_global_hooks() -> None:
             return
         access.user_permission_resolver = _resolve_user_permissions
         streams_mod.close_policy = _stream_close_policy
+        streams_mod.diagnostic_sink = _stream_diagnostic
+        telemetry.app_resolver = current_application_or_none
         _hooks_installed = True
 
 
@@ -208,6 +229,12 @@ class MultiProcVM:
         registry = ApplicationRegistry(vm)
         vm.application_registry = registry
         registry.start()
+
+        # Tentpole: the read-only introspection surface.  Gating is by the
+        # Java-level user model inside the provider, not by mode bits.
+        from repro.unixfs.procfs import ProcFileSystem
+        vm.os_context.vfs.mount(
+            "/proc", ProcFileSystem(vm, current_app=current_application_or_none))
 
         from repro.core.sharing import SharedObjectSpace
         vm.shared_objects = SharedObjectSpace(vm)

@@ -39,6 +39,7 @@ class ApplicationClassLoader(ClassLoader):
                  extra_reloadable: Optional[Iterable[str]] = None):
         super().__init__(parent.registry, parent=parent,
                          name=f"app:{app_name}")
+        self.app_name = app_name
         self._reloadable = set(RELOADABLE_CLASSES)
         if extra_reloadable:
             self._reloadable.update(extra_reloadable)
@@ -56,5 +57,12 @@ class ApplicationClassLoader(ClassLoader):
             # Re-define from the same class material, bypassing delegation:
             # the new JClass has its own statics and its own identity.
             material = self.registry.get(name)
-            return self.define_class(material)
+            jclass = self.define_class(material)
+            vm = self.vm
+            if vm is not None:
+                metrics = vm.telemetry.metrics
+                metrics.counter("reload.classes", app=self.app_name).inc()
+                metrics.counter("reload.bytes",
+                                app=self.app_name).inc(material.size())
+            return jclass
         return super().load_class(name)

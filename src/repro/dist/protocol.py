@@ -18,12 +18,17 @@ from typing import Optional
 
 from repro.io.streams import InputStream, OutputStream
 from repro.jvm.errors import IOException
+from repro.telemetry import current_hub
 
 
 def send_frame(output: OutputStream, frame: dict) -> None:
     """Serialize one frame as a JSON line."""
     payload = json.dumps(frame, separators=(",", ":")) + "\n"
     output.write(payload.encode("utf-8"))
+    metrics = current_hub().metrics
+    metrics.counter("dist.frames.sent",
+                    type=str(frame.get("t", "req"))).inc()
+    metrics.counter("dist.bytes.sent").inc(len(payload))
 
 
 def recv_frame(source: InputStream) -> Optional[dict]:
@@ -37,6 +42,10 @@ def recv_frame(source: InputStream) -> Optional[dict]:
         raise IOException(f"malformed frame: {exc}") from exc
     if not isinstance(frame, dict):
         raise IOException("malformed frame: not an object")
+    metrics = current_hub().metrics
+    metrics.counter("dist.frames.received",
+                    type=str(frame.get("t", "req"))).inc()
+    metrics.counter("dist.bytes.received").inc(len(line) + 1)
     return frame
 
 

@@ -35,6 +35,22 @@ from repro.jvm.threads import interruptible_wait
 #: raises to veto the close.
 close_policy: Optional[Callable[["_StreamBase"], None]] = None
 
+#: Hook receiving ``(stream, message)`` when the stream layer swallows an
+#: error (Java's no-throw ``PrintStream`` discipline).  Installed by the
+#: multi-processing launcher to route the diagnostic to the *current
+#: application's* own ``System.err`` rather than the host process.
+diagnostic_sink: Optional[Callable[["_StreamBase", str], None]] = None
+
+
+def _report_diagnostic(stream: "_StreamBase", message: str) -> None:
+    sink = diagnostic_sink
+    if sink is None:
+        return
+    try:
+        sink(stream, message)
+    except Exception:
+        pass  # diagnostics are best-effort by definition
+
 DEFAULT_PIPE_CAPACITY = 64 * 1024
 
 
@@ -330,6 +346,17 @@ class PrintStream(OutputStream):
     def target(self) -> OutputStream:
         return self._out
 
+    def _note_error(self, where: str, exc: IOException) -> None:
+        # Report only on the transition into the error state so a wedged
+        # stream produces one diagnostic, not one per print call.  A closed
+        # pipe is the Unix SIGPIPE analogue — routine pipeline shutdown,
+        # surfaced via check_error() — so it stays silent.
+        if not self._error:
+            self._error = True
+            if not isinstance(exc, StreamClosedException):
+                _report_diagnostic(
+                    self, f"PrintStream {where} failed: {exc}")
+
     def write(self, payload) -> None:
         if isinstance(payload, str):
             payload = payload.encode(self._encoding)
@@ -338,8 +365,8 @@ class PrintStream(OutputStream):
                 self._out.write(payload)
                 if self._auto_flush:
                     self._out.flush()
-            except IOException:
-                self._error = True
+            except IOException as exc:
+                self._note_error("write", exc)
 
     def print(self, value: object = "") -> None:
         self.write(str(value))
@@ -354,22 +381,22 @@ class PrintStream(OutputStream):
         with self._lock:
             try:
                 self._out.flush()
-            except IOException:
-                self._error = True
+            except IOException as exc:
+                self._note_error("flush", exc)
             return self._error
 
     def flush(self) -> None:
         with self._lock:
             try:
                 self._out.flush()
-            except IOException:
-                self._error = True
+            except IOException as exc:
+                self._note_error("flush", exc)
 
     def _close_impl(self) -> None:
         try:
             self._out.close()
-        except IOException:
-            self._error = True
+        except IOException as exc:
+            self._note_error("close", exc)
 
 
 class LineReader:

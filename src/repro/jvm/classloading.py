@@ -84,6 +84,19 @@ class ClassMaterial:
             self.non_public.add(fn.__name__)
         return fn
 
+    def size(self) -> int:
+        """Approximate "bytecode size" of this material, in bytes.
+
+        Sums the compiled code objects of the members — the closest
+        analogue of a class file's method bytecode — so telemetry can
+        report bytes (re)defined per application (Section 5.5 reloads).
+        """
+        total = len(self.doc.encode("utf-8")) if self.doc else 0
+        for fn in self.members.values():
+            code = getattr(fn, "__code__", None)
+            total += len(code.co_code) if code is not None else 64
+        return total
+
     def static(self, fn: Callable) -> Callable:
         """Decorator registering ``fn`` as the static initializer."""
         self.static_init = fn
@@ -279,6 +292,12 @@ class ClassLoader:
             domain = self.domain_for(material)
             jclass = JClass(material, self, domain)
             self._defined[material.name] = jclass
+        vm = self.vm
+        if vm is not None:
+            metrics = vm.telemetry.metrics
+            metrics.counter("classload.defined", loader=self.name).inc()
+            metrics.counter("classload.bytes",
+                            loader=self.name).inc(material.size())
         jclass.initialize()
         return jclass
 

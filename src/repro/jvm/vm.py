@@ -31,6 +31,7 @@ from repro.jvm.classloading import ClassLoader, ClassRegistry
 from repro.jvm.errors import IllegalStateException
 from repro.jvm.threads import JThread, ThreadGroup, interruptible_wait
 from repro.lang.properties import Properties
+from repro.telemetry import TelemetryHub
 
 JAVA_VERSION = "1.2mp-proto"
 JAVA_VENDOR = "repro (Balfanz & Gong multi-processing prototype)"
@@ -65,6 +66,8 @@ class VirtualMachine:
             os_context = standard_process()
         self.os_context = os_context
         self.machine = os_context.machine
+        #: Always-on observability: metrics, tracer, and the audit log.
+        self.telemetry = TelemetryHub(f"vm-{os_context.pid}")
 
         self.stdin: InputStream = stdin or os_context.stdin \
             or NullInputStream()
@@ -317,6 +320,9 @@ class VirtualMachine:
             from repro.security.permissions import RuntimePermission
             self.security_manager.check_permission(
                 RuntimePermission("setSecurityManager"))
+        # Back-reference so the manager can attribute audit records made
+        # from host threads (no current application) to this VM's hub.
+        manager.vm = self
         self.security_manager = manager
 
     def attach_main_thread(self, name: str = "host-main") -> JThread:

@@ -43,6 +43,12 @@ _USER_PERMISSION = UserPermission()
 #: the security layer does not import the application layer.
 user_permission_resolver: Optional[Callable[[], Optional[Permissions]]] = None
 
+#: Optional telemetry hook: called as ``observer(permission, granted)``
+#: after every :func:`check_permission` walk.  None (the default) keeps the
+#: hot path at a single global load — the observed variant lives in its own
+#: function so the common case pays nothing else.
+check_observer: Optional[Callable[[Permission, bool], None]] = None
+
 _fallback_stacks = threading.local()
 
 
@@ -136,6 +142,8 @@ def _check_domain(domain: Optional[ProtectionDomain],
 
 def check_permission(permission: Permission) -> None:
     """The JDK 1.2 stack walk, with the paper's user-based extension."""
+    if check_observer is not None:
+        return _check_permission_observed(permission)
     stack = _stack()
     for frame in reversed(stack):
         _check_domain(frame.domain, permission)
@@ -146,6 +154,30 @@ def check_permission(permission: Permission) -> None:
     inherited = _inherited_context()
     if inherited is not None:
         inherited.check_permission(permission)
+
+
+def _check_permission_observed(permission: Permission) -> None:
+    """The same walk, reporting its outcome to :data:`check_observer`."""
+    observer = check_observer
+    try:
+        stack = _stack()
+        for frame in reversed(stack):
+            _check_domain(frame.domain, permission)
+            if frame.privileged:
+                if frame.context is not None:
+                    frame.context.check_permission(permission)
+                if observer is not None:
+                    observer(permission, True)
+                return
+        inherited = _inherited_context()
+        if inherited is not None:
+            inherited.check_permission(permission)
+    except AccessControlException:
+        if observer is not None:
+            observer(permission, False)
+        raise
+    if observer is not None:
+        observer(permission, True)
 
 
 def get_context() -> AccessControlContext:

@@ -15,6 +15,7 @@ application policy.
 
 from __future__ import annotations
 
+from repro.jvm.errors import SecurityException
 from repro.security import access
 from repro.security.permissions import (
     AWTPermission,
@@ -24,16 +25,37 @@ from repro.security.permissions import (
     RuntimePermission,
     SocketPermission,
 )
+from repro.telemetry import audit_check
 
 
 class SecurityManager:
     """Code-source-based security manager (single-application JDK 1.2)."""
 
+    #: Owning VM (set by ``VirtualMachine.set_security_manager``); lets
+    #: decisions made from host threads reach the right audit log.
+    vm = None
+
     # -- the funnel --------------------------------------------------------------
 
     def check_permission(self, permission: Permission) -> None:
-        """All checks funnel into the AccessController's stack walk."""
-        access.check_permission(permission)
+        """All checks funnel into the AccessController's stack walk.
+
+        Every decision — grant or deny — lands in the audit log with the
+        deciding manager's class name attached (Section 5.6 has *multiple*
+        managers, so attribution matters).
+        """
+        domain = access.current_domain()
+        domain_name = domain.name if domain is not None else None
+        try:
+            access.check_permission(permission)
+        except SecurityException:
+            audit_check(str(permission), granted=False,
+                        manager=type(self).__name__,
+                        domain=domain_name, vm=self.vm)
+            raise
+        audit_check(str(permission), granted=True,
+                    manager=type(self).__name__,
+                    domain=domain_name, vm=self.vm)
 
     # -- files --------------------------------------------------------------------
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from repro.jvm.threads import JThread
 from repro.security.manager import SecurityManager
+from repro.telemetry import audit_check
 
 
 class SystemSecurityManager(SecurityManager):
@@ -35,6 +36,13 @@ class SystemSecurityManager(SecurityManager):
     def _current_group(self):
         current = JThread.current_or_none()
         return current.group if current is not None else None
+
+    def _audit_ancestry_grant(self, check: str, what: str) -> None:
+        """Grants decided *here* (not by the AccessController) still land
+        in the audit trail — Section 5.6's point is that several managers
+        decide, so the trail says which one did."""
+        audit_check(what, granted=True, manager=type(self).__name__,
+                    check=check, domain="<ancestry>", vm=self.vm)
 
     def check_access_thread(self, thread) -> None:
         """Ancestry rule for threads; fall back to modifyThread permission."""
@@ -45,6 +53,8 @@ class SystemSecurityManager(SecurityManager):
             # trusted, like JNI-attached embedder threads.
             return
         if group.parent_of(thread.group):
+            self._audit_ancestry_grant("checkAccessThread",
+                                       f"thread:{thread.name}")
             return
         super().check_access_thread(thread)
 
@@ -54,6 +64,8 @@ class SystemSecurityManager(SecurityManager):
         if current_group is None:
             return
         if current_group.parent_of(group):
+            self._audit_ancestry_grant("checkAccessGroup",
+                                       f"threadGroup:{group.name}")
             return
         super().check_access_group(group)
 

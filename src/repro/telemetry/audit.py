@@ -1,0 +1,88 @@
+"""Append-only audit log of every security decision.
+
+The paper's Section 5.6 design deliberately has *multiple* security
+managers — per-application managers for compatibility, the system security
+manager for inter-application protection — which means "who denied what"
+is genuinely ambiguous without a trail.  Every record therefore names the
+deciding manager class alongside the classic audit tuple: the permission
+checked, the code source (protection domain) on top of the stack, the
+running user of the current application, and the grant/deny outcome.
+
+The log is bounded (a ring of :data:`AUDIT_CAPACITY` records) so an
+always-on deployment cannot leak memory, but within the window it is
+strictly append-only: nothing in the kernel mutates or removes records.
+``deque.append`` is atomic under the GIL, so recording takes no lock on
+the hot path; only the grant/deny counters tolerate (rare, harmless)
+lost increments.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import time
+from collections import deque
+from typing import Optional
+
+AUDIT_CAPACITY = 4096
+
+
+class AuditLog:
+    """Bounded append-only record of security-manager decisions."""
+
+    def __init__(self, capacity: int = AUDIT_CAPACITY):
+        self._records: deque = deque(maxlen=capacity)
+        self._seq = itertools.count(1)
+        self.grants = 0
+        self.denies = 0
+
+    def record(self, *, check: str, permission: str,
+               granted: bool, manager: Optional[str] = None,
+               domain: Optional[str] = None, user: Optional[str] = None,
+               app_id: Optional[int] = None,
+               app_name: Optional[str] = None) -> dict:
+        """Append one decision; returns the record written."""
+        entry = {"seq": next(self._seq), "ts_ns": time.monotonic_ns(),
+                 "check": check, "permission": permission,
+                 "granted": granted, "manager": manager, "domain": domain,
+                 "user": user, "app_id": app_id, "app": app_name}
+        self._records.append(entry)
+        if granted:
+            self.grants += 1
+        else:
+            self.denies += 1
+        return entry
+
+    # -- read side -------------------------------------------------------------
+
+    def records(self, app_id: Optional[int] = None,
+                granted: Optional[bool] = None,
+                user: Optional[str] = None) -> list[dict]:
+        """A filtered snapshot, oldest first."""
+        out = list(self._records)
+        if app_id is not None:
+            out = [r for r in out if r["app_id"] == app_id]
+        if granted is not None:
+            out = [r for r in out if r["granted"] is granted]
+        if user is not None:
+            out = [r for r in out if r["user"] == user]
+        return out
+
+    def denials(self, **filters) -> list[dict]:
+        return self.records(granted=False, **filters)
+
+    def tail(self, count: int = 20, **filters) -> list[dict]:
+        return self.records(**filters)[-count:]
+
+    def export_jsonl(self, target, **filters) -> int:
+        """Write records to a path or file-like object; returns the count."""
+        records = self.records(**filters)
+        if hasattr(target, "write"):
+            for record in records:
+                target.write(json.dumps(record, default=str) + "\n")
+            return len(records)
+        with open(target, "w", encoding="utf-8") as sink:
+            return self.export_jsonl(sink, **filters)
+
+    def __len__(self) -> int:
+        return len(self._records)

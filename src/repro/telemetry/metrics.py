@@ -1,0 +1,207 @@
+"""Lock-cheap counters, gauges, and histograms with per-application labels.
+
+The observability layer every later performance PR measures itself against.
+Design constraints, in order:
+
+1. **Near-free on the hot path.**  Call sites cache the metric object (one
+   dict lookup to obtain it, attribute bumps afterwards) and the update
+   methods take no locks: under the GIL a lost increment requires a
+   preemption between the load and the store of ``+=``, which is rare and
+   acceptable for statistics (these are gauges of system health, not
+   ledgers — the security *audit log* in :mod:`repro.telemetry.audit` is
+   the reliable record).
+2. **Per-application labels.**  Every metric is keyed by its name plus a
+   sorted label tuple, so ``counter("limits.rejected", app="cat#3",
+   limit="max_threads")`` and the same counter for another application are
+   distinct time series — which is what lets ``/proc/<app-id>/metrics``
+   show only the owning application's slice.
+3. **Readable anywhere.**  :meth:`MetricsRegistry.snapshot` and
+   :meth:`MetricsRegistry.render_text` produce stable, sorted output for
+   the ``/proc`` files and the ``vmstat`` coreutil.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional, Sequence
+
+#: Default histogram bucket upper bounds, in seconds (latency-oriented).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.00001, 0.0001, 0.001, 0.01, 0.1, 1.0, 10.0)
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "counter"
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...]):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def describe(self) -> dict:
+        return {"kind": self.kind, "name": self.name,
+                "labels": dict(self.labels), "value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down (live threads, queue depth)."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...]):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def inc(self, amount=1) -> None:
+        self.value += amount
+
+    def dec(self, amount=1) -> None:
+        self.value -= amount
+
+    def describe(self) -> dict:
+        return {"kind": self.kind, "name": self.name,
+                "labels": dict(self.labels), "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket distribution (dispatch latency, span durations)."""
+
+    __slots__ = ("name", "labels", "bounds", "bucket_counts", "count",
+                 "total", "minimum", "maximum")
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...],
+                 bounds: Optional[Sequence[float]] = None):
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(bounds) if bounds is not None else DEFAULT_BUCKETS
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        index = 0
+        for bound in self.bounds:
+            if value <= bound:
+                break
+            index += 1
+        self.bucket_counts[index] += 1
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def describe(self) -> dict:
+        return {"kind": self.kind, "name": self.name,
+                "labels": dict(self.labels), "count": self.count,
+                "sum": self.total, "min": self.minimum, "max": self.maximum,
+                "buckets": dict(zip([*map(str, self.bounds), "+Inf"],
+                                    self.bucket_counts))}
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+class MetricsRegistry:
+    """All metrics of one VM, keyed by (name, sorted label items).
+
+    ``counter``/``gauge``/``histogram`` are get-or-create and return stable
+    objects, so hot call sites may cache the result and skip even the dict
+    lookup.
+    """
+
+    def __init__(self):
+        self._metrics: dict = {}
+        self._lock = threading.Lock()
+
+    def _get(self, cls, name: str, labels: dict, extra=None):
+        key = (name, tuple(sorted(labels.items())))
+        metric = self._metrics.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.get(key)
+                if metric is None:
+                    if extra is not None:
+                        metric = cls(name, key[1], extra)
+                    else:
+                        metric = cls(name, key[1])
+                    self._metrics[key] = metric
+        if not isinstance(metric, cls):
+            raise TypeError(f"metric {name!r} already registered as "
+                            f"{metric.kind}")
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str,
+                  bounds: Optional[Sequence[float]] = None,
+                  **labels) -> Histogram:
+        return self._get(Histogram, name, labels, extra=bounds)
+
+    # -- read side -----------------------------------------------------------
+
+    def _matching(self, match: dict) -> list:
+        with self._lock:
+            metrics = list(self._metrics.values())
+        if not match:
+            return metrics
+        wanted = set(match.items())
+        return [m for m in metrics if wanted.issubset(m.labels)]
+
+    def snapshot(self, **match) -> list[dict]:
+        """Describe all metrics whose labels are a superset of ``match``."""
+        described = [m.describe() for m in self._matching(match)]
+        described.sort(key=lambda d: (d["name"], sorted(d["labels"].items())))
+        return described
+
+    def render_text(self, **match) -> str:
+        """``name{k=v,...} value`` lines, sorted — the /proc format."""
+        lines = []
+        for metric in self.snapshot(**match):
+            label_text = ",".join(f"{k}={v}" for k, v in
+                                  sorted(metric["labels"].items()))
+            prefix = (f"{metric['name']}{{{label_text}}}" if label_text
+                      else metric["name"])
+            if metric["kind"] == "histogram":
+                lines.append(f"{prefix} count={metric['count']} "
+                             f"sum={_format_value(metric['sum'])} "
+                             f"min={_format_value(metric['min'])} "
+                             f"max={_format_value(metric['max'])}")
+            else:
+                lines.append(f"{prefix} {_format_value(metric['value'])}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def total(self, name: str, **match) -> float:
+        """Sum of a counter/gauge across matching label sets (rollups)."""
+        return sum(m.value for m in self._matching(match)
+                   if m.name == name and m.kind in ("counter", "gauge"))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)

@@ -1,0 +1,265 @@
+"""Span-style structured event tracing with monotonic timestamps.
+
+Spans model the kernel's interesting intervals — an ``Application.exec``,
+one AWT event dispatch, a whole application lifetime — and events model
+instants (an audited security check, an exit being scheduled).  Records are
+plain dicts kept in bounded per-application ring buffers, exportable as
+JSONL.
+
+The cardinal rule is the *guarded fast path*: tracing is always compiled
+in but :meth:`Tracer.span` returns a shared no-op object unless someone is
+listening — either the tracer was enabled explicitly or a process-global
+:class:`TraceCollector` is installed (the ``--trace-out`` benchmark hook,
+which must see spans from every VM a benchmark boots).  The not-recording
+cost is one attribute read and one ``or`` per call site.
+
+Parent/child nesting uses a per-thread span stack, which matches how the
+kernel works: a child application's ``app.exec`` span is created on the
+*parent's* thread, inside the parent's ``app.main`` span — so the trace
+shows exec nesting across applications.  Cross-thread intervals (the
+application lifecycle, begun by the launcher thread and ended by the
+reaper) use :meth:`Tracer.begin_span`, which does not touch the stack and
+is ended explicitly.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from collections import deque
+from typing import Optional
+
+#: Per-application ring capacity (records, not bytes).
+RING_CAPACITY = 4096
+
+#: Ring key for records not attributable to any application.
+VM_SCOPE = "_vm"
+
+_collector: Optional["TraceCollector"] = None
+
+
+def install_collector(collector: Optional["TraceCollector"]) -> None:
+    """Install (or, with None, remove) the process-global trace sink."""
+    global _collector
+    _collector = collector
+
+
+def installed_collector() -> Optional["TraceCollector"]:
+    return _collector
+
+
+class TraceCollector:
+    """A process-global sink capturing records from *all* tracers.
+
+    Used by the benchmark suite's ``--trace-out`` option: one collector
+    sees every VM booted during the run, then exports a single JSONL file.
+    """
+
+    def __init__(self, capacity: int = 65536):
+        self.records: deque = deque(maxlen=capacity)
+
+    def record(self, item: dict) -> None:
+        self.records.append(item)
+
+    def export_jsonl(self, target) -> int:
+        """Write records to a path or file-like object; returns the count."""
+        return _write_jsonl(list(self.records), target)
+
+
+def _write_jsonl(records, target) -> int:
+    if hasattr(target, "write"):
+        for record in records:
+            target.write(json.dumps(record, default=str) + "\n")
+        return len(records)
+    with open(target, "w", encoding="utf-8") as sink:
+        return _write_jsonl(records, sink)
+
+
+class _NoopSpan:
+    """The shared do-nothing span handed out when nobody is recording."""
+
+    __slots__ = ()
+    span_id = None
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NoopSpan":
+        return self
+
+    def end(self, **attrs) -> None:
+        pass
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """One recorded interval; closed via ``end()`` or as a context manager."""
+
+    __slots__ = ("_tracer", "name", "scope", "span_id", "parent_id",
+                 "start_ns", "attrs", "_pushed", "_ended")
+
+    def __init__(self, tracer: "Tracer", name: str, scope: str,
+                 span_id: int, parent_id: Optional[int], attrs: dict,
+                 pushed: bool):
+        self._tracer = tracer
+        self.name = name
+        self.scope = scope
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_ns = time.monotonic_ns()
+        self.attrs = attrs
+        self._pushed = pushed
+        self._ended = False
+
+    def set(self, **attrs) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def end(self, **attrs) -> None:
+        if self._ended:
+            return
+        self._ended = True
+        if attrs:
+            self.attrs.update(attrs)
+        end_ns = time.monotonic_ns()
+        if self._pushed:
+            self._tracer._pop(self)
+        record = {"kind": "span", "name": self.name, "app": self.scope,
+                  "vm": self._tracer.name, "span": self.span_id,
+                  "parent": self.parent_id, "ts_ns": self.start_ns,
+                  "dur_ns": end_ns - self.start_ns,
+                  "thread": threading.current_thread().name}
+        if self.attrs:
+            record.update(self.attrs)
+        self._tracer._record(self.scope, record)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self.end()
+        return False
+
+
+class Tracer:
+    """One VM's tracer: per-application ring buffers plus the span stack."""
+
+    def __init__(self, name: str = "vm", capacity: int = RING_CAPACITY):
+        self.name = name
+        self.capacity = capacity
+        self.active = False
+        self._rings: dict[str, deque] = {}
+        self._ids = itertools.count(1)
+        self._tls = threading.local()
+        self._lock = threading.Lock()
+
+    # -- recording state -------------------------------------------------------
+
+    @property
+    def recording(self) -> bool:
+        return self.active or _collector is not None
+
+    def enable(self) -> "Tracer":
+        self.active = True
+        return self
+
+    def disable(self) -> None:
+        self.active = False
+
+    # -- span plumbing ---------------------------------------------------------
+
+    def _stack(self) -> list:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if span in stack:
+            # Tolerate out-of-order ends: drop the span and anything above.
+            del stack[stack.index(span):]
+
+    def current_span_id(self) -> Optional[int]:
+        stack = self._stack()
+        return stack[-1].span_id if stack else None
+
+    def span(self, name: str, app: Optional[str] = None,
+             parent_id: Optional[int] = None, **attrs):
+        """An interval on the calling thread; nests under the open span."""
+        if not (self.active or _collector is not None):
+            return NOOP_SPAN
+        stack = self._stack()
+        if parent_id is None and stack:
+            parent_id = stack[-1].span_id
+        span = Span(self, name, app or VM_SCOPE, next(self._ids),
+                    parent_id, attrs, pushed=True)
+        stack.append(span)
+        return span
+
+    def begin_span(self, name: str, app: Optional[str] = None,
+                   parent_id: Optional[int] = None, **attrs):
+        """An interval that may be ended on a *different* thread."""
+        if not (self.active or _collector is not None):
+            return NOOP_SPAN
+        if parent_id is None:
+            stack = self._stack()
+            if stack:
+                parent_id = stack[-1].span_id
+        return Span(self, name, app or VM_SCOPE, next(self._ids),
+                    parent_id, attrs, pushed=False)
+
+    def event(self, name: str, app: Optional[str] = None, **attrs) -> None:
+        """A point-in-time record (audited check, exit scheduled, ...)."""
+        if not (self.active or _collector is not None):
+            return
+        scope = app or VM_SCOPE
+        record = {"kind": "event", "name": name, "app": scope,
+                  "vm": self.name, "parent": self.current_span_id(),
+                  "ts_ns": time.monotonic_ns(),
+                  "thread": threading.current_thread().name}
+        if attrs:
+            record.update(attrs)
+        self._record(scope, record)
+
+    # -- storage and export ----------------------------------------------------
+
+    def _record(self, scope: str, record: dict) -> None:
+        ring = self._rings.get(scope)
+        if ring is None:
+            with self._lock:
+                ring = self._rings.setdefault(
+                    scope, deque(maxlen=self.capacity))
+        ring.append(record)
+        collector = _collector
+        if collector is not None:
+            collector.record(record)
+
+    def records(self, app: Optional[str] = None) -> list[dict]:
+        """Recorded spans and events, oldest first."""
+        with self._lock:
+            if app is not None:
+                rings = [self._rings.get(app, deque())]
+            else:
+                rings = list(self._rings.values())
+        merged = [record for ring in rings for record in list(ring)]
+        merged.sort(key=lambda r: r["ts_ns"])
+        return merged
+
+    def export_jsonl(self, target, app: Optional[str] = None) -> int:
+        """Dump the ring contents as JSONL; returns the record count."""
+        return _write_jsonl(self.records(app), target)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._rings.clear()

@@ -270,6 +270,7 @@ ps_material = _tool("tools.Ps", "List running applications.")
 @ps_material.member
 def main(jclass, ctx, args):  # noqa: F811
     long_format = "-l" in args
+    telemetry_format = "-t" in args
     registry = ctx.vm.application_registry
     if registry is None:
         ctx.stderr.println("ps: not a multi-processing VM")
@@ -281,7 +282,10 @@ def main(jclass, ctx, args):  # noqa: F811
     header = "  AID USER     STATE      THR NAME"
     if long_format:
         header += "  [threads/streams/windows/children ever]"
+    if telemetry_format:
+        header += "  [events/denies/rejects]"
     ctx.stdout.println(header)
+    hub = ctx.vm.telemetry
     for application in applications:
         row = (f"{application.app_id:5d} {application.user.name:<8s} "
                f"{application.state:<10s} "
@@ -290,7 +294,36 @@ def main(jclass, ctx, args):  # noqa: F811
             stats = application.stats
             row += (f"  [{stats['threads']}/{stats['streams']}/"
                     f"{stats['windows']}/{stats['children']}]")
+        if telemetry_format:
+            dispatched = int(hub.metrics.total(
+                "awt.events.dispatched", app=application.name))
+            denies = len(hub.audit.denials(app_id=application.app_id))
+            rejects = int(hub.metrics.total(
+                "limits.rejected", app=application.name))
+            row += f"  [{dispatched}/{denies}/{rejects}]"
         ctx.stdout.println(row)
+    return 0
+
+
+vmstat_material = _tool("tools.Vmstat", "Print VM-wide telemetry rollups.")
+
+
+@vmstat_material.member
+def main(jclass, ctx, args):  # noqa: F811
+    # The same rollup /proc/vmstat serves; going through the file system
+    # exercises the mount (and the FilePermission grant) end to end, with
+    # a direct-hub fallback for VMs booted without the mount.
+    try:
+        ctx.stdout.print(read_text(ctx, "/proc/vmstat"))
+        return 0
+    except (IOException, SecurityException):
+        pass
+    hub = ctx.vm.telemetry
+    ctx.stdout.println(f"apps.live\t{int(hub.metrics.total('apps.live'))}")
+    ctx.stdout.println(
+        f"apps.launched\t{int(hub.metrics.total('apps.launched'))}")
+    ctx.stdout.println(f"security.grants\t{hub.audit.grants}")
+    ctx.stdout.println(f"security.denies\t{hub.audit.denies}")
     return 0
 
 
@@ -641,6 +674,7 @@ ALL_MATERIALS = [
     false_material,
     ls_material, cat_material, echo_material, wc_material, head_material,
     grep_material, whoami_material, pwd_material, ps_material, kill_material,
+    vmstat_material,
     sleep_material, yes_material, touch_material, rm_material,
     mkdir_material, cp_material, mv_material, backup_material,
 ]
@@ -655,4 +689,5 @@ COMMANDS = {
     "sort": "tools.Sort", "uniq": "tools.Uniq", "tee": "tools.Tee",
     "env": "tools.Env", "hostname": "tools.Hostname", "id": "tools.Id",
     "date": "tools.Date", "true": "tools.True", "false": "tools.False",
+    "vmstat": "tools.Vmstat",
 }

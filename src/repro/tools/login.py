@@ -64,7 +64,9 @@ def build_material() -> ClassMaterial:
                 user = ctx.vm.user_database.authenticate(
                     username.strip(), password)
             except AuthenticationException:
-                ctx.stdout.println("Login incorrect")
+                # Diagnostics go to the application's own System.err so a
+                # redirected stdout transcript stays clean.
+                ctx.stderr.println("Login incorrect")
                 continue
             # The privileged reset: only login's own code source needs the
             # setUser grant (Section 5.2).
@@ -75,7 +77,7 @@ def build_material() -> ClassMaterial:
             shell.wait_for()
             ctx.stdout.println("logged out")
             return 0
-        ctx.stdout.println("Too many failures")
+        ctx.stderr.println("Too many failures")
         return 1
 
     @material.member

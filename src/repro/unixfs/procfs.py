@@ -1,0 +1,187 @@
+"""A ``/proc``-style introspection surface over the application table.
+
+Mounted read-only at ``/proc`` by the multi-processing launcher::
+
+    /proc/vmstat              VM-wide telemetry rollup (world-readable)
+    /proc/<app-id>/status     one application's identity and accounting
+    /proc/<app-id>/metrics    its slice of the metrics registry
+    /proc/<app-id>/audit      its tail of the security audit log (JSONL)
+
+Gating is by the *Java-level* user model, not OS uids: every Java file
+operation runs as the JVM process's OS user (Feature 3), so mode bits
+cannot distinguish Alice's application from Bob's.  Instead the provider
+resolves the *current application* (the injected ``current_app`` callable)
+and allows a per-application directory to be read when the reader is a
+host thread, runs as the same :class:`~repro.security.auth.JavaUser`, or
+is an ancestor application (the same ancestry rule the system security
+manager applies to threads, Section 5.6).  Denials surface as
+:class:`~repro.unixfs.vfs.VfsPermissionDenied`, which the Java file layer
+translates to ``FileNotFoundException`` — deliberately the same Feature 3
+asymmetry as OS-level permission denials: other users' telemetry simply
+looks absent.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Optional
+
+from repro.unixfs.vfs import (
+    VfsNotADirectory,
+    VfsNotFound,
+    VfsPermissionDenied,
+    VfsStat,
+)
+
+#: How many audit records the per-application audit file shows.
+AUDIT_TAIL = 100
+
+
+def _ino(rel: str) -> int:
+    """Stable synthetic inode number for a /proc path."""
+    return 0x70000000 | (hash(rel) & 0x0FFFFFFF)
+
+
+class ProcFileSystem:
+    """The synthetic provider mounted at ``/proc``."""
+
+    def __init__(self, vm, current_app: Optional[Callable] = None):
+        self.vm = vm
+        self._current_app = current_app
+
+    # -- resolution ------------------------------------------------------------
+
+    def _application(self, app_id: int):
+        registry = self.vm.application_registry
+        application = registry.find(app_id) if registry is not None else None
+        if application is None:
+            raise VfsNotFound(f"/proc/{app_id}")
+        return application
+
+    def _gate(self, application, rel: str) -> None:
+        """Owning-user gate: host, same user, or ancestor application."""
+        current = self._current_app() if self._current_app is not None \
+            else None
+        if current is None:
+            return  # host threads play the native launcher and are trusted
+        if current is application:
+            return
+        if current.user == application.user:
+            return
+        if current.thread_group.parent_of(application.thread_group):
+            return
+        raise VfsPermissionDenied(f"/proc{rel}")
+
+    def _split(self, rel: str) -> list[str]:
+        return [part for part in rel.split("/") if part]
+
+    # -- content ---------------------------------------------------------------
+
+    def _status_text(self, application) -> str:
+        stats = application.stats
+        limits = application.limits
+        lines = [
+            f"Name:\t{application.name}",
+            f"Id:\t{application.app_id}",
+            f"Class:\t{application.class_name or '-'}",
+            f"State:\t{application.state}",
+            f"User:\t{application.user.name}",
+            f"Parent:\t{application.parent.app_id}"
+            if application.parent is not None else "Parent:\t-",
+            f"Cwd:\t{application.cwd}",
+            f"ThreadsLive:\t{len(application.live_threads())}",
+            f"NonDaemon:\t{application.non_daemon_count}",
+            f"ThreadsEver:\t{stats['threads']}",
+            f"StreamsEver:\t{stats['streams']}",
+            f"WindowsEver:\t{stats['windows']}",
+            f"ChildrenEver:\t{stats['children']}",
+            f"LimitThreads:\t{limits.max_threads or '-'}",
+            f"LimitWindows:\t{limits.max_windows or '-'}",
+            f"LimitChildren:\t{limits.max_children or '-'}",
+            f"LimitStreams:\t{limits.max_open_streams or '-'}",
+        ]
+        return "\n".join(lines) + "\n"
+
+    def _metrics_text(self, application) -> str:
+        return self.vm.telemetry.metrics.render_text(app=application.name)
+
+    def _audit_text(self, application) -> str:
+        records = self.vm.telemetry.audit.tail(AUDIT_TAIL,
+                                               app_id=application.app_id)
+        return "".join(json.dumps(r, default=str) + "\n" for r in records)
+
+    def _vmstat_text(self) -> str:
+        telemetry = self.vm.telemetry
+        metrics = telemetry.metrics
+        audit = telemetry.audit
+        lines = [
+            f"apps.live\t{int(metrics.total('apps.live'))}",
+            f"apps.launched\t{int(metrics.total('apps.launched'))}",
+            f"apps.reaped\t{int(metrics.total('apps.reaped'))}",
+            f"threads.live\t{int(metrics.total('app.threads.live'))}",
+            f"threads.started\t{int(metrics.total('app.threads.started'))}",
+            f"classload.defined\t"
+            f"{int(metrics.total('classload.defined'))}",
+            f"reload.classes\t{int(metrics.total('reload.classes'))}",
+            f"reload.bytes\t{int(metrics.total('reload.bytes'))}",
+            f"awt.events.dispatched\t"
+            f"{int(metrics.total('awt.events.dispatched'))}",
+            f"limits.rejected\t{int(metrics.total('limits.rejected'))}",
+            f"dist.frames.sent\t{int(metrics.total('dist.frames.sent'))}",
+            f"dist.frames.received\t"
+            f"{int(metrics.total('dist.frames.received'))}",
+            f"security.checks\t{audit.grants + audit.denies}",
+            f"security.grants\t{audit.grants}",
+            f"security.denies\t{audit.denies}",
+        ]
+        return "\n".join(lines) + "\n"
+
+    def _file_payload(self, rel: str) -> bytes:
+        parts = self._split(rel)
+        if parts == ["vmstat"]:
+            return self._vmstat_text().encode("utf-8")
+        if len(parts) == 2 and parts[0].isdigit():
+            application = self._application(int(parts[0]))
+            self._gate(application, rel)
+            if parts[1] == "status":
+                return self._status_text(application).encode("utf-8")
+            if parts[1] == "metrics":
+                return self._metrics_text(application).encode("utf-8")
+            if parts[1] == "audit":
+                return self._audit_text(application).encode("utf-8")
+        raise VfsNotFound(f"/proc{rel}")
+
+    # -- the provider protocol (stat / listdir / read) -------------------------
+
+    def stat(self, rel: str, user) -> VfsStat:
+        parts = self._split(rel)
+        if not parts:
+            return VfsStat(_ino(rel), "dir", 0o555, 0, 0, 0, 0, 1)
+        if len(parts) == 1 and parts[0].isdigit():
+            self._application(int(parts[0]))
+            return VfsStat(_ino(rel), "dir", 0o555, 0, 0, 0, 0, 1)
+        payload = self._file_payload(rel)
+        return VfsStat(_ino(rel), "file", 0o444, 0, 0, len(payload), 0, 1)
+
+    def listdir(self, rel: str, user) -> list[str]:
+        parts = self._split(rel)
+        if not parts:
+            registry = self.vm.application_registry
+            applications = registry.applications(check=False) \
+                if registry is not None else []
+            return sorted([str(a.app_id) for a in applications],
+                          key=int) + ["vmstat"]
+        if len(parts) == 1 and parts[0].isdigit():
+            application = self._application(int(parts[0]))
+            self._gate(application, rel)
+            return ["audit", "metrics", "status"]
+        if len(parts) == 1:
+            raise VfsNotFound(f"/proc{rel}")
+        raise VfsNotADirectory(f"/proc{rel}")
+
+    def read(self, rel: str, user) -> bytes:
+        parts = self._split(rel)
+        if not parts or (len(parts) == 1 and parts[0].isdigit()):
+            from repro.unixfs.vfs import VfsIsADirectory
+            raise VfsIsADirectory(f"/proc{rel}")
+        return self._file_payload(rel)

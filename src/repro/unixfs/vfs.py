@@ -198,6 +198,50 @@ class VfsFileHandle:
         self.closed = True
 
 
+class SyntheticFileHandle:
+    """A read-only handle over a generated byte snapshot (mounted files).
+
+    API-compatible with :class:`VfsFileHandle` for the read side; writes
+    are denied — mounted trees like ``/proc`` are read-only windows onto
+    kernel state.
+    """
+
+    def __init__(self, path: str, payload: bytes):
+        self.path = path
+        self._payload = payload
+        self._pos = 0
+        self.readable = True
+        self.writable = False
+        self.closed = False
+
+    def read(self, size: int = -1) -> bytes:
+        if self.closed:
+            raise VfsError(self.path, "I/O on closed file")
+        if size is None or size < 0:
+            chunk = self._payload[self._pos:]
+        else:
+            chunk = self._payload[self._pos:self._pos + size]
+        self._pos += len(chunk)
+        return chunk
+
+    def write(self, payload: bytes) -> int:
+        raise VfsPermissionDenied(self.path)
+
+    def truncate(self, size: int = 0) -> None:
+        raise VfsPermissionDenied(self.path)
+
+    def seek(self, pos: int) -> None:
+        if pos < 0:
+            raise VfsError(self.path, "negative seek position")
+        self._pos = pos
+
+    def tell(self) -> int:
+        return self._pos
+
+    def close(self) -> None:
+        self.closed = True
+
+
 class VirtualFileSystem:
     """The whole in-memory file-system tree.
 
@@ -205,12 +249,65 @@ class VirtualFileSystem:
     and enforce Unix semantics: search (x) permission along the path, read
     permission to open for reading or to list a directory, write permission
     on the *parent directory* to create/remove entries, and so on.
+
+    A prefix of the tree may be *mounted* onto a synthetic provider
+    (:meth:`mount`) — a read-only object answering ``stat``/``listdir``/
+    ``read`` for paths under the prefix, the mechanism behind ``/proc``.
+    The no-mounts fast path is a single empty-dict check.
     """
 
     def __init__(self):
         self._lock = threading.RLock()
         self._clock = 0
         self.root = Inode("dir", 0o755, 0, 0)
+        #: Mounted synthetic trees: normalized prefix -> provider.
+        self._mounts: dict[str, object] = {}
+
+    # -- synthetic mounts ------------------------------------------------------
+
+    def mount(self, prefix: str, provider) -> None:
+        """Mount a read-only synthetic provider at ``prefix``.
+
+        The provider answers ``stat(rel, user)``, ``listdir(rel, user)``
+        and ``read(rel, user)`` for paths relative to the mount point
+        (``"/"`` for the mount point itself), raising VFS errors.  A real
+        root-owned ``0o555`` directory is created at the mount point so
+        the parent directory lists it.
+        """
+        normalized = self.normalize(prefix)
+        if normalized == "/":
+            raise VfsError(prefix, "cannot mount over /")
+        with self._lock:
+            node = self.root
+            for part in normalized.lstrip("/").split("/"):
+                if node.kind != "dir":
+                    raise VfsNotADirectory(normalized)
+                child = node.children.get(part)
+                if child is None:
+                    child = Inode("dir", 0o555, 0, 0)
+                    child.mtime = self._tick()
+                    node.children[part] = child
+                node = child
+            self._mounts[normalized] = provider
+
+    def unmount(self, prefix: str) -> None:
+        with self._lock:
+            self._mounts.pop(self.normalize(prefix), None)
+
+    def _mount_for(self, normalized: str):
+        """(provider, relative-path) when ``normalized`` is mounted."""
+        if not self._mounts:
+            return None
+        for prefix, provider in self._mounts.items():
+            if normalized == prefix:
+                return provider, "/"
+            if normalized.startswith(prefix + "/"):
+                return provider, normalized[len(prefix):]
+        return None
+
+    def _deny_if_mounted(self, normalized: str) -> None:
+        if self._mounts and self._mount_for(normalized) is not None:
+            raise VfsPermissionDenied(normalized)
 
     def _tick(self) -> int:
         self._clock += 1
@@ -274,14 +371,19 @@ class VirtualFileSystem:
 
     def exists(self, path: str, user: OsUser, cwd: str = "/") -> bool:
         try:
-            self._lookup(self.normalize(path, cwd), user)
+            self.stat(path, user, cwd)
             return True
         except VfsError:
             return False
 
     def stat(self, path: str, user: OsUser, cwd: str = "/") -> VfsStat:
+        normalized = self.normalize(path, cwd)
+        mounted = self._mount_for(normalized)
+        if mounted is not None:
+            provider, rel = mounted
+            return provider.stat(rel, user)
         with self._lock:
-            node = self._lookup(self.normalize(path, cwd), user)
+            node = self._lookup(normalized, user)
             return VfsStat(node.ino, node.kind, node.mode, node.uid,
                            node.gid, node.size, node.mtime, node.nlink)
 
@@ -298,8 +400,12 @@ class VirtualFileSystem:
             return False
 
     def listdir(self, path: str, user: OsUser, cwd: str = "/") -> list[str]:
+        normalized = self.normalize(path, cwd)
+        mounted = self._mount_for(normalized)
+        if mounted is not None:
+            provider, rel = mounted
+            return provider.listdir(rel, user)
         with self._lock:
-            normalized = self.normalize(path, cwd)
             node = self._lookup(normalized, user)
             if node.kind != "dir":
                 raise VfsNotADirectory(normalized)
@@ -313,6 +419,7 @@ class VirtualFileSystem:
               cwd: str = "/") -> None:
         with self._lock:
             normalized = self.normalize(path, cwd)
+            self._deny_if_mounted(normalized)
             parent, name = self._parent_of(normalized, user)
             if name in parent.children:
                 raise VfsExists(normalized)
@@ -337,6 +444,7 @@ class VirtualFileSystem:
                     cwd: str = "/", exist_ok: bool = False) -> None:
         with self._lock:
             normalized = self.normalize(path, cwd)
+            self._deny_if_mounted(normalized)
             parent, name = self._parent_of(normalized, user)
             if name in parent.children:
                 if exist_ok:
@@ -353,6 +461,7 @@ class VirtualFileSystem:
                 cwd: str = "/") -> None:
         with self._lock:
             normalized = self.normalize(path, cwd)
+            self._deny_if_mounted(normalized)
             parent, name = self._parent_of(normalized, user)
             if not parent.permits(user, WRITE | EXECUTE):
                 raise VfsPermissionDenied(normalized)
@@ -379,8 +488,14 @@ class VirtualFileSystem:
         """Open a file.  ``mode`` is one of r, w, a, r+ (w/a create)."""
         if mode not in ("r", "w", "a", "r+"):
             raise VfsError(path, f"unsupported open mode {mode!r}")
+        normalized = self.normalize(path, cwd)
+        mounted = self._mount_for(normalized)
+        if mounted is not None:
+            provider, rel = mounted
+            if mode != "r":
+                raise VfsPermissionDenied(normalized)
+            return SyntheticFileHandle(normalized, provider.read(rel, user))
         with self._lock:
-            normalized = self.normalize(path, cwd)
             try:
                 node = self._lookup(normalized, user)
             except VfsNotFound:
@@ -423,6 +538,7 @@ class VirtualFileSystem:
     def unlink(self, path: str, user: OsUser, cwd: str = "/") -> None:
         with self._lock:
             normalized = self.normalize(path, cwd)
+            self._deny_if_mounted(normalized)
             parent, name = self._parent_of(normalized, user)
             node = parent.children.get(name)
             if node is None:
@@ -437,6 +553,7 @@ class VirtualFileSystem:
     def rmdir(self, path: str, user: OsUser, cwd: str = "/") -> None:
         with self._lock:
             normalized = self.normalize(path, cwd)
+            self._deny_if_mounted(normalized)
             parent, name = self._parent_of(normalized, user)
             node = parent.children.get(name)
             if node is None:
@@ -455,6 +572,8 @@ class VirtualFileSystem:
         with self._lock:
             old_n = self.normalize(old, cwd)
             new_n = self.normalize(new, cwd)
+            self._deny_if_mounted(old_n)
+            self._deny_if_mounted(new_n)
             old_parent, old_name = self._parent_of(old_n, user)
             node = old_parent.children.get(old_name)
             if node is None:
@@ -478,6 +597,7 @@ class VirtualFileSystem:
               cwd: str = "/") -> None:
         with self._lock:
             normalized = self.normalize(path, cwd)
+            self._deny_if_mounted(normalized)
             node = self._lookup(normalized, user)
             if not user.is_superuser and user.uid != node.uid:
                 raise VfsPermissionDenied(normalized)
@@ -488,6 +608,7 @@ class VirtualFileSystem:
               cwd: str = "/") -> None:
         with self._lock:
             normalized = self.normalize(path, cwd)
+            self._deny_if_mounted(normalized)
             node = self._lookup(normalized, user)
             if not user.is_superuser:
                 raise VfsPermissionDenied(normalized)

@@ -1,0 +1,106 @@
+"""The /proc introspection surface and its owning-user gate."""
+
+import pytest
+
+from repro.io.file import read_text
+from repro.jvm.errors import (
+    FileNotFoundException,
+    IOException,
+    SecurityException,
+)
+from repro.jvm.threads import JThread
+
+pytestmark = pytest.mark.telemetry
+
+
+def run_probe(host, register_app, probe_name, body, user=None, **kwargs):
+    """Run ``body(ctx)`` inside a fresh application; returns its result."""
+    outcome = {}
+
+    def main(jclass, ctx, args):
+        try:
+            outcome["result"] = body(ctx)
+        except Exception as exc:  # noqa: BLE001 - relayed to the test
+            outcome["error"] = exc
+        return 0
+
+    app = host.exec(register_app(probe_name, main), [], user=user, **kwargs)
+    assert app.wait_for(10) == 0
+    return app, outcome
+
+
+class TestProcSurface:
+    def test_application_reads_its_own_status_and_metrics(self, host,
+                                                          register_app):
+        alice = host.vm.user_database.lookup("alice")
+
+        def body(ctx):
+            me = ctx.app.app_id
+            return (read_text(ctx, f"/proc/{me}/status"),
+                    read_text(ctx, f"/proc/{me}/metrics"))
+
+        app, outcome = run_probe(host, register_app, "SelfProc", body,
+                                 user=alice, name="selfproc")
+        assert "error" not in outcome, outcome.get("error")
+        status, metrics = outcome["result"]
+        assert "Name:\tselfproc" in status
+        assert "User:\talice" in status
+        assert f"Id:\t{app.app_id}" in status
+        assert "app.threads.started{app=selfproc}" in metrics
+
+    def test_other_users_telemetry_looks_absent(self, host, register_app):
+        """Feature 3 asymmetry: Bob reading Alice's /proc entry gets
+        FileNotFoundException, exactly like her home directory."""
+        alice = host.vm.user_database.lookup("alice")
+        bob = host.vm.user_database.lookup("bob")
+
+        def park(jclass, ctx, args):
+            JThread.sleep(5.0)
+            return 0
+
+        target = host.exec(register_app("ParkedApp", park), [], user=alice,
+                           name="parked")
+
+        def body(ctx):
+            return read_text(ctx, f"/proc/{target.app_id}/metrics")
+
+        _, outcome = run_probe(host, register_app, "ProcSnoop", body,
+                               user=bob)
+        assert isinstance(outcome.get("error"), FileNotFoundException)
+        target.destroy()
+        target.wait_for(5)
+
+    def test_init_may_read_everyone(self, host):
+        """The initial application is an ancestor of every application —
+        the same rule the system security manager applies to threads."""
+        listing = read_text(host.initial.context(), "/proc/vmstat")
+        assert "apps.live" in listing
+        for application in host.applications():
+            text = read_text(host.initial.context(),
+                             f"/proc/{application.app_id}/status")
+            assert f"Id:\t{application.app_id}" in text
+
+    def test_proc_is_read_only(self, host, register_app):
+        alice = host.vm.user_database.lookup("alice")
+
+        def body(ctx):
+            from repro.io.file import write_text
+            write_text(ctx, f"/proc/{ctx.app.app_id}/metrics", "tamper")
+
+        _, outcome = run_probe(host, register_app, "ProcTamper", body,
+                               user=alice)
+        assert isinstance(outcome.get("error"),
+                          (IOException, SecurityException))
+
+    def test_vmstat_rollup(self, host, register_app):
+        def body(ctx):
+            return read_text(ctx, "/proc/vmstat")
+
+        _, outcome = run_probe(host, register_app, "VmstatProbe", body)
+        text = outcome["result"]
+        assert "apps.launched\t" in text
+        assert "security.grants\t" in text
+
+    def test_nonexistent_app_dir(self, host):
+        with pytest.raises(FileNotFoundException):
+            read_text(host.initial.context(), "/proc/999999/status")
