@@ -38,6 +38,7 @@ from repro.core.context import (
     current_application_or_none,
     current_user,
 )
+from repro.cluster import Cluster, ClusterApplication, PlacementError
 from repro.core.launcher import DEFAULT_POLICY, MultiProcVM
 from repro.core.sharing import SharedObjectSpace
 from repro.dist.client import (
@@ -84,6 +85,7 @@ __all__ = [
     "Application", "ApplicationRegistry", "ApplicationClassLoader",
     "ResourceLimits", "ResourceLimitExceeded", "SharedObjectSpace",
     "DistributedApplication", "RemoteApplication", "remote_exec",
+    "Cluster", "ClusterApplication", "PlacementError",
     "JObject",
     "MultiProcVM", "VirtualMachine", "DEFAULT_POLICY", "RELOADABLE_CLASSES",
     "current_application", "current_application_or_none", "current_user",

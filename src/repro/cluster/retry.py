@@ -1,0 +1,63 @@
+"""Bounded retry with exponential backoff — the cluster's patience policy.
+
+Both halves of the cluster use the same helper: heartbeat agents retry the
+registry connection while the controller is still coming up, and the spawn
+path retries placement while the pool is momentarily empty (a queued
+launch waiting for a node).  Two properties matter:
+
+* **No busy-wait.**  Every retry sleeps through an interruptible stop
+  point (:meth:`~repro.jvm.threads.JThread.sleep`), so a stopping
+  application never spins and the reaper can always make progress.
+* **Deterministic in tests.**  The sleep function is injectable; tests
+  pass a recorder and assert the exact delay sequence instead of racing
+  wall-clock time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from repro.jvm.errors import IllegalArgumentException
+from repro.jvm.threads import JThread
+
+
+def backoff_delays(attempts: int, initial: float = 0.05,
+                   factor: float = 2.0,
+                   maximum: float = 1.0) -> Iterator[float]:
+    """The delay schedule between ``attempts`` tries: geometric, capped.
+
+    Yields ``attempts - 1`` values (there is no sleep after the last try).
+    """
+    delay = initial
+    for _ in range(max(0, attempts - 1)):
+        yield min(delay, maximum)
+        delay *= factor
+
+
+def retry_call(fn: Callable, retry_on, attempts: int = 4,
+               initial: float = 0.05, factor: float = 2.0,
+               maximum: float = 1.0,
+               sleep: Optional[Callable[[float], None]] = None,
+               on_retry: Optional[Callable] = None):
+    """Call ``fn`` up to ``attempts`` times, backing off between tries.
+
+    Only exceptions matching ``retry_on`` (a class or tuple) are retried;
+    anything else — and the final failure — propagates to the caller.
+    ``sleep`` defaults to the interruptible :meth:`JThread.sleep`;
+    ``on_retry(attempt, exc)`` is invoked before each backoff sleep.
+    """
+    if attempts < 1:
+        raise IllegalArgumentException("retry_call needs attempts >= 1")
+    do_sleep = sleep if sleep is not None else JThread.sleep
+    delays = backoff_delays(attempts, initial, factor, maximum)
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            return fn()
+        except retry_on as exc:
+            if attempt >= attempts:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            do_sleep(next(delays))

@@ -1,0 +1,153 @@
+"""Placement: which node runs the next application.
+
+The scheduler is deliberately a pure function of the registry — it holds
+no connections and spawns nothing.  :meth:`Scheduler.place` filters the
+live membership (playground-only for untrusted code, per Malkhi &
+Reiter's remote-playground rule), asks the chosen policy to rank the
+survivors, records the decision (``cluster.placements`` counter plus a
+bounded in-memory log for ``/proc/cluster/placements``), and hands back a
+:class:`~repro.cluster.registry.NodeInfo`.  Actually launching on that
+node — and retrying elsewhere when it turns out to be dead — is the
+spawn layer's job.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Optional, Sequence
+
+from repro.jvm.errors import IllegalArgumentException, JavaException
+from repro.cluster.registry import NodeInfo, NodeRegistry
+
+
+class PlacementError(JavaException):
+    """No eligible node for this launch (empty pool, or the untrusted
+    flag ruled out every live node)."""
+
+
+class PlacementPolicy:
+    """Ranks eligible nodes; ``choose`` returns the winner."""
+
+    name = "policy"
+
+    def choose(self, nodes: Sequence[NodeInfo],
+               class_name: str) -> NodeInfo:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class RoundRobinPolicy(PlacementPolicy):
+    """Rotate through the eligible nodes in stable (name) order.
+
+    The cursor advances once per placement regardless of which nodes were
+    eligible, so a pool of three gets an even 1/3 split under sustained
+    load even as membership shifts.
+    """
+
+    name = "round-robin"
+
+    def __init__(self):
+        self._cursor = 0
+        self._lock = threading.Lock()
+
+    def choose(self, nodes: Sequence[NodeInfo], class_name: str) -> NodeInfo:
+        with self._lock:
+            index = self._cursor % len(nodes)
+            self._cursor += 1
+        return nodes[index]
+
+
+class LeastLoadedPolicy(PlacementPolicy):
+    """Pick the node with the lowest reported load (live apps + AWT queue
+    depth, both straight from the worker's telemetry gauges); names break
+    ties so the choice is deterministic."""
+
+    name = "least-loaded"
+
+    def choose(self, nodes: Sequence[NodeInfo], class_name: str) -> NodeInfo:
+        return min(nodes, key=lambda n: (n.load_score(), n.name))
+
+
+class LocalityPolicy(PlacementPolicy):
+    """Prefer a node whose host already publishes the class material
+    (the launch resolves locally instead of over the fabric); fall back
+    to round-robin across the whole pool otherwise."""
+
+    name = "locality"
+
+    def __init__(self):
+        self._fallback = RoundRobinPolicy()
+
+    def choose(self, nodes: Sequence[NodeInfo], class_name: str) -> NodeInfo:
+        local = [n for n in nodes if class_name in n.classes]
+        if local:
+            return min(local, key=lambda n: (n.load_score(), n.name))
+        return self._fallback.choose(nodes, class_name)
+
+
+#: How many placement decisions /proc/cluster/placements remembers.
+PLACEMENT_LOG_SIZE = 256
+
+
+class Scheduler:
+    """The placement engine: policies + the decision log."""
+
+    def __init__(self, registry: NodeRegistry, metrics=None):
+        self.registry = registry
+        self.metrics = metrics if metrics is not None else registry.metrics
+        self._policies: dict[str, PlacementPolicy] = {}
+        self._placements: deque = deque(maxlen=PLACEMENT_LOG_SIZE)
+        self._seq = 0
+        self._lock = threading.Lock()
+        for policy in (RoundRobinPolicy(), LeastLoadedPolicy(),
+                       LocalityPolicy()):
+            self.register_policy(policy)
+
+    def register_policy(self, policy: PlacementPolicy) -> None:
+        self._policies[policy.name] = policy
+
+    def policy_names(self) -> list[str]:
+        return sorted(self._policies)
+
+    def place(self, class_name: str, policy: str = "round-robin",
+              untrusted: bool = False, exclude: Sequence[str] = (),
+              user: str = "") -> NodeInfo:
+        """Pick a live node for ``class_name`` or raise PlacementError.
+
+        ``untrusted`` restricts the pool to playground nodes — untrusted
+        code never lands on a general worker, even when the playgrounds
+        are busier.  ``exclude`` removes nodes a failover already tried.
+        """
+        chooser = self._policies.get(policy)
+        if chooser is None:
+            raise IllegalArgumentException(
+                f"unknown placement policy {policy!r} "
+                f"(have: {', '.join(self.policy_names())})")
+        excluded = set(exclude)
+        eligible = [n for n in self.registry.live_nodes()
+                    if n.name not in excluded
+                    and (n.playground or not untrusted)]
+        if not eligible:
+            pool = "playground nodes" if untrusted else "live nodes"
+            raise PlacementError(
+                f"no eligible {pool} for {class_name} "
+                f"(policy={policy}, excluded={sorted(excluded) or 'none'})")
+        node = chooser.choose(eligible, class_name)
+        self._record(class_name, policy, node, user, untrusted)
+        return node
+
+    def _record(self, class_name: str, policy: str, node: NodeInfo,
+                user: str, untrusted: bool) -> None:
+        with self._lock:
+            self._seq += 1
+            self._placements.append({
+                "seq": self._seq, "class": class_name, "policy": policy,
+                "node": node.name, "user": user or "-",
+                "untrusted": untrusted})
+        self.metrics.counter("cluster.placements", policy=policy,
+                             node=node.name).inc()
+
+    def placements(self) -> list[dict]:
+        """The recent decision log, oldest first (procfs reads this)."""
+        with self._lock:
+            return list(self._placements)

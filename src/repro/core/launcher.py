@@ -95,6 +95,21 @@ grant codeBase "file:/usr/local/java/tools/rsh/*" {
     permission SocketPermission "*:7000-7999", "connect,resolve";
 };
 
+// Cluster plumbing (the Section 8 pool): the registry server accepts
+// agent heartbeats on the controller, and the agent on every worker
+// connects back to it.
+grant codeBase "file:/usr/local/java/tools/clusterd/*" {
+    permission SocketPermission "localhost:7000-7999", "listen";
+    permission SocketPermission "*", "accept,resolve";
+    permission SocketPermission "*:7000-7999", "connect,resolve";
+};
+
+// The cluster control tool launches scheduled work over the dist
+// protocol, exactly like rsh.
+grant codeBase "file:/usr/local/java/tools/cluster/*" {
+    permission SocketPermission "*:7000-7999", "connect,resolve";
+};
+
 // The Appletviewer creates AppletClassLoaders and holds the network
 // permission it delegates: "an applet will get the permission FROM the
 // Appletviewer to connect back to its own host" (Section 6.3).  The

@@ -16,7 +16,13 @@ import threading
 from typing import Optional
 
 from repro.dist import protocol
-from repro.jvm.errors import IOException, RemoteException
+from repro.jvm.errors import (
+    ConnectException,
+    IOException,
+    NodeUnavailableException,
+    RemoteException,
+    UnknownHostException,
+)
 from repro.jvm.threads import JThread, interruptible_wait
 from repro.net.sockets import Socket
 
@@ -35,10 +41,20 @@ class RemoteApplication:
         self.exit_code: Optional[int] = None
         self.error: Optional[str] = None
         self._finished = False
+        #: True when the handle ended because the transport died (connection
+        #: lost, stream error) rather than a remote launch/auth error — the
+        #: cluster failover trigger.
+        self.transport_lost = False
         self._output_chunks: list[str] = []
         # SM checkConnect applies here: reaching out over the network is a
-        # policy decision of *this* VM.
-        self._socket = Socket(ctx, host, port)
+        # policy decision of *this* VM.  An unreachable host is a typed
+        # NodeUnavailableException so schedulers can tell "dead node" from
+        # "protocol error" (a SecurityException still propagates as itself).
+        try:
+            self._socket = Socket(ctx, host, port)
+        except (UnknownHostException, ConnectException) as exc:
+            raise NodeUnavailableException(
+                f"{host}:{port} unavailable: {exc}") from exc
         protocol.send_frame(self._socket.output, {
             "user": user, "password": password,
             "class_name": class_name, "args": list(args or [])})
@@ -52,7 +68,7 @@ class RemoteApplication:
             while True:
                 frame = protocol.recv_frame(self._socket.input)
                 if frame is None:
-                    self._finish(None, "connection lost")
+                    self._finish(None, "connection lost", transport=True)
                     return
                 kind = frame.get("t")
                 if kind == "o":
@@ -66,7 +82,7 @@ class RemoteApplication:
                     self._finish(None, str(frame.get("msg", "error")))
                     return
         except IOException as exc:
-            self._finish(None, str(exc))
+            self._finish(None, str(exc), transport=True)
 
     def _on_output(self, data: str, sink) -> None:
         with self._cond:
@@ -75,10 +91,12 @@ class RemoteApplication:
             sink.write(data.encode("utf-8") if isinstance(data, str)
                        else data)
 
-    def _finish(self, code: Optional[int], error: Optional[str]) -> None:
+    def _finish(self, code: Optional[int], error: Optional[str],
+                transport: bool = False) -> None:
         with self._cond:
             self.exit_code = code
             self.error = error
+            self.transport_lost = transport
             self._finished = True
             self._cond.notify_all()
 

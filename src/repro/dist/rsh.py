@@ -14,7 +14,11 @@ from __future__ import annotations
 
 from repro.dist.client import remote_exec
 from repro.jvm.classloading import ClassMaterial
-from repro.jvm.errors import RemoteException, SecurityException
+from repro.jvm.errors import (
+    NodeUnavailableException,
+    RemoteException,
+    SecurityException,
+)
 from repro.security.codesource import CodeSource
 
 CLASS_NAME = "tools.Rsh"
@@ -63,7 +67,7 @@ def build_material() -> ClassMaterial:
                 ctx, host, class_name, command_args, user=user,
                 password=password, port=port, stdout=ctx.stdout,
                 stderr=ctx.stderr))
-        except SecurityException as exc:
+        except (SecurityException, NodeUnavailableException) as exc:
             ctx.stderr.println(f"rsh: {exc}")
             return 1
         try:

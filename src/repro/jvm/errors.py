@@ -196,3 +196,13 @@ class BindException(SocketException):
 
 class RemoteException(IOException):
     """A remote operation failed (Section 8's distributed applications)."""
+
+
+class NodeUnavailableException(RemoteException):
+    """The target node cannot be reached at all — unknown to the fabric or
+    refusing connections.
+
+    Distinct from a protocol or authentication failure on a *reachable*
+    node: the cluster scheduler treats this one as "the node is dead, try
+    placing the launch somewhere else" rather than "the request was bad".
+    """

@@ -101,6 +101,7 @@ class VirtualMachine:
         self.tool_path = {}                # command name -> class name
         self.consoles = {}                 # device name -> TerminalDevice
         self.shared_objects = None         # repro.core.sharing
+        self.cluster = None                # repro.cluster.spawn
 
         self._state = STATE_NEW
         self._state_lock = threading.Lock()

@@ -108,6 +108,11 @@ class Host:
             self._published[material.name] = material
         return material
 
+    def published_names(self) -> list[str]:
+        """The class names this host serves (the cluster locality signal)."""
+        with self._lock:
+            return sorted(self._published)
+
     def fetch_class(self, name: str) -> ClassMaterial:
         """Download class material (what an AppletClassLoader does)."""
         with self._lock:

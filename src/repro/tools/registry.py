@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+from repro.cluster import registry as cluster_registry
 from repro.dist import daemon as rexec_daemon
 from repro.dist import rsh
-from repro.tools import appletviewer, coreutils, login, shell, terminal
+from repro.tools import appletviewer, clusterctl, coreutils, login, shell, \
+    terminal
 
 
 def register_tools(vm) -> None:
@@ -16,6 +18,9 @@ def register_tools(vm) -> None:
         appletviewer.build_material(),
         rexec_daemon.build_material(),
         rsh.build_material(),
+        clusterctl.build_material(),
+        cluster_registry.build_agent_material(),
+        cluster_registry.build_server_material(),
     ]
     for material in materials:
         if material.name not in vm.registry:
@@ -28,4 +33,7 @@ def register_tools(vm) -> None:
         "appletviewer": appletviewer.CLASS_NAME,
         "rexecd": rexec_daemon.CLASS_NAME,
         "rsh": rsh.CLASS_NAME,
+        "cluster": clusterctl.CLASS_NAME,
+        "clusteragent": cluster_registry.AGENT_CLASS_NAME,
+        "clusterd": cluster_registry.SERVER_CLASS_NAME,
     })

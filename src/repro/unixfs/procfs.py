@@ -3,6 +3,8 @@
 Mounted read-only at ``/proc`` by the multi-processing launcher::
 
     /proc/vmstat              VM-wide telemetry rollup (world-readable)
+    /proc/cluster/nodes       cluster membership table (controller VMs only)
+    /proc/cluster/placements  recent placement decisions
     /proc/<app-id>/status     one application's identity and accounting
     /proc/<app-id>/metrics    its slice of the metrics registry
     /proc/<app-id>/audit      its tail of the security audit log (JSONL)
@@ -134,12 +136,30 @@ class ProcFileSystem:
             f"security.grants\t{audit.grants}",
             f"security.denies\t{audit.denies}",
         ]
+        if self.vm.cluster is not None:
+            lines.extend([
+                f"cluster.nodes.live\t"
+                f"{int(metrics.total('cluster.nodes.live'))}",
+                f"cluster.placements\t"
+                f"{int(metrics.total('cluster.placements'))}",
+                f"cluster.failovers\t"
+                f"{int(metrics.total('cluster.failovers'))}",
+            ])
         return "\n".join(lines) + "\n"
 
     def _file_payload(self, rel: str) -> bytes:
         parts = self._split(rel)
         if parts == ["vmstat"]:
             return self._vmstat_text().encode("utf-8")
+        if parts and parts[0] == "cluster":
+            cluster = self.vm.cluster
+            if cluster is None:
+                raise VfsNotFound(f"/proc{rel}")
+            if parts == ["cluster", "nodes"]:
+                return cluster.render_nodes().encode("utf-8")
+            if parts == ["cluster", "placements"]:
+                return cluster.render_placements().encode("utf-8")
+            raise VfsNotFound(f"/proc{rel}")
         if len(parts) == 2 and parts[0].isdigit():
             application = self._application(int(parts[0]))
             self._gate(application, rel)
@@ -160,6 +180,10 @@ class ProcFileSystem:
         if len(parts) == 1 and parts[0].isdigit():
             self._application(int(parts[0]))
             return VfsStat(_ino(rel), "dir", 0o555, 0, 0, 0, 0, 1)
+        if parts == ["cluster"]:
+            if self.vm.cluster is None:
+                raise VfsNotFound(f"/proc{rel}")
+            return VfsStat(_ino(rel), "dir", 0o555, 0, 0, 0, 0, 1)
         payload = self._file_payload(rel)
         return VfsStat(_ino(rel), "file", 0o444, 0, 0, len(payload), 0, 1)
 
@@ -169,8 +193,14 @@ class ProcFileSystem:
             registry = self.vm.application_registry
             applications = registry.applications(check=False) \
                 if registry is not None else []
-            return sorted([str(a.app_id) for a in applications],
-                          key=int) + ["vmstat"]
+            entries = sorted([str(a.app_id) for a in applications], key=int)
+            if self.vm.cluster is not None:
+                entries.append("cluster")
+            return entries + ["vmstat"]
+        if parts == ["cluster"]:
+            if self.vm.cluster is None:
+                raise VfsNotFound(f"/proc{rel}")
+            return ["nodes", "placements"]
         if len(parts) == 1 and parts[0].isdigit():
             application = self._application(int(parts[0]))
             self._gate(application, rel)
@@ -181,7 +211,8 @@ class ProcFileSystem:
 
     def read(self, rel: str, user) -> bytes:
         parts = self._split(rel)
-        if not parts or (len(parts) == 1 and parts[0].isdigit()):
+        if not parts or (len(parts) == 1 and parts[0].isdigit()) \
+                or (parts == ["cluster"] and self.vm.cluster is not None):
             from repro.unixfs.vfs import VfsIsADirectory
             raise VfsIsADirectory(f"/proc{rel}")
         return self._file_payload(rel)

@@ -1,0 +1,158 @@
+"""Membership: register, heartbeat, suspect, die — on a fake clock."""
+
+import pytest
+
+from repro.cluster.registry import DEAD, LIVE, SUSPECT, NodeRegistry
+from repro.telemetry.metrics import MetricsRegistry
+
+pytestmark = pytest.mark.cluster
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def metrics():
+    return MetricsRegistry()
+
+
+@pytest.fixture
+def registry(clock, metrics):
+    return NodeRegistry(metrics=metrics, suspect_after=1.0,
+                        dead_after=2.0, clock=clock)
+
+
+class TestMembership:
+    def test_register_starts_live(self, registry):
+        node = registry.register("n1", port=7101)
+        assert node.state == LIVE
+        assert registry.find("n1") is node
+        assert [n.name for n in registry.live_nodes()] == ["n1"]
+
+    def test_heartbeat_keeps_node_live(self, registry, clock):
+        registry.register("n1")
+        for _ in range(5):
+            clock.advance(0.5)
+            assert registry.heartbeat("n1") is True
+            registry.sweep()
+        assert registry.find("n1").state == LIVE
+        assert registry.find("n1").beats == 5
+
+    def test_silence_goes_suspect_then_dead(self, registry, clock):
+        registry.register("n1")
+        clock.advance(1.5)
+        registry.sweep()
+        assert registry.find("n1").state == SUSPECT
+        clock.advance(1.0)  # 2.5s total silence > dead_after
+        dead = registry.sweep()
+        assert [n.name for n in dead] == ["n1"]
+        assert registry.find("n1").state == DEAD
+
+    def test_suspect_recovers_on_heartbeat(self, registry, clock):
+        registry.register("n1")
+        clock.advance(1.5)
+        registry.sweep()
+        assert registry.find("n1").state == SUSPECT
+        registry.heartbeat("n1")
+        assert registry.find("n1").state == LIVE
+
+    def test_heartbeat_from_unknown_or_dead_rejected(self, registry, clock):
+        assert registry.heartbeat("ghost") is False
+        registry.register("n1")
+        clock.advance(5.0)
+        registry.sweep()
+        assert registry.heartbeat("n1") is False  # must re-register
+
+    def test_reregistration_revives_a_dead_node(self, registry, clock):
+        registry.register("n1")
+        clock.advance(5.0)
+        registry.sweep()
+        assert registry.find("n1").state == DEAD
+        registry.register("n1")
+        assert registry.find("n1").state == LIVE
+
+    def test_mark_dead_out_of_band(self, registry):
+        registry.register("n1")
+        registry.mark_dead("n1", reason="connect refused")
+        assert registry.find("n1").state == DEAD
+        assert registry.live_nodes() == []
+
+    def test_load_and_classes_update_on_heartbeat(self, registry):
+        registry.register("n1", load={"apps": 1})
+        registry.heartbeat("n1", load={"apps": 4, "awt": 2},
+                           classes=["apps.Worker"])
+        node = registry.find("n1")
+        assert node.load == {"apps": 4, "awt": 2}
+        assert node.classes == {"apps.Worker"}
+        assert node.load_score() == 6
+
+
+class TestDeathCallbacks:
+    def test_callback_fires_once_per_death(self, registry, clock):
+        deaths = []
+        registry.on_node_dead.append(lambda n: deaths.append(n.name))
+        registry.register("n1")
+        registry.register("n2")
+        clock.advance(5.0)
+        registry.sweep()
+        registry.sweep()  # already dead: no second notification
+        assert sorted(deaths) == ["n1", "n2"]
+
+    def test_callback_errors_do_not_break_the_sweep(self, registry, clock):
+        def explode(node):
+            raise RuntimeError("observer bug")
+
+        seen = []
+        registry.on_node_dead.append(explode)
+        registry.on_node_dead.append(lambda n: seen.append(n.name))
+        registry.register("n1")
+        clock.advance(5.0)
+        registry.sweep()
+        assert seen == ["n1"]
+
+
+class TestRegistryTelemetry:
+    def test_live_gauge_tracks_transitions(self, registry, metrics, clock):
+        registry.register("n1")
+        registry.register("n2")
+        assert metrics.total("cluster.nodes.live") == 2
+        assert metrics.total("cluster.nodes.known") == 2
+        clock.advance(5.0)
+        registry.sweep()
+        assert metrics.total("cluster.nodes.live") == 0
+        assert metrics.total("cluster.nodes.known") == 2
+
+    def test_heartbeat_latency_histogram_observes_gaps(self, registry,
+                                                       metrics, clock):
+        registry.register("n1")
+        clock.advance(0.25)
+        registry.heartbeat("n1")
+        clock.advance(0.75)
+        registry.heartbeat("n1")
+        histogram = metrics.histogram("cluster.heartbeat.latency")
+        assert histogram.count == 2
+        assert histogram.total == pytest.approx(1.0)
+        assert histogram.maximum == pytest.approx(0.75)
+
+    def test_counters(self, registry, metrics, clock):
+        registry.register("n1")
+        registry.heartbeat("n1")
+        registry.heartbeat("n1")
+        clock.advance(5.0)
+        registry.sweep()
+        assert metrics.total("cluster.registrations") == 1
+        assert metrics.total("cluster.heartbeats") == 2
+        assert metrics.total("cluster.node.deaths") == 1

@@ -1,0 +1,107 @@
+"""The bounded retry helper: deterministic backoff, no busy-wait."""
+
+import pytest
+
+from repro.cluster.retry import backoff_delays, retry_call
+from repro.jvm.errors import (
+    IllegalArgumentException,
+    SocketException,
+    UnknownHostException,
+)
+
+pytestmark = pytest.mark.cluster
+
+
+class TestBackoffDelays:
+    def test_geometric_schedule(self):
+        assert list(backoff_delays(4, initial=0.05, factor=2.0,
+                                   maximum=1.0)) == [0.05, 0.1, 0.2]
+
+    def test_cap_applies(self):
+        delays = list(backoff_delays(6, initial=0.5, factor=3.0,
+                                     maximum=1.0))
+        assert delays == [0.5, 1.0, 1.0, 1.0, 1.0]
+
+    def test_single_attempt_sleeps_never(self):
+        assert list(backoff_delays(1)) == []
+
+
+class TestRetryCall:
+    def test_success_first_try_never_sleeps(self):
+        slept = []
+        assert retry_call(lambda: 42, retry_on=SocketException,
+                          sleep=slept.append) == 42
+        assert slept == []
+
+    def test_retries_then_succeeds(self):
+        slept = []
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise SocketException("not yet")
+            return "ok"
+
+        assert retry_call(flaky, retry_on=SocketException, attempts=4,
+                          initial=0.05, sleep=slept.append) == "ok"
+        assert len(calls) == 3
+        assert slept == [0.05, 0.1]  # deterministic: injected sleep
+
+    def test_exhaustion_reraises_last_error(self):
+        slept = []
+
+        def always():
+            raise SocketException("down")
+
+        with pytest.raises(SocketException):
+            retry_call(always, retry_on=SocketException, attempts=3,
+                       sleep=slept.append)
+        assert len(slept) == 2  # no sleep after the final failure
+
+    def test_non_matching_exception_propagates_immediately(self):
+        slept = []
+        calls = []
+
+        def wrong_kind():
+            calls.append(1)
+            raise ValueError("not retryable")
+
+        with pytest.raises(ValueError):
+            retry_call(wrong_kind, retry_on=SocketException,
+                       sleep=slept.append)
+        assert len(calls) == 1
+        assert slept == []
+
+    def test_tuple_of_exception_types(self):
+        calls = []
+
+        def mixed():
+            calls.append(1)
+            if len(calls) == 1:
+                raise UnknownHostException("who?")
+            if len(calls) == 2:
+                raise SocketException("refused")
+            return "through"
+
+        assert retry_call(mixed,
+                          retry_on=(SocketException, UnknownHostException),
+                          attempts=3, sleep=lambda _d: None) == "through"
+
+    def test_on_retry_hook_sees_each_failure(self):
+        seen = []
+
+        def flaky():
+            if len(seen) < 2:
+                raise SocketException(f"fail {len(seen)}")
+            return True
+
+        retry_call(flaky, retry_on=SocketException, attempts=3,
+                   sleep=lambda _d: None,
+                   on_retry=lambda attempt, exc: seen.append((attempt,
+                                                              str(exc))))
+        assert [a for a, _ in seen] == [1, 2]
+
+    def test_zero_attempts_rejected(self):
+        with pytest.raises(IllegalArgumentException):
+            retry_call(lambda: 1, retry_on=SocketException, attempts=0)

@@ -1,0 +1,143 @@
+"""Placement policies: fairness, load, locality, and the playground rule."""
+
+import pytest
+
+from repro.cluster.registry import NodeRegistry
+from repro.cluster.scheduler import PlacementError, Scheduler
+from repro.jvm.errors import IllegalArgumentException
+from repro.telemetry.metrics import MetricsRegistry
+
+pytestmark = pytest.mark.cluster
+
+
+@pytest.fixture
+def metrics():
+    return MetricsRegistry()
+
+
+@pytest.fixture
+def registry(metrics):
+    return NodeRegistry(metrics=metrics, clock=lambda: 0.0)
+
+
+@pytest.fixture
+def scheduler(registry, metrics):
+    return Scheduler(registry, metrics=metrics)
+
+
+def three_nodes(registry, playground=()):
+    for name in ("n1", "n2", "n3"):
+        registry.register(name, playground=name in playground)
+
+
+class TestRoundRobin:
+    def test_even_spread(self, registry, scheduler):
+        three_nodes(registry)
+        picks = [scheduler.place("apps.X").name for _ in range(9)]
+        assert picks.count("n1") == 3
+        assert picks.count("n2") == 3
+        assert picks.count("n3") == 3
+
+    def test_rotation_order_is_stable(self, registry, scheduler):
+        three_nodes(registry)
+        picks = [scheduler.place("apps.X").name for _ in range(4)]
+        assert picks == ["n1", "n2", "n3", "n1"]
+
+    def test_dead_nodes_skipped(self, registry, scheduler):
+        three_nodes(registry)
+        registry.mark_dead("n2")
+        picks = {scheduler.place("apps.X").name for _ in range(6)}
+        assert picks == {"n1", "n3"}
+
+
+class TestLeastLoaded:
+    def test_picks_the_idle_node(self, registry, scheduler):
+        three_nodes(registry)
+        registry.heartbeat("n1", load={"apps": 5, "awt": 0})
+        registry.heartbeat("n2", load={"apps": 1, "awt": 0})
+        registry.heartbeat("n3", load={"apps": 3, "awt": 4})
+        assert scheduler.place("apps.X", policy="least-loaded").name == "n2"
+
+    def test_awt_queue_depth_counts_as_load(self, registry, scheduler):
+        three_nodes(registry)
+        registry.heartbeat("n1", load={"apps": 2, "awt": 9})
+        registry.heartbeat("n2", load={"apps": 3, "awt": 0})
+        registry.heartbeat("n3", load={"apps": 3, "awt": 1})
+        assert scheduler.place("apps.X", policy="least-loaded").name == "n2"
+
+    def test_name_breaks_ties(self, registry, scheduler):
+        three_nodes(registry)
+        assert scheduler.place("apps.X", policy="least-loaded").name == "n1"
+
+
+class TestLocality:
+    def test_prefers_node_publishing_the_class(self, registry, scheduler):
+        three_nodes(registry)
+        registry.heartbeat("n3", classes=["apps.Special"])
+        for _ in range(3):
+            assert scheduler.place("apps.Special",
+                                   policy="locality").name == "n3"
+
+    def test_least_loaded_among_publishers(self, registry, scheduler):
+        three_nodes(registry)
+        registry.heartbeat("n2", load={"apps": 1}, classes=["apps.S"])
+        registry.heartbeat("n3", load={"apps": 5}, classes=["apps.S"])
+        assert scheduler.place("apps.S", policy="locality").name == "n2"
+
+    def test_falls_back_to_round_robin(self, registry, scheduler):
+        three_nodes(registry)
+        picks = {scheduler.place("apps.Nowhere", policy="locality").name
+                 for _ in range(6)}
+        assert picks == {"n1", "n2", "n3"}
+
+
+class TestPlaygroundRule:
+    def test_untrusted_only_lands_on_playgrounds(self, registry, scheduler):
+        three_nodes(registry, playground=("n3",))
+        registry.heartbeat("n1", load={"apps": 0})
+        registry.heartbeat("n3", load={"apps": 50})
+        # Even with every policy and a busy playground, untrusted work
+        # never escapes to a general worker.
+        for policy in scheduler.policy_names():
+            for _ in range(5):
+                node = scheduler.place("evil.Applet", policy=policy,
+                                       untrusted=True)
+                assert node.name == "n3"
+
+    def test_no_playground_means_no_placement(self, registry, scheduler):
+        three_nodes(registry)  # all general workers
+        with pytest.raises(PlacementError):
+            scheduler.place("evil.Applet", untrusted=True)
+
+    def test_trusted_work_may_use_playgrounds_too(self, registry, scheduler):
+        three_nodes(registry, playground=("n3",))
+        picks = {scheduler.place("apps.X").name for _ in range(6)}
+        assert picks == {"n1", "n2", "n3"}
+
+
+class TestSchedulerSurface:
+    def test_empty_pool_raises(self, scheduler):
+        with pytest.raises(PlacementError):
+            scheduler.place("apps.X")
+
+    def test_unknown_policy_rejected(self, registry, scheduler):
+        three_nodes(registry)
+        with pytest.raises(IllegalArgumentException):
+            scheduler.place("apps.X", policy="chaotic")
+
+    def test_exclude_removes_candidates(self, registry, scheduler):
+        three_nodes(registry)
+        picks = {scheduler.place("apps.X", exclude=("n1", "n3")).name
+                 for _ in range(4)}
+        assert picks == {"n2"}
+
+    def test_placements_counter_and_log(self, registry, scheduler, metrics):
+        three_nodes(registry)
+        scheduler.place("apps.X", user="alice")
+        scheduler.place("apps.Y", policy="least-loaded", user="bob")
+        assert metrics.total("cluster.placements") == 2
+        log = scheduler.placements()
+        assert [entry["class"] for entry in log] == ["apps.X", "apps.Y"]
+        assert log[0]["user"] == "alice"
+        assert log[1]["policy"] == "least-loaded"
+        assert log[0]["seq"] < log[1]["seq"]
