@@ -12,7 +12,9 @@ policy machinery cost, so the overhead story is quantified:
 """
 
 import contextlib
+import os
 import sys
+import time
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
 
@@ -21,7 +23,7 @@ import pytest  # noqa: E402
 from _common import banner, bench_mvm  # noqa: E402,F401
 
 from repro.core.launcher import DEFAULT_POLICY  # noqa: E402
-from repro.security import access  # noqa: E402
+from repro.security import access, cache  # noqa: E402
 from repro.security.codesource import CodeSource, ProtectionDomain  # noqa: E402
 from repro.security.permissions import (  # noqa: E402
     FilePermission,
@@ -31,6 +33,10 @@ from repro.security.permissions import (  # noqa: E402
 from repro.security.policy import parse_policy  # noqa: E402
 
 PERM = FilePermission("/home/alice/notes.txt", "read")
+
+#: Iterations for the hand-timed cache series; the perf-marker smoke runs
+#: set this tiny so the benchmarks stay exercised without taking time.
+LOOP_N = int(os.environ.get("REPRO_BENCH_N", "20000"))
 
 
 def granting_domain(name="granting"):
@@ -100,6 +106,110 @@ def test_bench_do_privileged_truncates_walk(benchmark):
             benchmark(privileged_check)
     print(banner("C5: do_privileged over a 32-deep denied stack"))
     print(f"mean: {benchmark.stats.stats.mean * 1e6:8.2f} us")
+
+
+# ---------------------------------------------------------------------------
+# The security fast path: epoch-invalidated caching, cached vs cold
+# ---------------------------------------------------------------------------
+
+GRANTING_POLICY_TEXT = DEFAULT_POLICY + "\n".join(
+    f'grant codeBase "file:/bench/d{i}/*" {{\n'
+    f'    permission FilePermission "/home/alice/-", "read,write";\n'
+    f'}};'
+    for i in range(8))
+
+
+def policy_backed_stack(depth: int):
+    """A policy, and ``depth`` distinct policy-backed (non-static) domains
+    the way application class loaders build them (interned)."""
+    policy = parse_policy(GRANTING_POLICY_TEXT)
+    domains = [
+        policy.domain_for_code_source(
+            CodeSource(f"file:/bench/d{i}/Cls{i}.class"))
+        for i in range(depth)]
+    return policy, domains
+
+
+def _timed_checks(n: int) -> float:
+    start = time.perf_counter()
+    check = access.check_permission
+    for _ in range(n):
+        check(PERM)
+    return time.perf_counter() - start
+
+
+def test_bench_cached_vs_cold_policy_backed():
+    """The tentpole number: repeated ``check_permission`` at stack depth 8
+    over policy-backed domains, uncached baseline vs the epoch-invalidated
+    cache (policy memo + domain memo + walk dedupe)."""
+    _, domains = policy_backed_stack(8)
+    with contextlib.ExitStack() as stack:
+        for domain in domains:
+            stack.enter_context(access.stack_frame(domain))
+        with cache.disabled():
+            uncached_s = _timed_checks(LOOP_N)
+        access.check_permission(PERM)  # warm the memos
+        cached_s = _timed_checks(LOOP_N)
+    uncached_us = uncached_s / LOOP_N * 1e6
+    cached_us = cached_s / LOOP_N * 1e6
+    speedup = uncached_s / cached_s if cached_s else float("inf")
+    print(banner("C5: depth-8 policy-backed walk, cached vs cold"))
+    print(f"uncached: {uncached_us:8.2f} us/check "
+          f"({1 / uncached_s * LOOP_N:10.0f} checks/s)")
+    print(f"cached:   {cached_us:8.2f} us/check "
+          f"({1 / cached_s * LOOP_N:10.0f} checks/s)")
+    print(f"speedup:  {speedup:8.1f}x")
+    if LOOP_N >= 5000:  # tiny smoke runs are too noisy to gate on
+        assert speedup >= 5.0, (
+            f"security cache speedup regressed: {speedup:.1f}x < 5x")
+
+
+def test_bench_post_refresh_recovery():
+    """The price of coherence: every ``refresh_from`` bumps the epoch and
+    the next check per domain re-resolves; steady state goes back to memo
+    hits.  Series: cost of the first post-refresh check vs steady state."""
+    policy, domains = policy_backed_stack(8)
+    refreshes = max(LOOP_N // 200, 5)
+    with contextlib.ExitStack() as stack:
+        for domain in domains:
+            stack.enter_context(access.stack_frame(domain))
+        access.check_permission(PERM)  # warm
+        steady_s = _timed_checks(LOOP_N)
+        cold_total = 0.0
+        for _ in range(refreshes):
+            policy.refresh_from(GRANTING_POLICY_TEXT)
+            start = time.perf_counter()
+            access.check_permission(PERM)
+            cold_total += time.perf_counter() - start
+    steady_us = steady_s / LOOP_N * 1e6
+    cold_us = cold_total / refreshes * 1e6
+    print(banner("C5: post-refresh (epoch-invalidated) first check"))
+    print(f"steady-state hit:   {steady_us:8.2f} us/check")
+    print(f"first after refresh:{cold_us:8.2f} us/check "
+          f"({refreshes} refreshes)")
+
+
+def test_bench_user_path_cached():
+    """Section 5.3 user combination with the (user, epoch) memo: the
+    resolver returns the cached user Permissions, no allocation."""
+    policy = parse_policy(DEFAULT_POLICY)
+    previous = access.user_permission_resolver
+    access.user_permission_resolver = \
+        lambda: policy.permissions_for_user("alice")
+    try:
+        local_domain = policy.domain_for_code_source(
+            CodeSource("file:/usr/local/java/apps/e/E.class"))
+        with access.stack_frame(local_domain):
+            with cache.disabled():
+                uncached_s = _timed_checks(LOOP_N)
+            access.check_permission(PERM)
+            cached_s = _timed_checks(LOOP_N)
+    finally:
+        access.user_permission_resolver = previous
+    print(banner("C5: user-combined grant, cached vs cold"))
+    print(f"uncached: {uncached_s / LOOP_N * 1e6:8.2f} us/check")
+    print(f"cached:   {cached_s / LOOP_N * 1e6:8.2f} us/check")
+    print(f"speedup:  {uncached_s / cached_s:8.1f}x")
 
 
 def test_bench_policy_parse(benchmark):

@@ -234,6 +234,11 @@ class MultiProcVM:
         vm.policy = policy if policy is not None \
             else parse_policy(DEFAULT_POLICY)
         vm.boot_loader.policy = vm.policy
+        # Re-home the security-cache counters into this VM's telemetry hub
+        # so /proc/vmstat and /proc/security/cache report live values.
+        bind = getattr(vm.policy, "bind_telemetry", None)
+        if bind is not None:
+            bind(vm.telemetry.metrics)
         vm.user_database = users if users is not None \
             else standard_user_database()
         vm.system_exit_exits_application = system_exit_exits_application

@@ -50,14 +50,23 @@ class ApplicationClassLoader(ClassLoader):
 
     def load_class(self, name: str) -> JClass:
         if name in self._reloadable:
+            # Hold the loader lock across the lookup *and* the define: a
+            # released-and-reacquired lock let two threads of one
+            # application race past the ``_defined`` check and both run
+            # the define path (double-counting reload metrics, and handing
+            # one of them a class whose static init had not finished).
+            # The RLock makes the nested define_class acquisition, and
+            # any loads the static initializer performs on this same
+            # loader, re-entrant.
             with self._lock:
                 already = self._defined.get(name)
-            if already is not None:
-                return already
-            # Re-define from the same class material, bypassing delegation:
-            # the new JClass has its own statics and its own identity.
-            material = self.registry.get(name)
-            jclass = self.define_class(material)
+                if already is not None:
+                    return already
+                # Re-define from the same class material, bypassing
+                # delegation: the new JClass has its own statics and its
+                # own identity.
+                material = self.registry.get(name)
+                jclass = self.define_class(material)
             vm = self.vm
             if vm is not None:
                 metrics = vm.telemetry.metrics

@@ -162,19 +162,30 @@ class JClass:
         #: Per-definition static fields (e.g. ``System``'s in/out/err).
         self.statics: dict[str, object] = {}
         self._initialized = False
+        self._init_lock = threading.RLock()
 
     @property
     def name(self) -> str:
         return self.material.name
 
     def initialize(self) -> None:
-        """Run the static initializer under this class's domain."""
+        """Run the static initializer under this class's domain.
+
+        Init-once and thread-safe: a second thread blocks until the first
+        finishes (so it never sees a half-initialized class), while the
+        defining thread may re-enter during its own static init (the JVM's
+        recursive-initialization rule) thanks to the RLock plus the
+        flag being set before the initializer runs.
+        """
         if self._initialized:
             return
-        self._initialized = True
-        if self.material.static_init is not None:
-            with access.stack_frame(self.protection_domain):
-                self.material.static_init(self)
+        with self._init_lock:
+            if self._initialized:
+                return
+            self._initialized = True
+            if self.material.static_init is not None:
+                with access.stack_frame(self.protection_domain):
+                    self.material.static_init(self)
 
     def has_method(self, name: str) -> bool:
         return name in self.material.members
@@ -239,6 +250,26 @@ class JMethod:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"JMethod({self.jclass.name}.{self.name})"
+
+
+_system_domain_lock = threading.Lock()
+_system_domain: Optional[ProtectionDomain] = None
+
+
+def _shared_system_domain() -> ProtectionDomain:
+    """The one fully trusted domain all boot-class-path classes share.
+
+    System classes dominate deep stacks; giving them a single domain
+    object lets the walk's identity dedupe collapse them to one check.
+    The domain is stateless (static ``AllPermission``, no policy), so
+    sharing it across VMs is safe.
+    """
+    global _system_domain
+    if _system_domain is None:
+        with _system_domain_lock:
+            if _system_domain is None:
+                _system_domain = system_domain()
+    return _system_domain
 
 
 class ClassLoader:
@@ -306,11 +337,22 @@ class ClassLoader:
 
         Material without a code source is boot-class-path code and gets the
         fully trusted system domain; everything else gets a policy-backed
-        domain for its code source (Section 3.3, JDK 1.2 model).
+        domain for its code source (Section 3.3, JDK 1.2 model).  Plain
+        policy-backed domains are *interned* per ``(code_source, policy)``
+        — identical code sources share one domain (and one decision memo)
+        across loaders, and the access-control walk can dedupe them by
+        identity.  Loaders that attach static permissions (the
+        ``AppletClassLoader``) override this method and keep building
+        their own unshared domains.
         """
         if material.code_source is None:
-            return system_domain()
-        return ProtectionDomain(material.code_source, policy=self.policy,
+            return _shared_system_domain()
+        policy = self.policy
+        interner = getattr(policy, "domain_for_code_source", None)
+        if interner is not None:
+            return interner(material.code_source,
+                            name=material.code_source.url or material.name)
+        return ProtectionDomain(material.code_source, policy=policy,
                                 name=material.code_source.url or material.name)
 
     def defined_classes(self) -> list[JClass]:

@@ -105,9 +105,21 @@ class AccessControlContext:
     def __init__(self, domains: tuple[ProtectionDomain, ...]):
         self.domains = tuple(domains)
 
-    def check_permission(self, permission: Permission) -> None:
+    def check_permission(self, permission: Permission,
+                         _seen: Optional[set] = None) -> None:
+        """Check every captured domain; ``_seen`` (internal) carries the
+        identities the enclosing stack walk already validated, so shared
+        (interned) domains are checked once per walk, not once per
+        appearance."""
+        if _seen is None:
+            for domain in self.domains:
+                _check_domain(domain, permission)
+            return
         for domain in self.domains:
-            _check_domain(domain, permission)
+            key = id(domain)
+            if key not in _seen:
+                _seen.add(key)
+                _check_domain(domain, permission)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"AccessControlContext({[d.name for d in self.domains]})"
@@ -140,38 +152,46 @@ def _check_domain(domain: Optional[ProtectionDomain],
             f"access denied to {domain.name}", permission)
 
 
+def _walk(permission: Permission) -> None:
+    """One stack walk, deduplicating domains by identity.
+
+    With class loaders interning one domain per ``(code_source, policy)``,
+    deep application stacks are dominated by repeats of the same domain —
+    each is validated once per walk (the same identity dedupe
+    :func:`get_context` applies when snapshotting), and the set is shared
+    with the privileged frame's bounding context and the thread's
+    inherited context.
+    """
+    stack = _stack()
+    seen: set[int] = set()
+    for frame in reversed(stack):
+        domain = frame.domain
+        if domain is not None:
+            key = id(domain)
+            if key not in seen:
+                seen.add(key)
+                _check_domain(domain, permission)
+        if frame.privileged:
+            if frame.context is not None:
+                frame.context.check_permission(permission, _seen=seen)
+            return
+    inherited = _inherited_context()
+    if inherited is not None:
+        inherited.check_permission(permission, _seen=seen)
+
+
 def check_permission(permission: Permission) -> None:
     """The JDK 1.2 stack walk, with the paper's user-based extension."""
     if check_observer is not None:
         return _check_permission_observed(permission)
-    stack = _stack()
-    for frame in reversed(stack):
-        _check_domain(frame.domain, permission)
-        if frame.privileged:
-            if frame.context is not None:
-                frame.context.check_permission(permission)
-            return
-    inherited = _inherited_context()
-    if inherited is not None:
-        inherited.check_permission(permission)
+    _walk(permission)
 
 
 def _check_permission_observed(permission: Permission) -> None:
     """The same walk, reporting its outcome to :data:`check_observer`."""
     observer = check_observer
     try:
-        stack = _stack()
-        for frame in reversed(stack):
-            _check_domain(frame.domain, permission)
-            if frame.privileged:
-                if frame.context is not None:
-                    frame.context.check_permission(permission)
-                if observer is not None:
-                    observer(permission, True)
-                return
-        inherited = _inherited_context()
-        if inherited is not None:
-            inherited.check_permission(permission)
+        _walk(permission)
     except AccessControlException:
         if observer is not None:
             observer(permission, False)

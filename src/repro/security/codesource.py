@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional
 
+from repro.security import cache
 from repro.security.permissions import (
     Permission,
     PermissionCollection,
@@ -100,13 +101,48 @@ class ProtectionDomain:
             else Permissions()
         self.policy = policy
         self.name = name or (code_source.url if code_source else "<system>")
+        # Bounded decision memo (permission -> bool), revalidated against
+        # the policy epoch and the static collection's version — epoch
+        # validation, not TTLs, so grant changes are seen on the very next
+        # check.  A policy object without an epoch (a test stub) cannot be
+        # validated, so such domains skip memoization entirely.
+        self._memo: dict[Permission, bool] = {}
+        self._memo_epoch = -1
+        self._memo_static = -1
+        self._memoizable = policy is None or hasattr(policy, "epoch")
+        self._counters = getattr(policy, "cache_counters",
+                                 cache.GLOBAL_COUNTERS)
 
     def implies(self, permission: Permission) -> bool:
-        if self.static_permissions.implies(permission):
-            return True
-        if self.policy is not None:
-            return self.policy.implies(self, permission)
-        return False
+        policy = self.policy
+        if not cache.ENABLED or not self._memoizable:
+            if self.static_permissions.implies(permission):
+                return True
+            if policy is not None:
+                return policy.implies(self, permission)
+            return False
+        epoch = policy.epoch if policy is not None else 0
+        static_version = self.static_permissions.version
+        if epoch != self._memo_epoch or static_version != self._memo_static:
+            # Wholesale replacement keeps concurrent readers safe: the new
+            # dict is installed before the stamps, so a reader that sees
+            # matching stamps (below) is guaranteed a dict at least as new
+            # as those stamps.
+            memo = self._memo = {}
+            self._memo_epoch = epoch
+            self._memo_static = static_version
+        else:
+            memo = self._memo
+        cached = memo.get(permission)
+        if cached is not None:
+            self._counters.domain_hit.inc()
+            return cached
+        result = self.static_permissions.implies(permission) or \
+            (policy is not None and policy.implies(self, permission))
+        if len(memo) < cache.DOMAIN_MEMO_LIMIT:
+            memo[permission] = result
+        self._counters.domain_miss.inc()
+        return result
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ProtectionDomain({self.name!r})"

@@ -330,8 +330,15 @@ class PermissionCollection:
     def __init__(self, permissions: Iterable[Permission] = ()):
         self._permissions: list[Permission] = []
         self._read_only = False
+        #: Mutation counter; protection-domain decision memos validate
+        #: against it so a post-definition ``add`` is seen immediately.
+        self._version = 0
         for permission in permissions:
             self.add(permission)
+
+    @property
+    def version(self) -> int:
+        return self._version
 
     def add(self, permission: Permission) -> None:
         if self._read_only:
@@ -339,6 +346,7 @@ class PermissionCollection:
                 "attempt to add to a read-only PermissionCollection")
         if permission not in self._permissions:
             self._permissions.append(permission)
+            self._version += 1
 
     def implies(self, permission: Permission) -> bool:
         return any(held.implies(permission) for held in self._permissions)
@@ -370,6 +378,12 @@ class Permissions(PermissionCollection):
     def __init__(self, permissions: Iterable[Permission] = ()):
         self._by_type: dict[type, list[Permission]] = {}
         self._all_permission = False
+        #: Query type -> buckets worth scanning for it.  The exact-type
+        #: bucket is one dict hit; subclass-related buckets are found by an
+        #: issubclass sweep once per query type and memoized (bucket lists
+        #: are aliased, so in-place appends stay visible; adding a *new*
+        #: bucket type clears the memo).
+        self._relevant: dict[type, list[list[Permission]]] = {}
         super().__init__(permissions)
 
     def add(self, permission: Permission) -> None:
@@ -378,17 +392,29 @@ class Permissions(PermissionCollection):
                 "attempt to add to a read-only Permissions object")
         if isinstance(permission, AllPermission):
             self._all_permission = True
-        bucket = self._by_type.setdefault(type(permission), [])
+        bucket = self._by_type.get(type(permission))
+        if bucket is None:
+            bucket = self._by_type[type(permission)] = []
+            self._relevant.clear()
         if permission not in bucket:
             bucket.append(permission)
+            self._version += 1
 
     def implies(self, permission: Permission) -> bool:
         if self._all_permission:
             return True
-        for bucket_type, bucket in self._by_type.items():
-            if issubclass(bucket_type, type(permission)) or \
-                    issubclass(type(permission), bucket_type):
-                if any(held.implies(permission) for held in bucket):
+        permission_type = type(permission)
+        buckets = self._relevant.get(permission_type)
+        if buckets is None:
+            buckets = [bucket for bucket_type, bucket
+                       in self._by_type.items()
+                       if bucket_type is permission_type
+                       or issubclass(bucket_type, permission_type)
+                       or issubclass(permission_type, bucket_type)]
+            self._relevant[permission_type] = buckets
+        for bucket in buckets:
+            for held in bucket:
+                if held.implies(permission):
                     return True
         return False
 

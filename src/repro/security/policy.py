@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
 from repro.jvm.errors import IllegalArgumentException
+from repro.security import cache
 from repro.security.codesource import CodeSource, ProtectionDomain
 from repro.security.permissions import (
     AllPermission,
@@ -61,13 +62,52 @@ class GrantEntry:
 
 
 class Policy:
-    """The installed security policy of the VM."""
+    """The installed security policy of the VM.
+
+    Resolution is memoized (the security fast path): the permissions for
+    a code source or a user are computed once per *epoch* and then served
+    from a dict.  The epoch is a monotonic counter bumped by every grant
+    mutation (:meth:`add_grant`, :meth:`refresh_from`), and protection
+    domains revalidate their own decision memos against it — so a policy
+    change is observed by the immediately following permission check,
+    never a TTL later.
+    """
 
     def __init__(self, entries: Optional[list[GrantEntry]] = None):
         self._entries: list[GrantEntry] = list(entries or [])
         self._lock = threading.RLock()
+        self._epoch = 0
+        self._code_source_cache: dict[Optional[CodeSource], Permissions] = {}
+        self._user_cache: dict[str, Permissions] = {}
+        #: One interned policy-backed domain per code source, so identical
+        #: code sources share one decision memo (hit rates compound).
+        self._interned_domains: dict[Optional[CodeSource],
+                                     ProtectionDomain] = {}
+        self.cache_counters = cache.CacheCounters()
+
+    @property
+    def epoch(self) -> int:
+        """Monotonic grant-set version; bumped by every mutation."""
+        return self._epoch
+
+    def bind_telemetry(self, metrics) -> None:
+        """Re-home the ``security.cache.*`` counters into a VM's registry.
+
+        Called by the launcher once the policy is installed on a VM, so
+        ``/proc/vmstat`` and ``/proc/security/cache`` see the live values.
+        The counter bundle mutates in place: domains that already captured
+        it keep counting into the new registry.
+        """
+        self.cache_counters.rebind(metrics)
 
     # -- programmatic construction ------------------------------------------------
+
+    def _invalidate_locked(self) -> None:
+        """Bump the epoch and drop every memo (caller holds the lock)."""
+        self._epoch += 1
+        self._code_source_cache.clear()
+        self._user_cache.clear()
+        self.cache_counters.invalidation.inc()
 
     def add_grant(self, permissions: list[Permission],
                   code_base: Optional[str] = None,
@@ -82,6 +122,7 @@ class Policy:
                            permissions=list(permissions))
         with self._lock:
             self._entries.append(entry)
+            self._invalidate_locked()
         return entry
 
     def entries(self) -> list[GrantEntry]:
@@ -90,25 +131,59 @@ class Policy:
 
     # -- evaluation -----------------------------------------------------------------
 
-    def permissions_for_code_source(
+    def _scan_code_source(
             self, code_source: Optional[CodeSource]) -> Permissions:
         granted = Permissions()
-        with self._lock:
-            for entry in self._entries:
-                if entry.matches_code_source(code_source):
-                    for permission in entry.permissions:
-                        granted.add(permission)
+        for entry in self._entries:
+            if entry.matches_code_source(code_source):
+                for permission in entry.permissions:
+                    granted.add(permission)
         return granted
 
-    def permissions_for_user(self, user_name: str) -> Permissions:
-        """Section 5.3's user grants, consulted via UserPermission."""
+    def _scan_user(self, user_name: str) -> Permissions:
         granted = Permissions()
-        with self._lock:
-            for entry in self._entries:
-                if entry.matches_user(user_name):
-                    for permission in entry.permissions:
-                        granted.add(permission)
+        for entry in self._entries:
+            if entry.matches_user(user_name):
+                for permission in entry.permissions:
+                    granted.add(permission)
         return granted
+
+    def permissions_for_code_source(
+            self, code_source: Optional[CodeSource]) -> Permissions:
+        with self._lock:
+            if not cache.ENABLED:
+                return self._scan_code_source(code_source)
+            granted = self._code_source_cache.get(code_source)
+            if granted is None:
+                self.cache_counters.policy_miss.inc()
+                granted = self._scan_code_source(code_source)
+                granted.set_read_only()
+                self._code_source_cache[code_source] = granted
+            else:
+                self.cache_counters.policy_hit.inc()
+            return granted
+
+    def permissions_for_user(self, user_name: str) -> Permissions:
+        """Section 5.3's user grants, consulted via UserPermission.
+
+        Memoized per ``(user, epoch)``: cache entries never survive a
+        grant mutation (the epoch bump clears them under the same lock),
+        so ``setUser`` plus a policy refresh are both seen immediately by
+        ``_domain_satisfies`` — which now stops allocating a fresh
+        ``Permissions`` on every check of the user path.
+        """
+        with self._lock:
+            if not cache.ENABLED:
+                return self._scan_user(user_name)
+            granted = self._user_cache.get(user_name)
+            if granted is None:
+                self.cache_counters.policy_miss.inc()
+                granted = self._scan_user(user_name)
+                granted.set_read_only()
+                self._user_cache[user_name] = granted
+            else:
+                self.cache_counters.policy_hit.inc()
+            return granted
 
     def implies(self, domain: ProtectionDomain,
                 permission: Permission) -> bool:
@@ -116,11 +191,38 @@ class Policy:
         return self.permissions_for_code_source(
             domain.code_source).implies(permission)
 
+    def domain_for_code_source(
+            self, code_source: Optional[CodeSource],
+            name: str = "") -> ProtectionDomain:
+        """The interned policy-backed domain for ``code_source``.
+
+        Class loaders route plain (no static permissions) domain creation
+        through here, so every class defined from the same code source —
+        across loaders and applications — shares one domain and therefore
+        one decision memo.  The intern table survives epoch bumps: the
+        domains revalidate themselves against :attr:`epoch`.
+        """
+        with self._lock:
+            domain = self._interned_domains.get(code_source)
+            if domain is None:
+                domain = ProtectionDomain(
+                    code_source, policy=self,
+                    name=name or (code_source.url if code_source else ""))
+                self._interned_domains[code_source] = domain
+                self.cache_counters.interned.set(
+                    len(self._interned_domains))
+        return domain
+
+    def interned_domain_count(self) -> int:
+        with self._lock:
+            return len(self._interned_domains)
+
     def refresh_from(self, text: str) -> None:
         """Replace all entries with the parse of ``text``."""
         entries = parse_policy(text).entries()
         with self._lock:
             self._entries = entries
+            self._invalidate_locked()
 
     def render(self) -> str:
         """Serialize back to policy-file text (``parse_policy``-compatible).

@@ -3,6 +3,7 @@
 Mounted read-only at ``/proc`` by the multi-processing launcher::
 
     /proc/vmstat              VM-wide telemetry rollup (world-readable)
+    /proc/security/cache      permission-cache hit/miss/invalidation stats
     /proc/cluster/nodes       cluster membership table (controller VMs only)
     /proc/cluster/placements  recent placement decisions
     /proc/<app-id>/status     one application's identity and accounting
@@ -135,6 +136,14 @@ class ProcFileSystem:
             f"security.checks\t{audit.grants + audit.denies}",
             f"security.grants\t{audit.grants}",
             f"security.denies\t{audit.denies}",
+            f"security.cache.hits\t"
+            f"{int(metrics.total('security.cache.hit'))}",
+            f"security.cache.misses\t"
+            f"{int(metrics.total('security.cache.miss'))}",
+            f"security.cache.invalidations\t"
+            f"{int(metrics.total('security.cache.invalidation'))}",
+            f"security.cache.interned_domains\t"
+            f"{self._interned_domain_count()}",
         ]
         if self.vm.cluster is not None:
             lines.extend([
@@ -147,10 +156,40 @@ class ProcFileSystem:
             ])
         return "\n".join(lines) + "\n"
 
+    def _interned_domain_count(self) -> int:
+        counter = getattr(self.vm.policy, "interned_domain_count", None)
+        return counter() if counter is not None else 0
+
+    def _security_cache_text(self) -> str:
+        """The epoch-invalidated permission cache, layer by layer."""
+        metrics = self.vm.telemetry.metrics
+
+        def total(name: str, **match) -> int:
+            return int(metrics.total(name, **match))
+
+        lines = [
+            f"hits.policy\t{total('security.cache.hit', layer='policy')}",
+            f"misses.policy\t"
+            f"{total('security.cache.miss', layer='policy')}",
+            f"hits.domain\t{total('security.cache.hit', layer='domain')}",
+            f"misses.domain\t"
+            f"{total('security.cache.miss', layer='domain')}",
+            f"invalidations\t{total('security.cache.invalidation')}",
+            f"interned_domains\t{self._interned_domain_count()}",
+        ]
+        epoch = getattr(self.vm.policy, "epoch", None)
+        if epoch is not None:
+            lines.append(f"policy_epoch\t{epoch}")
+        return "\n".join(lines) + "\n"
+
     def _file_payload(self, rel: str) -> bytes:
         parts = self._split(rel)
         if parts == ["vmstat"]:
             return self._vmstat_text().encode("utf-8")
+        if parts == ["security", "cache"]:
+            return self._security_cache_text().encode("utf-8")
+        if parts and parts[0] == "security":
+            raise VfsNotFound(f"/proc{rel}")
         if parts and parts[0] == "cluster":
             cluster = self.vm.cluster
             if cluster is None:
@@ -184,6 +223,8 @@ class ProcFileSystem:
             if self.vm.cluster is None:
                 raise VfsNotFound(f"/proc{rel}")
             return VfsStat(_ino(rel), "dir", 0o555, 0, 0, 0, 0, 1)
+        if parts == ["security"]:
+            return VfsStat(_ino(rel), "dir", 0o555, 0, 0, 0, 0, 1)
         payload = self._file_payload(rel)
         return VfsStat(_ino(rel), "file", 0o444, 0, 0, len(payload), 0, 1)
 
@@ -196,11 +237,13 @@ class ProcFileSystem:
             entries = sorted([str(a.app_id) for a in applications], key=int)
             if self.vm.cluster is not None:
                 entries.append("cluster")
-            return entries + ["vmstat"]
+            return entries + ["security", "vmstat"]
         if parts == ["cluster"]:
             if self.vm.cluster is None:
                 raise VfsNotFound(f"/proc{rel}")
             return ["nodes", "placements"]
+        if parts == ["security"]:
+            return ["cache"]
         if len(parts) == 1 and parts[0].isdigit():
             application = self._application(int(parts[0]))
             self._gate(application, rel)
@@ -212,6 +255,7 @@ class ProcFileSystem:
     def read(self, rel: str, user) -> bytes:
         parts = self._split(rel)
         if not parts or (len(parts) == 1 and parts[0].isdigit()) \
+                or parts == ["security"] \
                 or (parts == ["cluster"] and self.vm.cluster is not None):
             from repro.unixfs.vfs import VfsIsADirectory
             raise VfsIsADirectory(f"/proc{rel}")

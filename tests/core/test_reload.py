@@ -147,3 +147,38 @@ class TestApplicationClassLoader:
         loader = ApplicationClassLoader(host.vm.boot_loader, "probe")
         assert loader.load_class("java.lang.System") \
             is loader.load_class("java.lang.System")
+
+    def test_concurrent_loads_define_exactly_once(self, host):
+        """The check-then-act race: two threads loading a reloadable name
+        at once must get the *same* JClass, with its static initializer
+        run exactly once (the loader lock now spans lookup and define)."""
+        import threading
+
+        from repro.jvm.classloading import ClassMaterial
+
+        init_runs = []
+        material = ClassMaterial("demo.RaceState")
+        material.static_init = lambda jclass: init_runs.append(jclass)
+        host.vm.registry.register(material, replace=True)
+
+        loader = ApplicationClassLoader(
+            host.vm.boot_loader, "racer",
+            extra_reloadable=["demo.RaceState"])
+        start = threading.Barrier(8)
+        results = []
+
+        def load():
+            start.wait()
+            results.append(loader.load_class("demo.RaceState"))
+
+        threads = [threading.Thread(target=load) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(10)
+        assert len(results) == 8
+        assert all(result is results[0] for result in results)
+        assert len(init_runs) == 1
+        reloads = host.vm.telemetry.metrics.total("reload.classes",
+                                                  app="racer")
+        assert reloads == 1

@@ -1,0 +1,42 @@
+"""Tiny-N smoke runs of the benchmark suite (the ``perf`` marker).
+
+The real numbers come from running ``benchmarks/`` directly; these smoke
+tests only prove the benchmark code still *executes* after refactors, by
+running the security and dispatch benches in a subprocess with
+``REPRO_BENCH_N`` forced tiny and pytest-benchmark held to single rounds.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.perf
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def run_bench(bench_file: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["REPRO_BENCH_N"] = "50"
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src"), env.get("PYTHONPATH", "")])
+    return subprocess.run(
+        [sys.executable, "-m", "pytest",
+         str(REPO_ROOT / "benchmarks" / bench_file),
+         "-p", "no:cacheprovider",
+         "--benchmark-min-rounds=1", "--benchmark-max-time=0",
+         "--benchmark-warmup=off"],
+        capture_output=True, text=True, timeout=300,
+        cwd=str(REPO_ROOT), env=env)
+
+
+@pytest.mark.parametrize("bench_file",
+                         ["bench_security.py", "bench_dispatch.py"])
+def test_bench_smoke(bench_file):
+    result = run_bench(bench_file)
+    assert result.returncode == 0, \
+        f"{bench_file} smoke run failed:\n{result.stdout}\n{result.stderr}"
+    assert "passed" in result.stdout

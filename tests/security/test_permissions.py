@@ -262,3 +262,60 @@ class TestFactory:
     def test_missing_target(self):
         with pytest.raises(IllegalArgumentException):
             make_permission("FilePermission")
+
+
+class TestHeterogeneousImpliesScan:
+    """The bucket scan behind ``Permissions.implies``: only type-compatible
+    buckets are consulted, and the per-query-type bucket memo never changes
+    the answer a full scan would give."""
+
+    def test_exact_type_bucket_hit(self):
+        permissions = Permissions([
+            FilePermission("/a/-", "read"),
+            SocketPermission("*", "resolve"),
+            RuntimePermission("exitVM"),
+        ])
+        assert permissions.implies(FilePermission("/a/x", "read"))
+        assert permissions.implies(RuntimePermission("exitVM"))
+        assert not permissions.implies(FilePermission("/b", "read"))
+
+    def test_cross_type_never_leaks(self):
+        permissions = Permissions([FilePermission("/a/-", "read,write")])
+        assert not permissions.implies(SocketPermission("h:80", "connect"))
+        assert not permissions.implies(RuntimePermission("exitVM"))
+
+    def test_subclass_query_consults_base_bucket(self):
+        class AuditedProperty(PropertyPermission):
+            pass
+
+        permissions = Permissions([PropertyPermission("*", "read")])
+        assert permissions.implies(AuditedProperty("app.home", "read"))
+
+    def test_subclass_holding_consulted_for_base_query(self):
+        class AuditedProperty(PropertyPermission):
+            pass
+
+        permissions = Permissions([AuditedProperty("app.home", "read")])
+        assert permissions.implies(PropertyPermission("app.home", "read"))
+
+    def test_new_bucket_type_visible_after_memoized_miss(self):
+        permissions = Permissions([FilePermission("/a", "read")])
+        probe = RuntimePermission("probe")
+        assert not permissions.implies(probe)   # memoizes an empty scan
+        permissions.add(RuntimePermission("probe"))  # brand-new bucket
+        assert permissions.implies(probe)
+
+    def test_growing_existing_bucket_visible_after_memoized_miss(self):
+        permissions = Permissions([FilePermission("/a", "read")])
+        probe = FilePermission("/b", "read")
+        assert not permissions.implies(probe)   # memoizes the bucket list
+        permissions.add(FilePermission("/b", "read"))  # same bucket grows
+        assert permissions.implies(probe)
+
+    def test_version_counts_only_real_additions(self):
+        permissions = Permissions([RuntimePermission("x")])
+        before = permissions.version
+        permissions.add(RuntimePermission("x"))  # dedupe: not appended
+        assert permissions.version == before
+        permissions.add(RuntimePermission("y"))
+        assert permissions.version == before + 1
