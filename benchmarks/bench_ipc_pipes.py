@@ -8,18 +8,27 @@ Measured side: bytes/second through an in-VM pipe between two JThreads
 Unix pipe with its two kernel copies.
 """
 
+import os
 import sys
+import time
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
 
 from _common import banner, bench_mvm, register_main  # noqa: E402,F401
 
-from repro.io.streams import make_pipe  # noqa: E402
+from repro.io.streams import BufferedInputStream, make_pipe  # noqa: E402
 from repro.jvm.threads import JThread, ThreadGroup  # noqa: E402
 from repro.procsim.model import ProcessCostModel  # noqa: E402
 
+#: REPRO_BENCH_N scales every series (smoke runs force it tiny).
+BENCH_N = int(os.environ.get("REPRO_BENCH_N", "0"))
+
 PAYLOAD = b"x" * 8192
-CHUNKS = 512  # 4 MiB per call
+CHUNKS = BENCH_N or 512  # 4 MiB per call at the default
+LINES = (BENCH_N * 4) if BENCH_N else 2000
+LINE = b"pipeline payload, about a hundred bytes of typical line-oriented "\
+    b"program output padding.........\n"
+BLOB_LINES = (BENCH_N * 40) if BENCH_N else 20000
 
 
 def test_bench_in_vm_pipe_throughput(benchmark):
@@ -59,11 +68,67 @@ def test_bench_in_vm_pipe_throughput(benchmark):
         "paper claim: in-address-space IPC must beat OS pipes"
 
 
+def test_bench_line_read_buffered_vs_unbuffered(benchmark):
+    """Transport fast path, layer 1: ``read_line`` through a pipe.
+
+    Unbuffered, every byte costs one pipe condition-variable acquisition
+    (``read_line`` → ``read_byte`` → ``read(1)``).  Buffered, lock
+    traffic scales with 8 KB chunks.  The dist protocol reads every
+    JSON-lines frame this way, so this ratio is the frame-receive win.
+    """
+    root = ThreadGroup(None, "system")
+
+    def feed(writer):
+        def produce():
+            try:
+                for _ in range(LINES):
+                    writer.write(LINE)
+            finally:
+                writer.close()
+
+        producer = JThread(target=produce, group=root)
+        producer.start()
+        return producer
+
+    def read_all_lines(source):
+        count = 0
+        while source.read_line() is not None:
+            count += 1
+        assert count == LINES
+
+    def buffered_run():
+        reader, writer = make_pipe(capacity=64 * 1024)
+        producer = feed(writer)
+        read_all_lines(BufferedInputStream(reader))
+        producer.join(30)
+
+    benchmark.pedantic(buffered_run, rounds=5, iterations=1,
+                       warmup_rounds=1)
+    buffered_lines_s = LINES / benchmark.stats.stats.mean
+
+    # The unbuffered comparison point, measured inline.
+    start = time.perf_counter()
+    reader, writer = make_pipe(capacity=64 * 1024)
+    producer = feed(writer)
+    read_all_lines(reader)
+    producer.join(30)
+    unbuffered_lines_s = LINES / (time.perf_counter() - start)
+
+    print(banner("C2b-line: pipe read_line — buffered vs unbuffered"))
+    print(f"unbuffered (lock per byte):   {unbuffered_lines_s:10.0f} "
+          f"lines/s")
+    print(f"buffered (lock per chunk):    {buffered_lines_s:10.0f} "
+          f"lines/s")
+    print(f"advantage: x{buffered_lines_s / unbuffered_lines_s:0.1f}")
+    assert buffered_lines_s > unbuffered_lines_s, \
+        "buffered line reads must beat one-lock-per-byte reads"
+
+
 def test_bench_shell_pipe_end_to_end(benchmark, bench_mvm):
     """The same channel, through real applications: cat /big | wc."""
     from repro.io.file import write_text
     ctx = bench_mvm.initial.context()
-    blob = "payload-line\n" * 20000  # ~260 KB
+    blob = "payload-line\n" * BLOB_LINES  # ~260 KB at the default
     write_text(ctx, "/tmp/blob.txt", blob)
 
     with bench_mvm.host_session():
@@ -75,7 +140,7 @@ def test_bench_shell_pipe_end_to_end(benchmark, bench_mvm):
                 "tools.Shell", ["-c", "cat /tmp/blob.txt | wc -l"],
                 stdout=PrintStream(sink), stderr=PrintStream(sink))
             assert app.wait_for(30) == 0
-            assert sink.to_text().strip() == "20000"
+            assert sink.to_text().strip() == str(BLOB_LINES)
 
         benchmark.pedantic(pipeline, rounds=5, iterations=1,
                            warmup_rounds=1)

@@ -9,7 +9,9 @@
   JVM over the simulated network, vs launching it locally.
 """
 
+import os
 import sys
+import time
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
 
@@ -21,7 +23,30 @@ from repro.io.streams import make_pipe  # noqa: E402
 from repro.net.fabric import NetworkFabric  # noqa: E402
 from repro.unixfs.machine import standard_process  # noqa: E402
 
+#: REPRO_BENCH_N scales every series (smoke runs force it tiny).
+BENCH_N = int(os.environ.get("REPRO_BENCH_N", "0"))
+
 PAYLOAD = "x" * 1024
+STDOUT_LINES = (BENCH_N * 4) if BENCH_N else 2000
+
+
+def boot_pair():
+    """Two MPJVMs on one fabric; B runs the rexec daemon on 7100."""
+    fabric = NetworkFabric()
+    mvm_a = MultiProcVM.boot(
+        os_context=standard_process(hostname="bench-a.example.com"),
+        network=fabric)
+    mvm_b = MultiProcVM.boot(
+        os_context=standard_process(hostname="bench-b.example.com"),
+        network=fabric)
+    with mvm_b.host_session():
+        mvm_b.exec("dist.RexecDaemon", ["7100"])
+    deadline = time.monotonic() + 5
+    while time.monotonic() < deadline:
+        if fabric.resolve("bench-b.example.com")._listener(7100):
+            break
+        time.sleep(0.01)
+    return mvm_a, mvm_b
 
 
 def test_bench_shared_object_round_trip(benchmark):
@@ -62,22 +87,8 @@ def test_bench_pipe_round_trip_same_payload(benchmark):
 
 def test_bench_remote_vs_local_exec(benchmark):
     """§8b: launching on another JVM vs locally, same trivial app."""
-    fabric = NetworkFabric()
-    mvm_a = MultiProcVM.boot(
-        os_context=standard_process(hostname="bench-a.example.com"),
-        network=fabric)
-    mvm_b = MultiProcVM.boot(
-        os_context=standard_process(hostname="bench-b.example.com"),
-        network=fabric)
+    mvm_a, mvm_b = boot_pair()
     try:
-        with mvm_b.host_session():
-            mvm_b.exec("dist.RexecDaemon", ["7100"])
-        import time
-        deadline = time.monotonic() + 5
-        while time.monotonic() < deadline:
-            if fabric.resolve("bench-b.example.com")._listener(7100):
-                break
-            time.sleep(0.01)
         register_main(mvm_b.vm, "RemoteNoop", lambda j, c, a: 0)
 
         with mvm_a.host_session():
@@ -97,7 +108,6 @@ def test_bench_remote_vs_local_exec(benchmark):
         # Local comparison, measured inline.
         register_main(mvm_a.vm, "LocalNoop", lambda j, c, a: 0)
         with mvm_a.host_session():
-            import time
             loops = 30
             start = time.perf_counter()
             for _ in range(loops):
@@ -112,3 +122,86 @@ def test_bench_remote_vs_local_exec(benchmark):
     print(f"remote (auth + wire + launch):  {remote_ms:8.2f} ms")
     print(f"network/auth overhead factor:   x{remote_ms / local_ms:0.1f}")
     assert remote_ms > local_ms, "remote exec cannot be cheaper than local"
+
+
+def _register_spammer(mvm):
+    line = "y" * 100
+
+    def spam(jclass, ctx, args):
+        for _ in range(int(args[0])):
+            ctx.stdout.println(line)
+        return 0
+
+    return register_main(mvm.vm, "StdoutSpam", spam)
+
+
+def test_bench_remote_stdout_throughput(benchmark):
+    """§8c: streaming remote stdout — binary framing vs JSON lines.
+
+    The frame-heavy series: one ~100-byte line per frame, buffered frame
+    I/O and write coalescing on both paths; the protocol-2 run adds raw
+    binary framing and a pooled connection.
+    """
+    mvm_a, mvm_b = boot_pair()
+    try:
+        class_name = _register_spammer(mvm_b)
+
+        def stream(proto):
+            def run():
+                remote = remote_exec(
+                    mvm_a.initial.context(), "bench-b.example.com",
+                    class_name, [str(STDOUT_LINES)],
+                    user="alice", password="wonderland", proto=proto)
+                assert remote.wait_for(60) == 0
+                assert len(remote.output_bytes()) == STDOUT_LINES * 101
+                remote.close()
+            return run
+
+        with mvm_a.host_session():
+            benchmark.pedantic(stream(proto=2), rounds=5, iterations=1,
+                               warmup_rounds=1)
+            binary_lines_s = STDOUT_LINES / benchmark.stats.stats.mean
+
+            start = time.perf_counter()
+            stream(proto=1)()
+            json_lines_s = STDOUT_LINES / (time.perf_counter() - start)
+    finally:
+        mvm_a.shutdown()
+        mvm_b.shutdown()
+    print(banner("§8c: remote stdout streaming — binary vs JSON frames"))
+    print(f"JSON lines (protocol 1):      {json_lines_s:10.0f} lines/s")
+    print(f"binary frames (protocol 2):   {binary_lines_s:10.0f} lines/s")
+    print(f"advantage: x{binary_lines_s / json_lines_s:0.1f}")
+
+
+def test_bench_pooled_vs_fresh_connection_exec(benchmark):
+    """§8d: exec latency with connection reuse vs a fresh dial each time."""
+    mvm_a, mvm_b = boot_pair()
+    try:
+        register_main(mvm_b.vm, "PoolNoop", lambda j, c, a: 0)
+
+        def exec_once(pooled):
+            remote = remote_exec(
+                mvm_a.initial.context(), "bench-b.example.com",
+                "bench.PoolNoop", [], user="alice",
+                password="wonderland", pooled=pooled)
+            assert remote.wait_for(10) == 0
+            remote.close()
+
+        with mvm_a.host_session():
+            benchmark.pedantic(lambda: exec_once(pooled=True),
+                               rounds=15, iterations=1, warmup_rounds=2)
+            pooled_ms = benchmark.stats.stats.mean * 1000
+
+            loops = 15
+            start = time.perf_counter()
+            for _ in range(loops):
+                exec_once(pooled=False)
+            fresh_ms = (time.perf_counter() - start) / loops * 1000
+    finally:
+        mvm_a.shutdown()
+        mvm_b.shutdown()
+    print(banner("§8d: remote exec — pooled connection vs fresh dial"))
+    print(f"fresh connection per exec:    {fresh_ms:10.2f} ms")
+    print(f"pooled connection:            {pooled_ms:10.2f} ms")
+    print(f"advantage: x{fresh_ms / pooled_ms:0.1f}")

@@ -32,7 +32,8 @@ import time
 from typing import Callable, Optional
 
 from repro.cluster.retry import retry_call
-from repro.dist.protocol import recv_frame, send_frame
+from repro.dist.pool import pool_for
+from repro.dist.protocol import FrameChannel
 from repro.jvm.classloading import ClassMaterial
 from repro.jvm.errors import (
     IOException,
@@ -40,7 +41,7 @@ from repro.jvm.errors import (
     UnknownHostException,
 )
 from repro.jvm.threads import JThread, checkpoint
-from repro.net.sockets import ServerSocket, Socket
+from repro.net.sockets import ServerSocket
 from repro.security import access
 from repro.security.codesource import CodeSource
 
@@ -292,22 +293,32 @@ def build_agent_material() -> ClassMaterial:
             except UnknownHostException:
                 return []
 
-        def connect_and_register() -> Socket:
-            # The agent asserts its own connect grant; registration waits
-            # out a controller that is still booting (bounded backoff).
-            socket = retry_call(
+        pool = pool_for(ctx.vm)
+
+        def connect_and_register():
+            # The agent asserts its own connect grant (checked on pool
+            # hits too); registration waits out a controller that is
+            # still booting (bounded backoff).  Heartbeats ride the
+            # VM-wide channel pool, so a reconnecting agent reuses a
+            # parked registry connection instead of redialling.
+            pooled = retry_call(
                 lambda: access.do_privileged(
-                    lambda: Socket(ctx, registry_host, registry_port)),
+                    lambda: pool.acquire(ctx, registry_host,
+                                         registry_port)),
                 retry_on=(SocketException, UnknownHostException),
                 attempts=6, initial=0.05, maximum=0.5)
-            send_frame(socket.output, {
-                "t": "reg", "node": hostname, "port": rexec_port,
-                "playground": playground, "load": load_report(),
-                "classes": published()})
-            return socket
+            try:
+                pooled.channel.send({
+                    "t": "reg", "node": hostname, "port": rexec_port,
+                    "playground": playground, "load": load_report(),
+                    "classes": published()})
+            except IOException as exc:
+                pooled.close()
+                raise SocketException(f"registration failed: {exc}")
+            return pooled
 
         try:
-            socket = connect_and_register()
+            pooled = connect_and_register()
         except (SocketException, UnknownHostException) as exc:
             ctx.stderr.println(f"clusteragent: cannot reach registry: {exc}")
             return 1
@@ -324,20 +335,22 @@ def build_agent_material() -> ClassMaterial:
                 frame = {"t": "hb", "node": hostname, "seq": seq,
                          "load": load_report(), "classes": published()}
                 try:
-                    send_frame(socket.output, frame)
+                    pooled.channel.send(frame)
                 except IOException:
-                    # Registry connection lost: try one reconnect round
-                    # (same bounded backoff), else report and exit — the
-                    # sweep will declare this node dead.
-                    socket.close()
+                    # Registry connection lost: drop every pooled channel
+                    # to the registry, then try one reconnect round (same
+                    # bounded backoff), else report and exit — the sweep
+                    # will declare this node dead.
+                    pooled.close()
+                    pool.invalidate(registry_host, registry_port)
                     try:
-                        socket = connect_and_register()
+                        pooled = connect_and_register()
                     except (SocketException, UnknownHostException) as exc:
                         ctx.stderr.println(
                             f"clusteragent: registry lost: {exc}")
                         return 1
         finally:
-            socket.close()
+            pooled.release()
 
     return material
 
@@ -373,9 +386,14 @@ def build_server_material() -> ClassMaterial:
                 daemon=True).start()
 
         def serve(socket) -> None:
+            # A FrameChannel per agent connection: bulk buffered reads
+            # (one pipe lock per chunk of heartbeats, not per byte) and
+            # per-frame sniffing, so binary-framing agents would be
+            # understood too.
+            channel = FrameChannel(socket.input, socket.output)
             try:
                 while True:
-                    frame = recv_frame(socket.input)
+                    frame = channel.recv()
                     if frame is None:
                         return
                     kind = frame.get("t")

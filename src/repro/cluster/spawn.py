@@ -302,8 +302,20 @@ class Cluster:
         #: Launch handles eligible for proactive re-placement.
         self._active: "weakref.WeakSet[ClusterApplication]" = \
             weakref.WeakSet()
+        self.registry.on_node_dead.append(self._invalidate_pooled_channels)
         self.registry.on_node_dead.append(self._replace_orphans)
         self.vm.cluster = self
+
+    def _invalidate_pooled_channels(self, node) -> None:
+        """Death callback: drop idle pooled channels to the dead node.
+
+        Runs before the re-placement callback so a failover launch never
+        draws a parked connection to the very node that just died.
+        """
+        from repro.dist.pool import existing_pool
+        pool = existing_pool(self.vm)
+        if pool is not None:
+            pool.invalidate(node.name)
 
     def _replace_orphans(self, node) -> None:
         """Death callback: move every launch stranded on ``node``.

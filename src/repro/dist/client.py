@@ -16,11 +16,13 @@ import threading
 from typing import Optional
 
 from repro.dist import protocol
+from repro.dist.pool import PooledChannel, pool_for
 from repro.jvm.errors import (
     ConnectException,
     IOException,
     NodeUnavailableException,
     RemoteException,
+    StreamClosedException,
     UnknownHostException,
 )
 from repro.jvm.threads import JThread, interruptible_wait
@@ -28,12 +30,24 @@ from repro.net.sockets import Socket
 
 
 class RemoteApplication:
-    """A handle on an application running in another JVM."""
+    """A handle on an application running in another JVM.
+
+    Speaks protocol 2 by default: the request is still a JSON line (so
+    old daemons parse it) carrying ``"proto": 2``; replies are sniffed
+    per frame, so a binary-framing daemon and a JSON-lines daemon are
+    both handled transparently.  Connections come from the VM's
+    ``(host, port)``-keyed channel pool and return to it after a clean
+    exit against a protocol-2 peer; ``proto=1`` or ``pooled=False``
+    reproduce the original one-connection-per-exec behaviour.
+    """
 
     def __init__(self, ctx, host: str, port: int, user: str, password: str,
                  class_name: str, args: Optional[list[str]] = None,
-                 stdout=None, stderr=None):
+                 stdout=None, stderr=None,
+                 proto: int = protocol.PROTOCOL_VERSION,
+                 pooled: bool = True):
         self.host = host
+        self.port = port
         self.class_name = class_name
         self._stdout = stdout
         self._stderr = stderr
@@ -45,36 +59,69 @@ class RemoteApplication:
         #: lost, stream error) rather than a remote launch/auth error — the
         #: cluster failover trigger.
         self.transport_lost = False
-        self._output_chunks: list[str] = []
-        # SM checkConnect applies here: reaching out over the network is a
-        # policy decision of *this* VM.  An unreachable host is a typed
-        # NodeUnavailableException so schedulers can tell "dead node" from
-        # "protocol error" (a SecurityException still propagates as itself).
+        self._output_chunks: list[bytes] = []
+        self._proto = proto
+        self._pool = pool_for(ctx.vm) if pooled else None
+        self._released = False
+        self._closed = False
+        request = {"user": user, "password": password,
+                   "class_name": class_name, "args": list(args or [])}
+        if proto >= 2:
+            request["proto"] = proto
+        # SM checkConnect applies here — on pool hits too: reaching out
+        # over the network is a policy decision of *this* VM.  An
+        # unreachable host is a typed NodeUnavailableException so
+        # schedulers can tell "dead node" from "protocol error" (a
+        # SecurityException still propagates as itself).
         try:
-            self._socket = Socket(ctx, host, port)
+            self._conn = self._open_and_send(ctx, request)
         except (UnknownHostException, ConnectException) as exc:
             raise NodeUnavailableException(
                 f"{host}:{port} unavailable: {exc}") from exc
-        protocol.send_frame(self._socket.output, {
-            "user": user, "password": password,
-            "class_name": class_name, "args": list(args or [])})
+        self._channel = self._conn.channel
         self._reader = JThread(target=self._read_loop,
                                name=f"rexec-client-{class_name}",
                                daemon=True)
         self._reader.start()
 
+    def _open_and_send(self, ctx, request: dict) -> PooledChannel:
+        """Connect (pooled or fresh) and ship the request frame.
+
+        A pooled channel whose daemon hung up since it was parked raises
+        on the send — that one retries once on a guaranteed-fresh
+        connection, preserving fresh-connect failure semantics.
+        """
+        if self._pool is None:
+            socket = Socket(ctx, self.host, self.port)
+            channel = protocol.FrameChannel(socket.input, socket.output)
+            conn = PooledChannel(None, self.host, self.port, socket,
+                                 channel, reused=False)
+            channel.send(request)
+            return conn
+        conn = self._pool.acquire(ctx, self.host, self.port)
+        try:
+            conn.channel.send(request)
+        except StreamClosedException:
+            stale_was_reused = conn.reused
+            conn.close()
+            if not stale_was_reused:
+                raise
+            conn = self._pool.acquire(ctx, self.host, self.port, fresh=True)
+            conn.channel.send(request)
+        return conn
+
     def _read_loop(self) -> None:
         try:
             while True:
-                frame = protocol.recv_frame(self._socket.input)
+                frame = self._channel.recv()
                 if frame is None:
                     self._finish(None, "connection lost", transport=True)
                     return
                 kind = frame.get("t")
                 if kind == "o":
-                    self._on_output(frame.get("d", ""), self._stdout)
+                    self._on_output(frame.get("d", b""), self._stdout)
                 elif kind == "e":
-                    self._on_output(frame.get("d", ""), self._stderr)
+                    self._on_output(frame.get("d", b""), self._stderr)
                 elif kind == "x":
                     self._finish(int(frame.get("code", -1)), None)
                     return
@@ -84,12 +131,14 @@ class RemoteApplication:
         except IOException as exc:
             self._finish(None, str(exc), transport=True)
 
-    def _on_output(self, data: str, sink) -> None:
+    def _on_output(self, data, sink) -> None:
+        # Binary frames carry raw bytes; JSON frames carry text (or bytes
+        # already, when the base64 escape was decoded for us).
+        chunk = data.encode("utf-8") if isinstance(data, str) else bytes(data)
         with self._cond:
-            self._output_chunks.append(data)
+            self._output_chunks.append(chunk)
         if sink is not None:
-            sink.write(data.encode("utf-8") if isinstance(data, str)
-                       else data)
+            sink.write(chunk)
 
     def _finish(self, code: Optional[int], error: Optional[str],
                 transport: bool = False) -> None:
@@ -99,6 +148,37 @@ class RemoteApplication:
             self.transport_lost = transport
             self._finished = True
             self._cond.notify_all()
+        if transport:
+            # The node (not the request) failed: drop every idle pooled
+            # channel to it so retries never dial the corpse again.
+            if self._pool is not None:
+                self._pool.invalidate(self.host, self.port)
+            self.close()
+        else:
+            self._park_connection()
+
+    def _park_connection(self) -> None:
+        """After a clean exit, return a persistent connection to the pool.
+
+        Only protocol-2 peers keep the connection open after the exit
+        frame (seen as binary reply frames); a JSON-lines daemon is
+        about to hang up, so its connection is not reusable.
+        """
+        with self._cond:
+            if self._released or self._closed:
+                return
+            if self._pool is not None and self._channel.peer_binary:
+                self._released = True
+                park = True
+            else:
+                # A JSON-lines peer is hanging up (or pooling is off):
+                # the connection is not reusable, so close it now.
+                self._closed = True
+                park = False
+        if park:
+            self._conn.release()
+        else:
+            self._conn.close()
 
     # -- the Application-like surface ------------------------------------------
 
@@ -120,8 +200,13 @@ class RemoteApplication:
 
     def destroy(self) -> None:
         """Ask the remote JVM to destroy the remote application."""
+        with self._cond:
+            if self._released or self._closed:
+                return  # already finished; the channel belongs to the pool
         try:
-            protocol.send_frame(self._socket.output, {"t": "kill"})
+            # Control frames are always JSON lines: old daemons cannot
+            # parse anything else, and new daemons sniff per frame.
+            self._channel.send({"t": "kill"})
         except IOException:
             pass
 
@@ -130,12 +215,26 @@ class RemoteApplication:
         with self._cond:
             return self._finished
 
-    def output_text(self) -> str:
+    @property
+    def transport_binary(self) -> bool:
+        """True once the peer has answered in binary frames (protocol 2)."""
+        return self._channel.peer_binary
+
+    def output_bytes(self) -> bytes:
+        """Everything the remote application wrote, byte-exact."""
         with self._cond:
-            return "".join(self._output_chunks)
+            return b"".join(self._output_chunks)
+
+    def output_text(self) -> str:
+        return self.output_bytes().decode("utf-8", errors="replace")
 
     def close(self) -> None:
-        self._socket.close()
+        with self._cond:
+            if self._released or self._closed:
+                self._closed = True
+                return
+            self._closed = True
+        self._conn.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"RemoteApplication({self.class_name!r}@{self.host!r}, "
@@ -145,11 +244,18 @@ class RemoteApplication:
 def remote_exec(ctx, host: str, class_name: str,
                 args: Optional[list[str]] = None,
                 user: str = "", password: str = "",
-                port: int = 7100, stdout=None,
-                stderr=None) -> RemoteApplication:
-    """Launch ``class_name`` on the JVM listening at ``host:port``."""
+                port: int = 7100, stdout=None, stderr=None,
+                proto: int = protocol.PROTOCOL_VERSION,
+                pooled: bool = True) -> RemoteApplication:
+    """Launch ``class_name`` on the JVM listening at ``host:port``.
+
+    ``proto=1`` forces the legacy JSON-lines handshake; ``pooled=False``
+    opens (and owns) a dedicated connection — both mainly for tests and
+    the transport benchmarks.
+    """
     return RemoteApplication(ctx, host, port, user, password, class_name,
-                             args, stdout=stdout, stderr=stderr)
+                             args, stdout=stdout, stderr=stderr,
+                             proto=proto, pooled=pooled)
 
 
 class DistributedApplication:

@@ -46,57 +46,105 @@ CODE_SOURCE = CodeSource("file:/usr/local/java/tools/rexecd/RexecDaemon.class")
 DEFAULT_PORT = 7100
 
 
-def _handle_connection(ctx, socket) -> None:
-    """Serve one rexec request (runs in its own thread)."""
-    try:
-        request = protocol.recv_frame(socket.input)
-    except IOException:
-        request = None
-    if request is None:
-        socket.close()
-        return
+def _serve_request(ctx, channel, request, on_done=None):
+    """Authenticate and launch one request.
+
+    Returns ``(child, waiter)`` — the waiter thread streams the exit
+    frame when the child ends, then runs ``on_done`` — or
+    ``(None, None)`` when an ``err`` frame was sent instead.
+    """
     try:
         user = ctx.vm.user_database.authenticate(
             str(request.get("user", "")), str(request.get("password", "")))
     except AuthenticationException:
-        protocol.send_frame(socket.output,
-                            {"t": "err", "msg": "authentication failed"})
-        socket.close()
-        return
+        channel.send({"t": "err", "msg": "authentication failed"})
+        return None, None
     class_name = str(request.get("class_name", ""))
     args = [str(a) for a in request.get("args", [])]
-    stdout = PrintStream(protocol.FrameOutputStream(socket.output, "o"))
-    stderr = PrintStream(protocol.FrameOutputStream(socket.output, "e"))
+    # Coalescing frame streams: auto-flush stays off so byte-at-a-time
+    # writers pay one frame per newline/threshold, not one per write.
+    out_frames = protocol.FrameOutputStream(channel, "o")
+    err_frames = protocol.FrameOutputStream(channel, "e")
+    stdout = PrintStream(out_frames, auto_flush=False)
+    stderr = PrintStream(err_frames, auto_flush=False)
     try:
         # The daemon asserts its own setUser grant to launch as `user`.
         child = access.do_privileged(lambda: Application.exec(
             class_name, args, vm=ctx.vm, parent=ctx.app, user=user,
             stdout=stdout, stderr=stderr))
     except (ClassNotFoundException, JavaThrowable) as exc:
-        protocol.send_frame(socket.output,
-                            {"t": "err", "msg": f"launch failed: {exc}"})
-        socket.close()
-        return
+        channel.send({"t": "err", "msg": f"launch failed: {exc}"})
+        return None, None
 
-    def control_reader() -> None:
-        """Process kill frames from the requesting JVM."""
+    def wait_and_report() -> None:
+        code = child.wait_for()
+        # Residual coalesced output must hit the wire before the exit
+        # frame: on a persistent connection, anything later would bleed
+        # into the next request's reply stream.
+        try:
+            out_frames.flush()
+            err_frames.flush()
+            channel.send({"t": "x",
+                          "code": code if code is not None else -1})
+        except IOException:
+            pass  # requester hung up; nothing left to report to
+        if on_done is not None:
+            on_done()
+
+    waiter = JThread(target=wait_and_report,
+                     name=f"rexec-wait-{child.app_id}", daemon=True)
+    waiter.start()
+    return child, waiter
+
+
+def _handle_connection(ctx, socket) -> None:
+    """Serve one connection: one request (protocol 1) or many (protocol 2).
+
+    A single reader loop handles everything the requester sends — the
+    request frame, ``kill`` control frames while a child runs, and (for
+    protocol-2 peers, which see binary replies and pool the connection)
+    the *next* request after an exit frame.  Requests are always JSON
+    lines; ``"proto": 2`` in a request switches replies to binary
+    framing and keeps the connection open after the exit frame.
+    """
+    channel = protocol.FrameChannel(socket.input, socket.output)
+    child = None
+    waiter = None
+    persistent = False
+    try:
         while True:
             try:
-                frame = protocol.recv_frame(socket.input)
+                frame = channel.recv()
             except IOException:
-                frame = None
+                break
             if frame is None:
-                return
-            if frame.get("t") == "kill":
-                child.destroy()
-
-    JThread(target=control_reader,
-            name=f"rexec-control-{child.app_id}", daemon=True).start()
-    code = child.wait_for()
-    protocol.send_frame(socket.output,
-                        {"t": "x", "code": code if code is not None
-                         else -1})
-    socket.close()
+                break
+            kind = frame.get("t")
+            if kind == "kill":
+                if child is not None:
+                    child.destroy()
+                continue
+            if kind is not None:
+                continue  # unknown control frame: ignore, stay compatible
+            # A request frame.  The client only sends one after seeing the
+            # previous exit frame, so a live waiter just needs joining.
+            if waiter is not None:
+                waiter.join()
+                child = waiter = None
+            persistent = int(frame.get("proto", 1)) >= 2
+            channel.binary = persistent
+            # Legacy peers get one request per connection: the waiter
+            # hangs up right after the exit frame (the old daemon's
+            # lifecycle), while this loop keeps draining kill frames.
+            child, waiter = _serve_request(
+                ctx, channel, frame,
+                on_done=None if persistent else socket.close)
+            if not persistent and child is None:
+                break  # err frame sent; close as before
+    finally:
+        if waiter is not None:
+            waiter.join()
+        socket.close()
 
 
 def build_material() -> ClassMaterial:

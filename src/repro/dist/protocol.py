@@ -1,75 +1,365 @@
 """Wire protocol for distributed applications (Section 8, future work).
 
-A minimal JSON-lines protocol over the simulated network's byte channels:
+Two frame encodings share one connection:
 
-* the client's first frame is the *request*
+* **JSON lines** (protocol 1, the original): one JSON object per
+  ``\\n``-terminated line.  The client's first frame is the *request*
   ``{"user": ..., "password": ..., "class_name": ..., "args": [...]}``;
-* subsequent client frames are control messages (``{"t": "kill"}``);
-* server frames stream the remote application's life:
+  subsequent client frames are control messages (``{"t": "kill"}``);
+  server frames stream the remote application's life:
   ``{"t": "o", "d": text}`` (stdout data), ``{"t": "e", "d": text}``
   (stderr data), ``{"t": "x", "code": n}`` (exit), or
   ``{"t": "err", "msg": ...}`` (launch/authentication failure).
+* **Binary framing** (protocol 2, the fast path): length-prefixed frames
+  — one tag byte, a 4-byte big-endian length, then the payload.  Stdout
+  and stderr data travel as *raw bytes* (no UTF-8 round trip, so
+  non-UTF-8 program output survives); everything else is a JSON object
+  in a ``TAG_JSON`` frame.
+
+The encodings interoperate: requests are always JSON lines (old daemons
+must be able to parse them) and carry ``"proto": 2`` when the client
+speaks binary; a daemon that understands it answers in binary frames and
+keeps the connection open for reuse, while an old daemon ignores the
+extra key and answers in JSON lines.  Receivers never need to be told
+which encoding is coming — no frame tag collides with ``{`` (0x7B), so
+one byte of lookahead (:meth:`BufferedInputStream.peek_byte`) classifies
+every frame.  :func:`recv_frame_auto` does exactly that.
+
+On the JSON path, data frames whose bytes are not valid UTF-8 carry a
+``"b"`` key (base64 of the exact bytes) next to the lossy ``"d"`` text,
+so new peers round-trip binary output even in fallback mode while old
+peers still display what they always displayed.
+
+:class:`FrameChannel` bundles a buffered reader, a write-locked buffered
+writer, and the negotiated encoding; :class:`FrameOutputStream` turns an
+application's stdout/stderr writes into data frames, *coalescing* small
+writes into one frame per newline / size threshold / latency bound.
 """
 
 from __future__ import annotations
 
+import base64
 import json
-from typing import Optional
+import struct
+import threading
+import time
+from typing import Optional, Union
 
-from repro.io.streams import InputStream, OutputStream
+from repro.io.streams import (
+    BufferedInputStream,
+    BufferedOutputStream,
+    InputStream,
+    OutputStream,
+)
 from repro.jvm.errors import IOException
 from repro.telemetry import current_hub
 
+#: The protocol generation this client/daemon speaks.  Version 2 adds
+#: binary framing and persistent (poolable) connections.
+PROTOCOL_VERSION = 2
+
+#: Binary frame tags.  None may equal ``{`` (0x7B): the first byte of a
+#: frame is what distinguishes binary frames from JSON lines.
+TAG_STDOUT = 0x01
+TAG_STDERR = 0x02
+TAG_JSON = 0x03
+
+_DATA_TAGS = {TAG_STDOUT: "o", TAG_STDERR: "e"}
+_KIND_TAGS = {"o": TAG_STDOUT, "e": TAG_STDERR}
+
+#: Sanity bound on a single binary frame (malformed-length guard).
+MAX_FRAME_PAYLOAD = 16 * 1024 * 1024
+
+_HEADER = struct.Struct(">BI")
+
+#: Coalescing defaults for :class:`FrameOutputStream`.
+COALESCE_THRESHOLD = 4096
+COALESCE_MAX_LATENCY = 0.05
+
+
+def _count_sent(frame_type: str, nbytes: int) -> None:
+    metrics = current_hub().metrics
+    metrics.counter("dist.frames.sent", type=frame_type).inc()
+    metrics.counter("dist.bytes.sent").inc(nbytes)
+
+
+def _count_received(frame_type: str, nbytes: int) -> None:
+    metrics = current_hub().metrics
+    metrics.counter("dist.frames.received", type=frame_type).inc()
+    metrics.counter("dist.bytes.received").inc(nbytes)
+
+
+def ensure_buffered(source: InputStream) -> BufferedInputStream:
+    """Wrap ``source`` for bulk reads (idempotent)."""
+    if isinstance(source, BufferedInputStream):
+        return source
+    return BufferedInputStream(source)
+
+
+# --------------------------------------------------------------------------
+# JSON-lines encoding (protocol 1, and the v2 control/fallback frames)
+# --------------------------------------------------------------------------
 
 def send_frame(output: OutputStream, frame: dict) -> None:
     """Serialize one frame as a JSON line."""
     payload = json.dumps(frame, separators=(",", ":")) + "\n"
     output.write(payload.encode("utf-8"))
-    metrics = current_hub().metrics
-    metrics.counter("dist.frames.sent",
-                    type=str(frame.get("t", "req"))).inc()
-    metrics.counter("dist.bytes.sent").inc(len(payload))
+    _count_sent(str(frame.get("t", "req")), len(payload))
 
 
-def recv_frame(source: InputStream) -> Optional[dict]:
-    """Read one frame; None at end of stream."""
-    line = source.read_line()
-    if line is None:
-        return None
+def _parse_json_frame(line: bytes) -> dict:
     try:
         frame = json.loads(line.decode("utf-8"))
     except (ValueError, UnicodeDecodeError) as exc:
         raise IOException(f"malformed frame: {exc}") from exc
     if not isinstance(frame, dict):
         raise IOException("malformed frame: not an object")
-    metrics = current_hub().metrics
-    metrics.counter("dist.frames.received",
-                    type=str(frame.get("t", "req"))).inc()
-    metrics.counter("dist.bytes.received").inc(len(line) + 1)
+    if "b" in frame and frame.get("t") in ("o", "e"):
+        # The JSON fallback's binary escape: ``b`` holds the exact bytes.
+        try:
+            frame["d"] = base64.b64decode(frame["b"])
+        except (ValueError, TypeError) as exc:
+            raise IOException(f"malformed frame: bad base64: {exc}") from exc
     return frame
 
+
+def recv_frame(source: InputStream) -> Optional[dict]:
+    """Read one JSON-lines frame; None at end of stream."""
+    line = source.read_line()
+    if line is None:
+        return None
+    frame = _parse_json_frame(line)
+    _count_received(str(frame.get("t", "req")), len(line) + 1)
+    return frame
+
+
+# --------------------------------------------------------------------------
+# Binary framing (protocol 2)
+# --------------------------------------------------------------------------
+
+def encode_binary_frame(frame: dict) -> bytes:
+    """One frame as ``tag | length | payload`` bytes."""
+    kind = frame.get("t")
+    data = frame.get("d")
+    if kind in _KIND_TAGS and isinstance(data, (bytes, bytearray,
+                                                memoryview)):
+        payload = bytes(data)
+        tag = _KIND_TAGS[kind]
+    else:
+        payload = json.dumps(frame, separators=(",", ":")).encode("utf-8")
+        tag = TAG_JSON
+    return _HEADER.pack(tag, len(payload)) + payload
+
+
+def send_binary_frame(output: OutputStream, frame: dict) -> None:
+    encoded = encode_binary_frame(frame)
+    output.write(encoded)
+    _count_sent(str(frame.get("t", "req")), len(encoded))
+
+
+def recv_frame_auto(source: BufferedInputStream) -> Optional[dict]:
+    """Read one frame of either encoding; None at end of stream.
+
+    The first byte classifies the frame: ``{`` starts a JSON line, a
+    known tag starts a binary frame, anything else is malformed.  Data
+    frames received in binary carry ``bytes`` in ``"d"``.
+    """
+    first = source.peek_byte()
+    if first < 0:
+        return None
+    if first == 0x7B:  # "{" — a JSON line
+        return recv_frame(source)
+    if first not in _DATA_TAGS and first != TAG_JSON:
+        raise IOException(f"malformed frame: unknown tag 0x{first:02x}")
+    header = source.read_exactly(_HEADER.size)
+    tag, length = _HEADER.unpack(header)
+    if length > MAX_FRAME_PAYLOAD:
+        raise IOException(f"malformed frame: payload of {length} bytes")
+    payload = source.read_exactly(length)
+    if tag in _DATA_TAGS:
+        frame: dict = {"t": _DATA_TAGS[tag], "d": payload}
+    else:
+        frame = _parse_json_frame(payload)
+    frame["_binary"] = True
+    _count_received(str(frame.get("t", "req")), _HEADER.size + length)
+    return frame
+
+
+# --------------------------------------------------------------------------
+# FrameChannel — one framed connection
+# --------------------------------------------------------------------------
+
+class FrameChannel:
+    """A framed connection: buffered reader, locked buffered writer.
+
+    ``binary`` selects the *outbound* encoding (flipped by negotiation);
+    ``peer_binary`` records whether the peer has been seen speaking
+    binary (flipped by the receive path).  The write lock makes each
+    frame atomic on the wire even when several streams — remote stdout,
+    stderr, and the exit frame — share the transport.
+    """
+
+    def __init__(self, input_stream: Optional[InputStream] = None,
+                 output_stream: Optional[OutputStream] = None,
+                 binary: bool = False):
+        self.input: Optional[BufferedInputStream] = \
+            ensure_buffered(input_stream) if input_stream is not None \
+            else None
+        if output_stream is None:
+            self.output: Optional[BufferedOutputStream] = None
+        elif isinstance(output_stream, BufferedOutputStream):
+            self.output = output_stream
+        else:
+            self.output = BufferedOutputStream(output_stream)
+        self.binary = binary
+        self.peer_binary = False
+        self.closed = False
+        self._lock = threading.RLock()
+
+    # -- sending ---------------------------------------------------------------
+
+    def send(self, frame: dict, flush: bool = True) -> None:
+        with self._lock:
+            if self.binary:
+                send_binary_frame(self.output, frame)
+            else:
+                send_frame(self.output, frame)
+            if flush:
+                self.output.flush()
+
+    def send_data(self, kind: str, payload: bytes,
+                  flush: bool = True) -> None:
+        """One stdout/stderr data frame carrying exactly ``payload``.
+
+        Binary mode ships the raw bytes.  JSON mode ships UTF-8 text —
+        with a base64 ``"b"`` escape alongside when the bytes are not
+        valid UTF-8, so new peers round-trip what old peers merely
+        display.
+        """
+        if self.binary:
+            self.send({"t": kind, "d": payload}, flush=flush)
+            return
+        try:
+            frame: dict = {"t": kind, "d": payload.decode("utf-8")}
+        except UnicodeDecodeError:
+            frame = {"t": kind,
+                     "d": payload.decode("utf-8", errors="replace"),
+                     "b": base64.b64encode(payload).decode("ascii")}
+        self.send(frame, flush=flush)
+
+    def flush(self) -> None:
+        with self._lock:
+            if self.output is not None:
+                self.output.flush()
+
+    # -- receiving -------------------------------------------------------------
+
+    def recv(self) -> Optional[dict]:
+        frame = recv_frame_auto(self.input)
+        if frame is not None and frame.pop("_binary", False):
+            self.peer_binary = True
+        return frame
+
+    # -- health and teardown ---------------------------------------------------
+
+    def healthy(self) -> bool:
+        """Best-effort, non-blocking liveness probe for pooled reuse."""
+        if self.closed:
+            return False
+        if self.input is not None and self.input.at_eof_hint():
+            return False
+        if self.output is not None and self.output.reader_gone_hint():
+            return False
+        return True
+
+    def close(self) -> None:
+        with self._lock:
+            if self.closed:
+                return
+            self.closed = True
+        for stream in (self.output, self.input):
+            if stream is not None:
+                try:
+                    stream.close()
+                except IOException:
+                    pass
+
+
+# --------------------------------------------------------------------------
+# FrameOutputStream — remote stdout/stderr with write coalescing
+# --------------------------------------------------------------------------
 
 class FrameOutputStream(OutputStream):
     """An OutputStream whose writes become ``o``/``e`` data frames.
 
     Handed to the remote application as its stdout/stderr: everything it
-    prints travels back to the requesting JVM.
+    prints travels back to the requesting JVM.  Small writes coalesce
+    into one frame, emitted when the buffered data contains a newline,
+    reaches ``coalesce_bytes``, or has been sitting for longer than
+    ``max_latency`` — so chatty byte-at-a-time writers cost one frame
+    per line, not one frame per write, while interactive output still
+    appears promptly.
     """
 
-    def __init__(self, transport: OutputStream, kind: str = "o"):
+    def __init__(self, transport: Union[FrameChannel, OutputStream],
+                 kind: str = "o",
+                 coalesce_bytes: int = COALESCE_THRESHOLD,
+                 max_latency: float = COALESCE_MAX_LATENCY):
         super().__init__()
-        self._transport = transport
+        if isinstance(transport, FrameChannel):
+            self._channel = transport
+        else:
+            self._channel = FrameChannel(None, transport)
         self._kind = kind
+        self._coalesce_bytes = coalesce_bytes
+        self._max_latency = max_latency
+        self._buffer = bytearray()
+        self._writes_in_buffer = 0
+        self._first_write_at = 0.0
+        self._lock = threading.RLock()
+
+    @property
+    def channel(self) -> FrameChannel:
+        return self._channel
+
+    def _emit(self, flush_transport: bool) -> None:
+        """Ship the coalesced buffer as one frame (lock held)."""
+        if not self._buffer:
+            if flush_transport:
+                self._channel.flush()
+            return
+        if self._writes_in_buffer > 1:
+            current_hub().metrics.counter("dist.frames.coalesced").inc(
+                self._writes_in_buffer - 1)
+        payload = bytes(self._buffer)
+        del self._buffer[:]
+        self._writes_in_buffer = 0
+        self._channel.send_data(self._kind, payload, flush=flush_transport)
 
     def write(self, payload: bytes) -> None:
         self._ensure_open()
-        send_frame(self._transport,
-                   {"t": self._kind,
-                    "d": payload.decode("utf-8", errors="replace")})
+        if isinstance(payload, str):  # PrintStream hands us bytes; be lenient
+            payload = payload.encode("utf-8")
+        with self._lock:
+            now = time.monotonic()
+            if not self._buffer:
+                self._first_write_at = now
+            self._buffer.extend(payload)
+            self._writes_in_buffer += 1
+            if (b"\n" in payload
+                    or len(self._buffer) >= self._coalesce_bytes
+                    or now - self._first_write_at >= self._max_latency):
+                self._emit(flush_transport=True)
 
     def flush(self) -> None:
-        self._transport.flush()
+        with self._lock:
+            self._emit(flush_transport=True)
 
     def _close_impl(self) -> None:
-        # The transport is shared with the exit frame; never close it here.
-        pass
+        # The transport is shared with the exit frame; flush what we
+        # buffered but never close the channel here.
+        with self._lock:
+            try:
+                self._emit(flush_transport=True)
+            except IOException:
+                pass

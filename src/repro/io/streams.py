@@ -249,7 +249,12 @@ class PipedInputStream(InputStream):
         with pipe.cond:
             interruptible_wait(
                 pipe.cond,
-                lambda: pipe.buffer or pipe.writer_closed)
+                lambda: pipe.buffer or pipe.writer_closed
+                or pipe.reader_closed)
+            if pipe.reader_closed:
+                # Our own side was closed while we were blocked — the
+                # read can never be satisfied (a closed fd, not EOF).
+                raise StreamClosedException("pipe reader closed")
             if not pipe.buffer and pipe.writer_closed:
                 return b""
             if size is None or size < 0:
@@ -264,6 +269,15 @@ class PipedInputStream(InputStream):
     def available(self) -> int:
         with self._pipe.cond:
             return len(self._pipe.buffer)
+
+    def at_eof_hint(self) -> bool:
+        """True when the next read is guaranteed to return EOF.
+
+        Non-blocking; the connection pool uses it to drop channels whose
+        peer already hung up before handing them out again.
+        """
+        with self._pipe.cond:
+            return self._pipe.writer_closed and not self._pipe.buffer
 
     def _close_impl(self) -> None:
         pipe = self._pipe
@@ -283,10 +297,16 @@ class PipedOutputStream(OutputStream):
         super().__init__()
         self._pipe = pipe
 
-    def write(self, payload: bytes) -> None:
+    def write(self, payload) -> None:
         self._ensure_open()
         pipe = self._pipe
-        view = memoryview(bytes(payload))
+        # Accept bytes / bytearray / memoryview without copying: a
+        # memoryview over the caller's buffer is enough, because each
+        # chunk is consumed (extend copies it into the pipe) before the
+        # lock is released.  Mutating a bytearray concurrently with a
+        # blocking write is the caller's race, exactly as with os.write.
+        view = payload if isinstance(payload, memoryview) \
+            else memoryview(payload)
         offset = 0
         while offset < len(view):
             with pipe.cond:
@@ -301,6 +321,11 @@ class PipedOutputStream(OutputStream):
                 pipe.buffer.extend(chunk)
                 offset += len(chunk)
                 pipe.cond.notify_all()
+
+    def reader_gone_hint(self) -> bool:
+        """True when the next write is guaranteed to raise (reader closed)."""
+        with self._pipe.cond:
+            return self._pipe.reader_closed
 
     def _close_impl(self) -> None:
         pipe = self._pipe
@@ -318,6 +343,196 @@ def make_pipe(capacity: int = DEFAULT_PIPE_CAPACITY,
     reader.owner = owner
     writer.owner = owner
     return reader, writer
+
+
+# --------------------------------------------------------------------------
+# Buffered streams — the transport fast path
+# --------------------------------------------------------------------------
+
+#: Default buffer size for the buffered stream wrappers.
+DEFAULT_BUFFER_SIZE = 8192
+
+
+class BufferedInputStream(InputStream):
+    """Bulk-reading wrapper: pipe lock traffic scales with chunks, not bytes.
+
+    ``read_line`` on a bare :class:`PipedInputStream` costs one pipe
+    condition-variable acquisition *per byte* (``read_byte`` → ``read``).
+    This wrapper pulls ``buffer_size`` bytes per underlying ``read`` and
+    serves ``read`` / ``read_byte`` / ``read_line`` / ``read_exactly``
+    from the in-memory chunk; ``read_line`` scans with ``bytes.find``.
+
+    ``peek_byte`` looks at the next byte without consuming it — the
+    dist protocol's wire-format sniff (JSON line vs binary frame) needs
+    exactly one byte of lookahead.
+    """
+
+    def __init__(self, source: InputStream,
+                 buffer_size: int = DEFAULT_BUFFER_SIZE):
+        super().__init__()
+        self._source = source
+        self._buffer_size = max(1, buffer_size)
+        self._chunk = b""
+        self._pos = 0
+
+    @property
+    def source(self) -> InputStream:
+        return self._source
+
+    def _buffered(self) -> int:
+        return len(self._chunk) - self._pos
+
+    def _fill(self) -> bool:
+        """Refill the internal chunk; False at end of stream."""
+        self._chunk = self._source.read(self._buffer_size)
+        self._pos = 0
+        return bool(self._chunk)
+
+    def read(self, size: int = -1) -> bytes:
+        self._ensure_open()
+        if size is not None and size == 0:
+            return b""
+        if self._buffered():
+            if size is None or size < 0:
+                chunk = self._chunk[self._pos:]
+                self._pos = len(self._chunk)
+            else:
+                chunk = self._chunk[self._pos:self._pos + size]
+                self._pos += len(chunk)
+            return chunk
+        # Nothing buffered: large reads go straight through, small ones
+        # refill the buffer first.
+        if size is not None and 0 <= size < self._buffer_size:
+            if not self._fill():
+                return b""
+            chunk = self._chunk[self._pos:self._pos + size]
+            self._pos += len(chunk)
+            return chunk
+        return self._source.read(size)
+
+    def read_byte(self) -> int:
+        self._ensure_open()
+        if self._pos >= len(self._chunk) and not self._fill():
+            return -1
+        byte = self._chunk[self._pos]
+        self._pos += 1
+        return byte
+
+    def peek_byte(self) -> int:
+        """The next byte without consuming it; -1 at end of stream."""
+        self._ensure_open()
+        if self._pos >= len(self._chunk) and not self._fill():
+            return -1
+        return self._chunk[self._pos]
+
+    def read_line(self) -> Optional[bytes]:
+        self._ensure_open()
+        pieces: list[bytes] = []
+        while True:
+            if self._pos >= len(self._chunk) and not self._fill():
+                if pieces:
+                    return b"".join(pieces)
+                return None
+            newline = self._chunk.find(b"\n", self._pos)
+            if newline >= 0:
+                pieces.append(self._chunk[self._pos:newline])
+                self._pos = newline + 1
+                return b"".join(pieces)
+            pieces.append(self._chunk[self._pos:])
+            self._pos = len(self._chunk)
+
+    def read_exactly(self, size: int) -> bytes:
+        self._ensure_open()
+        pieces: list[bytes] = []
+        remaining = size
+        while remaining > 0:
+            if not self._buffered() and remaining >= self._buffer_size:
+                # Large remainder: bypass the buffer entirely.
+                chunk = self._source.read(remaining)
+                if not chunk:
+                    raise EOFException(
+                        f"expected {size} bytes, got {size - remaining}")
+            else:
+                chunk = self.read(remaining)
+                if not chunk:
+                    raise EOFException(
+                        f"expected {size} bytes, got {size - remaining}")
+            pieces.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(pieces)
+
+    def available(self) -> int:
+        return self._buffered() + self._source.available()
+
+    def at_eof_hint(self) -> bool:
+        """Non-blocking EOF probe (see PipedInputStream.at_eof_hint)."""
+        if self._buffered():
+            return False
+        hint = getattr(self._source, "at_eof_hint", None)
+        return hint() if hint is not None else False
+
+    def _close_impl(self) -> None:
+        self._source.close()
+
+
+class BufferedOutputStream(OutputStream):
+    """Write-combining wrapper with explicit ``flush``.
+
+    Small writes accumulate in an internal buffer and reach the
+    underlying stream (one pipe lock acquisition per drain) when the
+    buffer fills or ``flush`` is called; writes at least as large as the
+    buffer bypass it.
+    """
+
+    def __init__(self, sink: OutputStream,
+                 buffer_size: int = DEFAULT_BUFFER_SIZE):
+        super().__init__()
+        self._sink = sink
+        self._buffer_size = max(1, buffer_size)
+        self._buffer = bytearray()
+        self._lock = threading.RLock()
+
+    @property
+    def sink(self) -> OutputStream:
+        return self._sink
+
+    def buffered_count(self) -> int:
+        with self._lock:
+            return len(self._buffer)
+
+    def _drain(self) -> None:
+        if self._buffer:
+            payload = bytes(self._buffer)
+            del self._buffer[:]
+            self._sink.write(payload)
+
+    def write(self, payload) -> None:
+        self._ensure_open()
+        with self._lock:
+            if not self._buffer and len(payload) >= self._buffer_size:
+                self._sink.write(payload)
+                return
+            self._buffer.extend(payload)
+            if len(self._buffer) >= self._buffer_size:
+                self._drain()
+
+    def flush(self) -> None:
+        with self._lock:
+            self._drain()
+            self._sink.flush()
+
+    def reader_gone_hint(self) -> bool:
+        """Non-blocking EPIPE probe (see PipedOutputStream)."""
+        hint = getattr(self._sink, "reader_gone_hint", None)
+        return hint() if hint is not None else False
+
+    def _close_impl(self) -> None:
+        with self._lock:
+            try:
+                self._drain()
+                self._sink.flush()
+            finally:
+                self._sink.close()
 
 
 # --------------------------------------------------------------------------

@@ -102,6 +102,7 @@ class VirtualMachine:
         self.consoles = {}                 # device name -> TerminalDevice
         self.shared_objects = None         # repro.core.sharing
         self.cluster = None                # repro.cluster.spawn
+        self.dist_pool = None              # repro.dist.pool (lazy)
 
         self._state = STATE_NEW
         self._state_lock = threading.Lock()

@@ -186,6 +186,11 @@ class NetworkFabric:
         server_side = Endpoint(to_host, from_host, port,
                                client_to_server_r, server_to_client_w)
         if not listener._offer(server_side):
-            raise ConnectException(f"{to_host}:{port} backlog full")
+            # A closed listener is "refused", a full accept queue is
+            # "backlog full" — callers back off differently (a dead
+            # server vs. an overloaded one).
+            reason = "connection refused" if listener.closed \
+                else "backlog full"
+            raise ConnectException(f"{to_host}:{port} {reason}")
         return Endpoint(from_host, to_host, port,
                         server_to_client_r, client_to_server_w)

@@ -4,6 +4,8 @@ Mounted read-only at ``/proc`` by the multi-processing launcher::
 
     /proc/vmstat              VM-wide telemetry rollup (world-readable)
     /proc/security/cache      permission-cache hit/miss/invalidation stats
+    /proc/dist/transport      dist-fabric transport stats: frames, bytes,
+                              coalescing, and the channel pool
     /proc/cluster/nodes       cluster membership table (controller VMs only)
     /proc/cluster/placements  recent placement decisions
     /proc/<app-id>/status     one application's identity and accounting
@@ -133,6 +135,8 @@ class ProcFileSystem:
             f"dist.frames.sent\t{int(metrics.total('dist.frames.sent'))}",
             f"dist.frames.received\t"
             f"{int(metrics.total('dist.frames.received'))}",
+            f"dist.frames.coalesced\t"
+            f"{int(metrics.total('dist.frames.coalesced'))}",
             f"security.checks\t{audit.grants + audit.denies}",
             f"security.grants\t{audit.grants}",
             f"security.denies\t{audit.denies}",
@@ -182,6 +186,38 @@ class ProcFileSystem:
             lines.append(f"policy_epoch\t{epoch}")
         return "\n".join(lines) + "\n"
 
+    def _dist_transport_text(self) -> str:
+        """The transport fast path, in numbers: framing and the pool."""
+        from repro.dist.pool import existing_pool
+        metrics = self.vm.telemetry.metrics
+
+        def total(name: str, **match) -> int:
+            return int(metrics.total(name, **match))
+
+        lines = [
+            f"frames.sent\t{total('dist.frames.sent')}",
+            f"frames.received\t{total('dist.frames.received')}",
+            f"frames.sent.stdout\t{total('dist.frames.sent', type='o')}",
+            f"frames.sent.stderr\t{total('dist.frames.sent', type='e')}",
+            f"frames.coalesced\t{total('dist.frames.coalesced')}",
+            f"bytes.sent\t{total('dist.bytes.sent')}",
+            f"bytes.received\t{total('dist.bytes.received')}",
+        ]
+        pool = existing_pool(self.vm)
+        stats = pool.stats() if pool is not None else {
+            "hits": 0, "misses": 0, "evicted": 0, "released": 0, "idle": 0}
+        lines.extend([
+            f"pool.hits\t{stats['hits']}",
+            f"pool.misses\t{stats['misses']}",
+            f"pool.evicted\t{stats['evicted']}",
+            f"pool.released\t{stats['released']}",
+            f"pool.idle\t{stats['idle']}",
+        ])
+        if pool is not None:
+            for endpoint, count in pool.idle_counts().items():
+                lines.append(f"pool.idle.{endpoint}\t{count}")
+        return "\n".join(lines) + "\n"
+
     def _file_payload(self, rel: str) -> bytes:
         parts = self._split(rel)
         if parts == ["vmstat"]:
@@ -189,6 +225,10 @@ class ProcFileSystem:
         if parts == ["security", "cache"]:
             return self._security_cache_text().encode("utf-8")
         if parts and parts[0] == "security":
+            raise VfsNotFound(f"/proc{rel}")
+        if parts == ["dist", "transport"]:
+            return self._dist_transport_text().encode("utf-8")
+        if parts and parts[0] == "dist":
             raise VfsNotFound(f"/proc{rel}")
         if parts and parts[0] == "cluster":
             cluster = self.vm.cluster
@@ -223,7 +263,7 @@ class ProcFileSystem:
             if self.vm.cluster is None:
                 raise VfsNotFound(f"/proc{rel}")
             return VfsStat(_ino(rel), "dir", 0o555, 0, 0, 0, 0, 1)
-        if parts == ["security"]:
+        if parts == ["security"] or parts == ["dist"]:
             return VfsStat(_ino(rel), "dir", 0o555, 0, 0, 0, 0, 1)
         payload = self._file_payload(rel)
         return VfsStat(_ino(rel), "file", 0o444, 0, 0, len(payload), 0, 1)
@@ -237,13 +277,15 @@ class ProcFileSystem:
             entries = sorted([str(a.app_id) for a in applications], key=int)
             if self.vm.cluster is not None:
                 entries.append("cluster")
-            return entries + ["security", "vmstat"]
+            return entries + ["dist", "security", "vmstat"]
         if parts == ["cluster"]:
             if self.vm.cluster is None:
                 raise VfsNotFound(f"/proc{rel}")
             return ["nodes", "placements"]
         if parts == ["security"]:
             return ["cache"]
+        if parts == ["dist"]:
+            return ["transport"]
         if len(parts) == 1 and parts[0].isdigit():
             application = self._application(int(parts[0]))
             self._gate(application, rel)
@@ -255,7 +297,7 @@ class ProcFileSystem:
     def read(self, rel: str, user) -> bytes:
         parts = self._split(rel)
         if not parts or (len(parts) == 1 and parts[0].isdigit()) \
-                or parts == ["security"] \
+                or parts == ["security"] or parts == ["dist"] \
                 or (parts == ["cluster"] and self.vm.cluster is not None):
             from repro.unixfs.vfs import VfsIsADirectory
             raise VfsIsADirectory(f"/proc{rel}")

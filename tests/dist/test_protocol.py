@@ -1,10 +1,25 @@
 """Unit tests for the distributed-execution wire protocol."""
 
+import base64
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.dist.protocol import FrameOutputStream, recv_frame, send_frame
+from repro.dist.protocol import (
+    MAX_FRAME_PAYLOAD,
+    TAG_JSON,
+    TAG_STDERR,
+    TAG_STDOUT,
+    FrameChannel,
+    FrameOutputStream,
+    encode_binary_frame,
+    recv_frame,
+    recv_frame_auto,
+    send_binary_frame,
+    send_frame,
+)
 from repro.io.streams import (
+    BufferedInputStream,
     ByteArrayInputStream,
     ByteArrayOutputStream,
 )
@@ -52,29 +67,188 @@ class TestFrames:
         with pytest.raises(IOException):
             recv_frame(ByteArrayInputStream(b"[1,2,3]\n"))
 
+    def test_base64_escape_restores_exact_bytes(self):
+        # The JSON fallback for non-UTF-8 stdout: "b" wins over lossy "d".
+        raw = b"\xff\xfe binary \x00 tail"
+        escaped = base64.b64encode(raw).decode("ascii")
+        sink = ByteArrayOutputStream()
+        send_frame(sink, {"t": "o",
+                          "d": raw.decode("utf-8", errors="replace"),
+                          "b": escaped})
+        frame = recv_frame(ByteArrayInputStream(sink.to_bytes()))
+        assert frame["d"] == raw
+
+    def test_bad_base64_escape_raises(self):
+        sink = ByteArrayOutputStream()
+        sink.write(b'{"t":"o","d":"x","b":"%%%not-base64"}\n')
+        with pytest.raises(IOException):
+            recv_frame(ByteArrayInputStream(sink.to_bytes()))
+
+
+def recv_auto(data: bytes):
+    return recv_frame_auto(BufferedInputStream(ByteArrayInputStream(data)))
+
+
+class TestBinaryFrames:
+    def test_stdout_frame_carries_raw_bytes(self):
+        payload = b"\x00\xff raw \n bytes \xfe"
+        encoded = encode_binary_frame({"t": "o", "d": payload})
+        assert encoded[0] == TAG_STDOUT
+        frame = recv_auto(encoded)
+        assert frame == {"t": "o", "d": payload, "_binary": True}
+
+    def test_stderr_frame_tag(self):
+        encoded = encode_binary_frame({"t": "e", "d": b"oops"})
+        assert encoded[0] == TAG_STDERR
+        assert recv_auto(encoded)["t"] == "e"
+
+    def test_control_frames_travel_as_json_payload(self):
+        encoded = encode_binary_frame({"t": "x", "code": 7})
+        assert encoded[0] == TAG_JSON
+        frame = recv_auto(encoded)
+        assert frame == {"t": "x", "code": 7, "_binary": True}
+
+    def test_back_to_back_frames(self):
+        sink = ByteArrayOutputStream()
+        send_binary_frame(sink, {"t": "o", "d": b"one\n"})
+        send_binary_frame(sink, {"t": "e", "d": b"two"})
+        send_binary_frame(sink, {"t": "x", "code": 0})
+        source = BufferedInputStream(ByteArrayInputStream(sink.to_bytes()))
+        kinds = []
+        while True:
+            frame = recv_frame_auto(source)
+            if frame is None:
+                break
+            kinds.append(frame["t"])
+        assert kinds == ["o", "e", "x"]
+
+    def test_sniffing_mixes_json_lines_and_binary(self):
+        # One connection, both encodings: the first byte decides.
+        sink = ByteArrayOutputStream()
+        send_frame(sink, {"t": "o", "d": "json line"})
+        send_binary_frame(sink, {"t": "o", "d": b"binary"})
+        send_frame(sink, {"t": "x", "code": 0})
+        source = BufferedInputStream(ByteArrayInputStream(sink.to_bytes()))
+        first = recv_frame_auto(source)
+        second = recv_frame_auto(source)
+        third = recv_frame_auto(source)
+        assert first == {"t": "o", "d": "json line"}
+        assert second == {"t": "o", "d": b"binary", "_binary": True}
+        assert third["t"] == "x"
+
+    def test_eof_returns_none(self):
+        assert recv_auto(b"") is None
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(IOException, match="unknown tag"):
+            recv_auto(b"\x42\x00\x00\x00\x01x")
+
+    def test_oversized_length_raises(self):
+        import struct
+        header = struct.pack(">BI", TAG_STDOUT, MAX_FRAME_PAYLOAD + 1)
+        with pytest.raises(IOException, match="payload"):
+            recv_auto(header)
+
+    def test_truncated_frame_raises(self):
+        encoded = encode_binary_frame({"t": "o", "d": b"full payload"})
+        with pytest.raises(IOException):
+            recv_auto(encoded[:-3])
+
+
+class TestFrameChannel:
+    def make_pair(self, binary=False):
+        sink = ByteArrayOutputStream()
+        channel = FrameChannel(None, sink, binary=binary)
+        return sink, channel
+
+    def test_json_mode_sends_lines(self):
+        sink, channel = self.make_pair(binary=False)
+        channel.send_data("o", b"hello")
+        assert sink.to_bytes().startswith(b"{")
+
+    def test_binary_mode_sends_frames(self):
+        sink, channel = self.make_pair(binary=True)
+        channel.send_data("o", b"hello")
+        assert sink.to_bytes()[0] == TAG_STDOUT
+
+    def test_json_mode_escapes_non_utf8(self):
+        sink, channel = self.make_pair(binary=False)
+        raw = b"\xff\x00 not utf-8"
+        channel.send_data("o", raw)
+        frame = recv_frame(ByteArrayInputStream(sink.to_bytes()))
+        assert frame["d"] == raw  # restored via the "b" escape
+
+    def test_recv_flips_peer_binary(self):
+        sink = ByteArrayOutputStream()
+        send_binary_frame(sink, {"t": "x", "code": 0})
+        channel = FrameChannel(ByteArrayInputStream(sink.to_bytes()), None)
+        assert not channel.peer_binary
+        frame = channel.recv()
+        assert frame == {"t": "x", "code": 0}  # _binary popped
+        assert channel.peer_binary
+
+    def test_json_recv_leaves_peer_binary_false(self):
+        sink = ByteArrayOutputStream()
+        send_frame(sink, {"t": "x", "code": 0})
+        channel = FrameChannel(ByteArrayInputStream(sink.to_bytes()), None)
+        channel.recv()
+        assert not channel.peer_binary
+
 
 class TestFrameOutputStream:
-    def test_writes_become_o_frames(self):
+    def test_line_writes_become_one_frame_each(self):
+        transport = ByteArrayOutputStream()
+        stream = FrameOutputStream(transport, "o")
+        stream.write(b"line one\n")
+        stream.write(b"line two\n")
+        source = ByteArrayInputStream(transport.to_bytes())
+        assert recv_frame(source) == {"t": "o", "d": "line one\n"}
+        assert recv_frame(source) == {"t": "o", "d": "line two\n"}
+
+    def test_small_writes_coalesce_until_flush(self):
         transport = ByteArrayOutputStream()
         stream = FrameOutputStream(transport, "o")
         stream.write(b"payload ")
         stream.write(b"bytes")
+        assert transport.to_bytes() == b""  # nothing on the wire yet
+        stream.flush()
         source = ByteArrayInputStream(transport.to_bytes())
-        assert recv_frame(source) == {"t": "o", "d": "payload "}
-        assert recv_frame(source) == {"t": "o", "d": "bytes"}
+        assert recv_frame(source) == {"t": "o", "d": "payload bytes"}
+        assert recv_frame(source) is None  # one frame, not two
+
+    def test_byte_at_a_time_costs_one_frame_per_line(self):
+        transport = ByteArrayOutputStream()
+        stream = FrameOutputStream(transport, "o")
+        for byte in b"abc\n":
+            stream.write(bytes([byte]))
+        source = ByteArrayInputStream(transport.to_bytes())
+        assert recv_frame(source) == {"t": "o", "d": "abc\n"}
+        assert recv_frame(source) is None
+
+    def test_size_threshold_forces_emit(self):
+        transport = ByteArrayOutputStream()
+        stream = FrameOutputStream(transport, "o", coalesce_bytes=8)
+        stream.write(b"0123456789")  # >= threshold, no newline
+        frame = recv_frame(ByteArrayInputStream(transport.to_bytes()))
+        assert frame == {"t": "o", "d": "0123456789"}
 
     def test_stderr_kind(self):
         transport = ByteArrayOutputStream()
-        FrameOutputStream(transport, "e").write(b"oops")
+        stream = FrameOutputStream(transport, "e")
+        stream.write(b"oops")
+        stream.flush()
         assert recv_frame(
             ByteArrayInputStream(transport.to_bytes())) == \
             {"t": "e", "d": "oops"}
 
-    def test_close_does_not_close_transport(self):
+    def test_close_flushes_but_does_not_close_transport(self):
         transport = ByteArrayOutputStream()
         stream = FrameOutputStream(transport)
+        stream.write(b"tail")
         stream.close()
         assert not transport.closed  # shared with the exit frame
+        frame = recv_frame(ByteArrayInputStream(transport.to_bytes()))
+        assert frame == {"t": "o", "d": "tail"}
 
     def test_print_stream_over_frames(self):
         from repro.io.streams import PrintStream
@@ -83,6 +257,16 @@ class TestFrameOutputStream:
         printer.println("hello")
         frame = recv_frame(ByteArrayInputStream(transport.to_bytes()))
         assert frame == {"t": "o", "d": "hello\n"}
+
+    def test_binary_channel_frames_raw_bytes(self):
+        sink = ByteArrayOutputStream()
+        channel = FrameChannel(None, sink, binary=True)
+        stream = FrameOutputStream(channel, "o")
+        raw = b"\xde\xad\xbe\xef"
+        stream.write(raw)
+        stream.flush()
+        frame = recv_auto(sink.to_bytes())
+        assert frame["d"] == raw
 
 
 json_text = st.text(
@@ -97,11 +281,39 @@ def test_arbitrary_frame_sequences_roundtrip(frames):
     assert roundtrip(*frames) == frames
 
 
-@given(payload=st.binary(max_size=120))
+@given(payload=st.binary(min_size=1, max_size=120))
 @settings(max_examples=80, deadline=None)
 def test_frame_stream_is_lossless_for_utf8_payloads(payload):
     text = payload.decode("utf-8", errors="replace")
     transport = ByteArrayOutputStream()
-    FrameOutputStream(transport).write(text.encode("utf-8"))
+    stream = FrameOutputStream(transport)
+    stream.write(text.encode("utf-8"))
+    stream.flush()
     frame = recv_frame(ByteArrayInputStream(transport.to_bytes()))
     assert frame["d"] == text
+
+
+@given(payload=st.binary(min_size=1, max_size=200))
+@settings(max_examples=80, deadline=None)
+def test_binary_framing_is_lossless_for_arbitrary_bytes(payload):
+    sink = ByteArrayOutputStream()
+    channel = FrameChannel(None, sink, binary=True)
+    stream = FrameOutputStream(channel)
+    stream.write(payload)
+    stream.flush()
+    frame = recv_auto(sink.to_bytes())
+    assert frame["d"] == payload
+
+
+@given(payload=st.binary(min_size=1, max_size=200))
+@settings(max_examples=80, deadline=None)
+def test_json_fallback_is_lossless_for_arbitrary_bytes(payload):
+    # Even protocol-1 framing round-trips bytes now, via the "b" escape.
+    sink = ByteArrayOutputStream()
+    channel = FrameChannel(None, sink, binary=False)
+    channel.send_data("o", payload)
+    frame = recv_frame(ByteArrayInputStream(sink.to_bytes()))
+    got = frame["d"]
+    if isinstance(got, str):
+        got = got.encode("utf-8")
+    assert got == payload

@@ -1,0 +1,274 @@
+"""The transport fast path: pooling, binary framing, cross-version interop.
+
+Same two-JVM setup as ``test_remote_exec`` — these tests pin down the
+*new* transport behaviours: connections outlive one exec and come back
+from the per-VM pool, remote stdout is byte-exact in both encodings,
+small writes coalesce into few frames, and a protocol-2 peer still
+interoperates with a JSON-lines (protocol 1) peer in either direction.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.core.launcher import MultiProcVM
+from repro.dist.client import remote_exec
+from repro.dist.pool import pool_for
+from repro.jvm.errors import RemoteException, SecurityException
+from repro.jvm.threads import JThread
+from repro.net.fabric import NetworkFabric
+from repro.unixfs.machine import standard_process
+
+from tests.conftest import make_app
+
+HOST_A = "vm-a.example.com"
+HOST_B = "vm-b.example.com"
+LEGACY_HOST = "legacy.example.com"
+PORT = 7100
+
+
+@pytest.fixture
+def pair():
+    """Two booted MPJVMs on one fabric; B runs the rexec daemon."""
+    fabric = NetworkFabric()
+    mvm_a = MultiProcVM.boot(
+        os_context=standard_process(hostname=HOST_A), network=fabric)
+    mvm_b = MultiProcVM.boot(
+        os_context=standard_process(hostname=HOST_B), network=fabric)
+    with mvm_b.host_session():
+        mvm_b.exec("dist.RexecDaemon", [str(PORT)])
+    deadline = time.monotonic() + 5
+    while time.monotonic() < deadline:
+        if fabric.resolve(HOST_B)._listener(PORT) is not None:
+            break
+        time.sleep(0.01)
+    assert fabric.resolve(HOST_B)._listener(PORT) is not None
+    yield mvm_a, mvm_b, fabric
+    mvm_a.shutdown()
+    mvm_b.shutdown()
+
+
+def wait_for_idle(pool, count, timeout=5.0):
+    """Parking happens on the reader thread; give it a moment."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if pool.stats()["idle"] == count:
+            return
+        time.sleep(0.01)
+    assert pool.stats()["idle"] == count
+
+
+class TestConnectionPool:
+    def test_clean_exit_parks_the_connection(self, pair):
+        mvm_a, __, ___ = pair
+        with mvm_a.host_session():
+            ctx = mvm_a.initial.context()
+            remote = remote_exec(ctx, HOST_B, "tools.Echo", ["one"],
+                                 user="alice", password="wonderland")
+            assert remote.wait_for(10) == 0
+            assert remote.transport_binary  # protocol 2 negotiated
+            pool = pool_for(mvm_a.vm)
+            wait_for_idle(pool, 1)
+            assert pool.idle_counts() == {f"{HOST_B}:{PORT}": 1}
+
+    def test_second_exec_is_a_pool_hit(self, pair):
+        mvm_a, __, ___ = pair
+        with mvm_a.host_session():
+            ctx = mvm_a.initial.context()
+            pool = pool_for(mvm_a.vm)
+            first = remote_exec(ctx, HOST_B, "tools.Echo", ["one"],
+                                user="alice", password="wonderland")
+            assert first.wait_for(10) == 0
+            wait_for_idle(pool, 1)
+            hits_before = pool.stats()["hits"]
+            second = remote_exec(ctx, HOST_B, "tools.Echo", ["two"],
+                                 user="alice", password="wonderland")
+            assert second.wait_for(10) == 0
+        assert second.output_text() == "two\n"
+        assert pool.stats()["hits"] == hits_before + 1
+
+    def test_proto1_connection_is_not_pooled(self, pair):
+        mvm_a, __, ___ = pair
+        with mvm_a.host_session():
+            ctx = mvm_a.initial.context()
+            remote = remote_exec(ctx, HOST_B, "tools.Echo", ["legacy"],
+                                 user="alice", password="wonderland",
+                                 proto=1)
+            assert remote.wait_for(10) == 0
+        assert remote.output_text() == "legacy\n"
+        assert not remote.transport_binary  # daemon answered in JSON lines
+        assert pool_for(mvm_a.vm).stats()["idle"] == 0
+
+    def test_node_death_invalidates_idle_channels(self, pair):
+        mvm_a, mvm_b, __ = pair
+        with mvm_a.host_session():
+            ctx = mvm_a.initial.context()
+            warm = remote_exec(ctx, HOST_B, "tools.Echo", ["warm"],
+                               user="alice", password="wonderland")
+            assert warm.wait_for(10) == 0
+            pool = pool_for(mvm_a.vm)
+            wait_for_idle(pool, 1)
+            victim = remote_exec(ctx, HOST_B, "tools.Sleep", ["30"],
+                                 user="alice", password="wonderland")
+            assert victim.wait_for(0.3) is None  # running over there
+            # Sever the victim's transport abruptly — the network died,
+            # not the remote application.
+            victim._conn.endpoint.close()
+            with pytest.raises(RemoteException):
+                victim.wait_for(10)
+            assert victim.transport_lost
+            # transport_lost dropped the parked channel too: a retry will
+            # never be handed a connection to the dead node.
+            assert pool.stats()["idle"] == 0
+
+    def test_check_connect_applies_to_pool_hits(self, pair):
+        """A parked channel never launders connect permission: an
+        application without a socket grant is denied on acquire even
+        though an idle channel to that exact endpoint exists."""
+        mvm_a, __, ___ = pair
+        with mvm_a.host_session():
+            ctx = mvm_a.initial.context()
+            warm = remote_exec(ctx, HOST_B, "tools.Echo", ["warm"],
+                               user="alice", password="wonderland")
+            assert warm.wait_for(10) == 0
+            pool = pool_for(mvm_a.vm)
+            wait_for_idle(pool, 1)
+            outcome = {}
+
+            def main(jclass, app_ctx, args):
+                try:
+                    pool_for(app_ctx.vm).acquire(app_ctx, HOST_B, PORT)
+                    outcome["result"] = "acquired"
+                except SecurityException:
+                    outcome["result"] = "denied"
+                return 0
+
+            app = mvm_a.exec(make_app(mvm_a.vm, "PoolSnoop", main))
+            assert app.wait_for(10) == 0
+            assert outcome["result"] == "denied"
+            assert pool.stats()["idle"] == 1  # the denial consumed nothing
+
+
+class TestByteExactOutput:
+    RAW = b"\xff\xfe raw \x00 bytes \x80\n"
+
+    def register_binary_writer(self, mvm):
+        raw = self.RAW
+
+        def main(jclass, ctx, args):
+            ctx.stdout.write(raw)
+            return 0
+
+        return make_app(mvm.vm, "BinaryWriter", main)
+
+    def test_binary_framing_preserves_non_utf8_stdout(self, pair):
+        mvm_a, mvm_b, __ = pair
+        class_name = self.register_binary_writer(mvm_b)
+        with mvm_a.host_session():
+            ctx = mvm_a.initial.context()
+            remote = remote_exec(ctx, HOST_B, class_name, [],
+                                 user="alice", password="wonderland")
+            assert remote.wait_for(10) == 0
+        assert remote.output_bytes() == self.RAW
+
+    def test_json_fallback_preserves_non_utf8_stdout(self, pair):
+        # Protocol 1 framing round-trips bytes too, via the base64 "b"
+        # escape a new receiver decodes (an old one shows lossy text).
+        mvm_a, mvm_b, __ = pair
+        class_name = self.register_binary_writer(mvm_b)
+        with mvm_a.host_session():
+            ctx = mvm_a.initial.context()
+            remote = remote_exec(ctx, HOST_B, class_name, [],
+                                 user="alice", password="wonderland",
+                                 proto=1)
+            assert remote.wait_for(10) == 0
+        assert remote.output_bytes() == self.RAW
+
+
+class TestCoalescing:
+    def test_byte_at_a_time_stdout_costs_one_frame_per_line(self, pair):
+        mvm_a, mvm_b, __ = pair
+        line = b"coalesced hello\n"
+
+        def main(jclass, ctx, args):
+            for byte in line:
+                ctx.stdout.write(bytes([byte]))
+            return 0
+
+        class_name = make_app(mvm_b.vm, "ByteAtATime", main)
+        metrics = mvm_b.vm.telemetry.metrics
+        frames_before = metrics.total("dist.frames.sent", type="o")
+        coalesced_before = metrics.total("dist.frames.coalesced")
+        with mvm_a.host_session():
+            ctx = mvm_a.initial.context()
+            remote = remote_exec(ctx, HOST_B, class_name, [],
+                                 user="alice", password="wonderland")
+            assert remote.wait_for(10) == 0
+        assert remote.output_bytes() == line
+        frames = metrics.total("dist.frames.sent", type="o") - frames_before
+        coalesced = metrics.total("dist.frames.coalesced") - coalesced_before
+        assert frames == 1  # 16 writes, one frame
+        assert coalesced == len(line) - 1
+
+
+class TestCrossVersion:
+    def test_new_client_against_json_lines_daemon(self, pair):
+        """A protocol-2 client run against a peer that only speaks the
+        original JSON-lines protocol: the exec succeeds, the output
+        arrives, and the (non-reusable) connection stays out of the
+        pool."""
+        mvm_a, __, fabric = pair
+        legacy = fabric.add_host(LEGACY_HOST)
+        listener = legacy.listen(PORT)
+
+        def old_daemon():
+            endpoint = listener.accept(timeout=5)
+            if endpoint is None:
+                return
+            request = json.loads(endpoint.input.read_line())
+            assert request["class_name"] == "tools.Echo"
+            # An old daemon ignores the unknown "proto" key and answers
+            # in JSON lines, then hangs up after the exit frame.
+            for frame in ({"t": "o", "d": "legacy says hi\n"},
+                          {"t": "x", "code": 0}):
+                line = json.dumps(frame) + "\n"
+                endpoint.output.write(line.encode("utf-8"))
+            endpoint.close()
+
+        thread = JThread(target=old_daemon, name="legacy-daemon",
+                         group=mvm_a.vm.root_group, daemon=True)
+        thread.start()
+        with mvm_a.host_session():
+            ctx = mvm_a.initial.context()
+            remote = remote_exec(ctx, LEGACY_HOST, "tools.Echo", ["hi"],
+                                 user="alice", password="wonderland")
+            assert remote.wait_for(10) == 0
+        thread.join(5)
+        assert remote.output_text() == "legacy says hi\n"
+        assert not remote.transport_binary
+        assert pool_for(mvm_a.vm).idle_counts().get(
+            f"{LEGACY_HOST}:{PORT}") is None
+
+    def test_json_lines_client_against_new_daemon(self, pair):
+        """An old client (no "proto" key, expects JSON lines) against the
+        new daemon: every reply frame is a JSON line and the daemon
+        hangs up after the exit frame — the protocol-1 lifecycle."""
+        mvm_a, __, fabric = pair
+        endpoint = fabric.connect(HOST_A, HOST_B, PORT)
+        request = {"user": "alice", "password": "wonderland",
+                   "class_name": "tools.Echo", "args": ["from", "the", "past"]}
+        endpoint.output.write(
+            (json.dumps(request) + "\n").encode("utf-8"))
+        frames = []
+        while True:
+            line = endpoint.input.read_line()
+            if line is None:
+                break  # daemon hung up — expected after the exit frame
+            assert line[:1] == b"{"  # JSON lines only, never binary
+            frames.append(json.loads(line))
+        endpoint.close()
+        kinds = [frame["t"] for frame in frames]
+        assert kinds[-1] == "x" and frames[-1]["code"] == 0
+        stdout = "".join(f["d"] for f in frames if f["t"] == "o")
+        assert stdout == "from the past\n"

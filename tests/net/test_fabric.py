@@ -78,8 +78,26 @@ class TestConnections:
         server = fabric.resolve("server.example.com")
         server.listen(9, backlog=1)
         fabric.connect("client.example.com", "server.example.com", 9)
-        with pytest.raises(ConnectException):
+        with pytest.raises(ConnectException, match="backlog full"):
             fabric.connect("client.example.com", "server.example.com", 9)
+
+    def test_accept_drains_a_backlog_slot(self, fabric):
+        server = fabric.resolve("server.example.com")
+        listener = server.listen(10, backlog=1)
+        fabric.connect("client.example.com", "server.example.com", 10)
+        with pytest.raises(ConnectException):
+            fabric.connect("client.example.com", "server.example.com", 10)
+        assert listener.accept(timeout=1) is not None
+        # The accepted connection freed its slot: the next connect lands.
+        fabric.connect("client.example.com", "server.example.com", 10)
+
+    def test_closed_listener_refuses_not_backlog(self, fabric):
+        server = fabric.resolve("server.example.com")
+        listener = server.listen(11, backlog=1)
+        stale = listener  # closing unbinds the port...
+        stale.closed = True  # ...so force the racy closed-but-bound state
+        with pytest.raises(ConnectException, match="connection refused"):
+            fabric.connect("client.example.com", "server.example.com", 11)
 
     def test_blocking_accept_from_thread(self, fabric):
         root = ThreadGroup(None, "system")

@@ -104,3 +104,16 @@ class TestProcSurface:
     def test_nonexistent_app_dir(self, host):
         with pytest.raises(FileNotFoundException):
             read_text(host.initial.context(), "/proc/999999/status")
+
+    def test_dist_transport_surface(self, host, register_app):
+        """/proc/dist/transport renders frame and pool counters even on a
+        VM that has never opened a pooled channel."""
+        def body(ctx):
+            return read_text(ctx, "/proc/dist/transport")
+
+        _, outcome = run_probe(host, register_app, "DistProbe", body)
+        text = outcome["result"]
+        assert "frames.sent\t" in text
+        assert "frames.coalesced\t" in text
+        assert "pool.hits\t0" in text
+        assert "pool.idle\t0" in text
