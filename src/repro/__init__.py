@@ -11,17 +11,24 @@ Section 6 tools (shell, terminal, login, Appletviewer).
 
 Quickstart::
 
-    from repro import MultiProcVM, TerminalDevice
+    from repro import ExecSpec, MultiProcVM, TerminalDevice
 
     mvm = MultiProcVM.boot()
     console = TerminalDevice("console")
     mvm.vm.consoles["console"] = console
     with mvm.host_session():
-        mvm.exec("tools.Terminal", ["console"])
+        mvm.launch(ExecSpec("tools.Terminal", ("console",)))
         console.type_line("alice")       # login:
         console.type_line("wonderland")  # Password:
         console.type_line("ls /home/alice | wc -l")
         ...
+
+Every launch — local, cluster-scheduled, or remote — goes through one
+door: build an :class:`ExecSpec` (optionally with a non-local
+:class:`Placement`) and hand it to :func:`launch` (or the convenience
+wrappers ``mvm.launch`` / ``ctx.launch``).  ``Application.exec``,
+``MultiProcVM.exec``, ``Cluster.exec`` and ``remote_exec`` remain as
+deprecated shims over the same path.
 
 See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 paper-claim-vs-measured record.
@@ -30,9 +37,11 @@ paper-claim-vs-measured record.
 from repro.core.application import (
     Application,
     ApplicationRegistry,
+    ExitStatus,
     ResourceLimitExceeded,
     ResourceLimits,
 )
+from repro.core.execspec import ExecSpec, Placement, launch
 from repro.core.context import (
     current_application,
     current_application_or_none,
@@ -77,15 +86,30 @@ from repro.security.permissions import (
     UserPermission,
 )
 from repro.security.policy import Policy, paper_example_policy, parse_policy
+from repro.super import (
+    AdmissionController,
+    AdmissionPolicy,
+    AdmissionRejected,
+    BackoffPolicy,
+    FaultInjector,
+    HealthProbe,
+    InjectedFault,
+    ServiceSpec,
+    Supervisor,
+)
 from repro.tools.terminal import Terminal, TerminalDevice
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Application", "ApplicationRegistry", "ApplicationClassLoader",
+    "ExecSpec", "Placement", "launch", "ExitStatus",
     "ResourceLimits", "ResourceLimitExceeded", "SharedObjectSpace",
     "DistributedApplication", "RemoteApplication", "remote_exec",
     "Cluster", "ClusterApplication", "PlacementError",
+    "Supervisor", "ServiceSpec", "BackoffPolicy", "HealthProbe",
+    "AdmissionController", "AdmissionPolicy", "AdmissionRejected",
+    "FaultInjector", "InjectedFault",
     "JObject",
     "MultiProcVM", "VirtualMachine", "DEFAULT_POLICY", "RELOADABLE_CLASSES",
     "current_application", "current_application_or_none", "current_user",

@@ -19,6 +19,7 @@ from typing import Optional, Sequence
 
 from repro.jvm.errors import IllegalArgumentException, JavaException
 from repro.cluster.registry import NodeInfo, NodeRegistry
+from repro.super import faults
 
 
 class PlacementError(JavaException):
@@ -118,6 +119,10 @@ class Scheduler:
         code never lands on a general worker, even when the playgrounds
         are busier.  ``exclude`` removes nodes a failover already tried.
         """
+        # Fault point: "the next placement of this class fails" — the
+        # deterministic way to drive the spawn layer's retry/backoff.
+        faults.hit(faults.POINT_CLUSTER_PLACE, class_name=class_name,
+                   policy=policy)
         chooser = self._policies.get(policy)
         if chooser is None:
             raise IllegalArgumentException(

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
 import weakref
 from typing import Optional
 
@@ -37,7 +38,12 @@ from repro.cluster.registry import (
 )
 from repro.cluster.retry import retry_call
 from repro.cluster.scheduler import PlacementError, Scheduler
-from repro.core.application import KILLED_EXIT_CODE, Application
+from repro.core.application import (
+    KILLED_EXIT_CODE,
+    Application,
+    ExitStatus,
+)
+from repro.core.execspec import ExecSpec
 from repro.dist.client import RemoteApplication
 from repro.jvm.errors import (
     IllegalStateException,
@@ -58,7 +64,8 @@ class ClusterApplication:
 
     def __init__(self, cluster: "Cluster", ctx, class_name: str,
                  args: Optional[list[str]], user: str, password: str,
-                 policy: str, untrusted: bool, stdout, stderr):
+                 policy: str, untrusted: bool, stdout, stderr,
+                 limits=None):
         self._cluster = cluster
         self._ctx = ctx
         self.class_name = class_name
@@ -69,6 +76,10 @@ class ClusterApplication:
         self.untrusted = untrusted
         self._stdout = stdout
         self._stderr = stderr
+        #: ResourceLimits shipped with every (re)placement and enforced
+        #: by the target VM — the fix for limits silently dropping on
+        #: the cluster path.
+        self.limits = limits
         #: Node names this launch has been placed on, in order.
         self.placements: list[str] = []
         self._past_output: list[str] = []
@@ -110,7 +121,8 @@ class ClusterApplication:
                     self._remote = RemoteApplication(
                         self._ctx, node.name, node.port, self._user,
                         self._password, self.class_name, self.args,
-                        stdout=self._stdout, stderr=self._stderr)
+                        stdout=self._stdout, stderr=self._stderr,
+                        limits=self.limits)
                 self.placements.append(node.name)
                 return
             except NodeUnavailableException as exc:
@@ -241,6 +253,22 @@ class ClusterApplication:
                     and not self._destroy_requested:
                 self._failover_from(remote)
 
+    def wait(self, timeout: Optional[float] = None) -> Optional[ExitStatus]:
+        """Typed wait: exit code, cause, and the failover count.
+
+        ``restarts`` counts re-placements (the cluster's analogue of a
+        supervisor respawn); an
+        :class:`~repro.super.admission.AdmissionRejected` from the
+        target VM propagates typed — a saturated node is alive, so it
+        never triggers failover.
+        """
+        code = self.wait_for(timeout)
+        if code is None:
+            return None
+        cause = "killed" if code == KILLED_EXIT_CODE else None
+        return ExitStatus(code=code, signal_like_cause=cause,
+                          restarts=max(0, len(self.placements) - 1))
+
     def destroy(self) -> None:
         """Ask the current node to destroy the application."""
         self._destroy_requested = True
@@ -337,9 +365,9 @@ class Cluster:
         """Run the registry server on the controller VM."""
         if self._server_app is not None:
             return self
-        self._server_app = Application.exec(
-            SERVER_CLASS_NAME,
-            [str(self.registry_port), str(sweep_interval)],
+        self._server_app = Application._exec_spec(
+            ExecSpec(SERVER_CLASS_NAME,
+                     (str(self.registry_port), str(sweep_interval))),
             vm=self.vm, parent=self.mvm.initial)
         self._await_listener(self.vm.machine.hostname, self.registry_port)
         return self
@@ -356,8 +384,8 @@ class Cluster:
             raise IllegalStateException(
                 "start() the cluster before join()ing workers")
         hostname = worker_mvm.vm.machine.hostname
-        daemon = Application.exec(
-            "dist.RexecDaemon", [str(rexec_port)],
+        daemon = Application._exec_spec(
+            ExecSpec("dist.RexecDaemon", (str(rexec_port),)),
             vm=worker_mvm.vm, parent=worker_mvm.initial)
         self._await_listener(hostname, rexec_port, timeout=timeout)
         agent_args = [self.vm.machine.hostname,
@@ -365,8 +393,8 @@ class Cluster:
                       "-r", str(rexec_port), "-i", str(interval)]
         if playground:
             agent_args.append("--playground")
-        agent = Application.exec(
-            AGENT_CLASS_NAME, agent_args,
+        agent = Application._exec_spec(
+            ExecSpec(AGENT_CLASS_NAME, tuple(agent_args)),
             vm=worker_mvm.vm, parent=worker_mvm.initial)
         self._workers.append((worker_mvm, daemon, agent))
         deadline = time.monotonic() + timeout
@@ -394,17 +422,37 @@ class Cluster:
     def exec(self, class_name: str, args: Optional[list[str]] = None,
              user: str = "", password: str = "",
              policy: str = "round-robin", untrusted: bool = False,
-             stdout=None, stderr=None, ctx=None) -> ClusterApplication:
-        """Launch ``class_name`` somewhere in the pool.
+             stdout=None, stderr=None, ctx=None,
+             limits=None) -> ClusterApplication:
+        """Deprecated shim: launch ``class_name`` somewhere in the pool.
 
+        Prefer ``launch(ExecSpec(class_name, args,
+        placement=Placement.cluster(policy, untrusted), ...))``.
         ``user``/``password`` are re-authenticated by the target VM —
         credentials travel, identity does not (Section 5.2).
         ``untrusted=True`` confines the launch to playground nodes.
         """
+        warnings.warn(
+            "Cluster.exec() is deprecated; use repro.launch(ExecSpec(..., "
+            "placement=Placement.cluster(...)))",
+            DeprecationWarning, stacklevel=2)
+        from repro.core.execspec import Placement
+        spec = ExecSpec(class_name, tuple(args or ()), user=user,
+                        password=password, stdout=stdout, stderr=stderr,
+                        limits=limits,
+                        placement=Placement.cluster(policy=policy,
+                                                    untrusted=untrusted))
+        return self._exec_spec(spec, ctx=ctx)
+
+    def _exec_spec(self, spec: ExecSpec, ctx=None) -> ClusterApplication:
+        """The cluster launch choke point ``launch()`` routes through."""
         context = ctx if ctx is not None else self.mvm.initial.context()
-        application = ClusterApplication(self, context, class_name, args,
-                                         user, password, policy, untrusted,
-                                         stdout, stderr)
+        placement = spec.placement
+        application = ClusterApplication(
+            self, context, spec.class_name, list(spec.args),
+            spec.user_name(), spec.password, placement.policy,
+            placement.untrusted, spec.stdout, spec.stderr,
+            limits=spec.limits)
         self._active.add(application)
         return application
 

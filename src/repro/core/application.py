@@ -40,6 +40,8 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -53,8 +55,10 @@ from repro.lang.context import InvocationContext
 from repro.lang.properties import Properties
 from repro.lang.reflect import invoke_main
 from repro.core.context import current_application_or_none
+from repro.core.execspec import ExecSpec
 from repro.core.reload import ApplicationClassLoader
 from repro.security.auth import NULL_USER, JavaUser
+from repro.super import faults
 
 STATE_NEW = "new"
 STATE_RUNNING = "running"
@@ -80,6 +84,28 @@ class ResourceLimits:
     max_windows: int | None = None
     max_children: int | None = None
     max_open_streams: int | None = None
+
+
+@dataclass(frozen=True)
+class ExitStatus:
+    """The typed result of waiting an application out.
+
+    ``code`` is the Unix-style exit code ``waitFor`` always returned;
+    ``signal_like_cause`` says *how* the application ended (``None`` for
+    a normal exit, ``"killed"`` for an outside ``destroy``/teardown —
+    the moral equivalent of dying to a signal); ``restarts`` is how many
+    times a supervisor has respawned this service (0 for unsupervised
+    applications); ``duration`` is exec-to-reap wall time in seconds.
+    """
+
+    code: int
+    signal_like_cause: Optional[str] = None
+    restarts: int = 0
+    duration: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.code == 0 and self.signal_like_cause is None
 
 
 class ResourceLimitExceeded(IllegalStateException):
@@ -167,6 +193,13 @@ class Application:
         # --- lifecycle ---
         self._state = STATE_NEW
         self.exit_code: Optional[int] = None
+        #: How the application ended: None (normal exit) or "killed"
+        #: (destroyed from outside / torn down with its parent).
+        self.exit_cause: Optional[str] = None
+        #: Times respawned by a supervisor (0 for unsupervised apps).
+        self.restarts = 0
+        self._started_monotonic: Optional[float] = None
+        self._ended_monotonic: Optional[float] = None
         self._cond = threading.Condition()
         self._non_daemon = 0
         self._threads: list[JThread] = []
@@ -208,7 +241,7 @@ class Application:
     def exec(cls, class_name: str, args: Optional[list[str]] = None,
              vm=None, parent: Optional["Application"] = None,
              **state_overrides) -> "Application":
-        """Create and start a new application running ``class_name.main``.
+        """Deprecated shim: build an :class:`ExecSpec` and launch it.
 
         ``state_overrides`` may override any inheritable state: ``user``,
         ``stdin``/``stdout``/``stderr``, ``cwd``, ``properties``, ``name``.
@@ -216,6 +249,29 @@ class Application:
 
             Application app = Application.exec("MyClass", args);
             app.waitFor();
+
+        New code should say the same thing through the unified surface::
+
+            from repro import ExecSpec, launch
+            app = launch(ExecSpec("MyClass", args))
+        """
+        warnings.warn(
+            "Application.exec() is deprecated; use "
+            "repro.launch(ExecSpec(...))", DeprecationWarning, stacklevel=2)
+        spec = ExecSpec(class_name, tuple(args or ()), **state_overrides)
+        return cls._exec_spec(spec, vm=vm, parent=parent)
+
+    @classmethod
+    def _exec_spec(cls, spec: ExecSpec, vm=None,
+                   parent: Optional["Application"] = None) -> "Application":
+        """The local launch choke point every surface routes through.
+
+        Resolves the launching context exactly as ``exec`` always did,
+        then — in order — offers the ``app.start`` fault point, asks
+        admission control (when the VM runs it) for a slot, constructs
+        the application, and starts its main thread.  The admission
+        ticket rides the application's exit hooks, so the slot frees
+        when the reaper runs.
         """
         if parent is None:
             parent = current_application_or_none()
@@ -226,8 +282,25 @@ class Application:
             vm = parent.vm
         if parent is None and vm.application_registry is not None:
             parent = vm.application_registry.initial
-        application = cls(vm, class_name, parent=parent, **state_overrides)
-        application._start(list(args or []))
+        faults.hit(faults.POINT_APP_START, class_name=spec.class_name,
+                   vm=vm)
+        ticket = None
+        admission = vm.admission
+        if admission is not None:
+            account = spec.user_name() \
+                or (parent.user.name if parent is not None else "")
+            ticket = admission.admit(account or "<null>",
+                                     timeout=spec.admission_timeout)
+        try:
+            application = cls(vm, spec.class_name, parent=parent,
+                              **spec.state_overrides())
+            if ticket is not None:
+                application.add_exit_hook(ticket.release)
+            application._start(list(spec.args))
+        except BaseException:
+            if ticket is not None:
+                ticket.release()
+            raise
         return application
 
     def _start(self, args: list[str]) -> None:
@@ -236,6 +309,7 @@ class Application:
                 raise IllegalStateException(
                     f"application {self.name} already started")
             self._state = STATE_RUNNING
+            self._started_monotonic = time.monotonic()
         tracer = self.vm.telemetry.tracer
         # The exec span lives on the *launching* thread, so a child's exec
         # nests inside the parent's app.main span; the lifecycle span
@@ -454,6 +528,9 @@ class Application:
             sm = self.vm.security_manager
             if sm is not None:
                 sm.check_modify_application(self)
+        with self._cond:
+            if self._state not in (STATE_EXITING, STATE_TERMINATED):
+                self.exit_cause = "killed"
         self._begin_exit(status)
 
     def _is_ancestor(self, caller: Optional["Application"]) -> bool:
@@ -503,6 +580,8 @@ class Application:
             self._state = STATE_TERMINATED
             if self.exit_code is None:
                 self.exit_code = KILLED_EXIT_CODE
+                self.exit_cause = "killed"
+            self._ended_monotonic = time.monotonic()
             self._cond.notify_all()
         shared = self.vm.shared_objects
         if shared is not None:
@@ -526,6 +605,7 @@ class Application:
             self._state = STATE_EXITING
             if self.exit_code is None:
                 self.exit_code = KILLED_EXIT_CODE
+                self.exit_cause = "killed"
             self._cond.notify_all()
 
     # ------------------------------------------------------------------
@@ -536,6 +616,10 @@ class Application:
         """Block until this application terminates; returns its exit code.
 
         The paper's ``app.waitFor()`` (line 3 of the usage example).
+
+        Soft-deprecated: the bare int stays for compatibility, but new
+        code should prefer :meth:`wait`, whose :class:`ExitStatus`
+        result also says *how* the application ended.
         """
         with self._cond:
             done = interruptible_wait(
@@ -544,6 +628,26 @@ class Application:
             if not done:
                 return None
             return self.exit_code
+
+    def wait(self, timeout: Optional[float] = None) -> Optional[ExitStatus]:
+        """Block like :meth:`wait_for`, but return a typed result.
+
+        None on timeout, otherwise an :class:`ExitStatus` carrying the
+        exit code, the cause (``"killed"`` vs a normal exit), the
+        supervisor restart count, and exec-to-reap duration.
+        """
+        code = self.wait_for(timeout)
+        if code is None:
+            return None
+        with self._cond:
+            started = self._started_monotonic
+            ended = self._ended_monotonic
+            duration = (ended - started) if started is not None \
+                and ended is not None else 0.0
+            return ExitStatus(code=code,
+                              signal_like_cause=self.exit_cause,
+                              restarts=self.restarts,
+                              duration=duration)
 
     @property
     def state(self) -> str:

@@ -21,7 +21,7 @@ Typical use::
 
     with MultiProcVM.boot() as mvm:
         with mvm.host_session():
-            app = mvm.exec("tools.Cat", ["/etc/motd"])
+            app = mvm.launch(ExecSpec("tools.Cat", ("/etc/motd",)))
             app.wait_for()
 """
 
@@ -29,11 +29,14 @@ from __future__ import annotations
 
 import contextlib
 import threading
+import warnings
 from typing import Optional
 
 from repro.awt.toolkit import PER_APPLICATION, Toolkit
 from repro.core.application import Application, ApplicationRegistry
 from repro.core.context import current_application_or_none
+from repro.core.execspec import ExecSpec
+from repro.core.execspec import launch as launch_spec
 from repro.io import streams as streams_mod
 from repro.jvm.errors import SecurityException
 from repro.jvm.threads import JThread
@@ -223,7 +226,8 @@ class MultiProcVM:
              xserver=None, network=None,
              stdin=None, stdout=None, stderr=None,
              with_tools: bool = True,
-             system_exit_exits_application: bool = False) -> "MultiProcVM":
+             system_exit_exits_application: bool = False,
+             admission=None) -> "MultiProcVM":
         install_global_hooks()
         vm = VirtualMachine(os_context, stdin=stdin, stdout=stdout,
                             stderr=stderr)
@@ -258,6 +262,17 @@ class MultiProcVM:
 
         from repro.core.sharing import SharedObjectSpace
         vm.shared_objects = SharedObjectSpace(vm)
+
+        # Admission control is opt-in: pass an AdmissionPolicy (or a
+        # ready AdmissionController) to bound the launch choke point.
+        if admission is not None:
+            from repro.super.admission import (
+                AdmissionController,
+                AdmissionPolicy,
+            )
+            if isinstance(admission, AdmissionPolicy):
+                admission = AdmissionController(vm, admission)
+            admission.install()
 
         toolkit = Toolkit(vm, xserver=xserver, dispatch_mode=dispatch_mode,
                           legacy_thread_placement=legacy_thread_placement)
@@ -306,17 +321,33 @@ class MultiProcVM:
     # convenience API
     # ------------------------------------------------------------------
 
+    def launch(self, spec: ExecSpec):
+        """Launch an :class:`ExecSpec` (the unified entry point).
+
+        Local placements become children of the initial application (or
+        of the current one, when called from inside an app); cluster and
+        remote placements route through the spec's placement hint.
+        """
+        parent = current_application_or_none() or self.initial
+        return launch_spec(spec, vm=self.vm, parent=parent)
+
     def exec(self, class_name: str, args: Optional[list[str]] = None,
              **state_overrides) -> Application:
-        """Launch an application as a child of the initial application."""
-        parent = current_application_or_none() or self.initial
-        return Application.exec(class_name, args, vm=self.vm, parent=parent,
-                                **state_overrides)
+        """Deprecated shim: launch a child of the initial application.
+
+        Prefer ``mvm.launch(ExecSpec(class_name, args, ...))``.
+        """
+        warnings.warn(
+            "MultiProcVM.exec() is deprecated; use "
+            "mvm.launch(ExecSpec(...))", DeprecationWarning, stacklevel=2)
+        return self.launch(ExecSpec(class_name, tuple(args or ()),
+                                    **state_overrides))
 
     def run(self, class_name: str, args: Optional[list[str]] = None,
             timeout: float = 10.0, **state_overrides) -> Optional[int]:
         """Launch, wait, and return the exit code."""
-        application = self.exec(class_name, args, **state_overrides)
+        application = self.launch(ExecSpec(class_name, tuple(args or ()),
+                                           **state_overrides))
         return application.wait_for(timeout)
 
     def applications(self):

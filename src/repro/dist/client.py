@@ -13,6 +13,8 @@ plus any number of remote parts, with collective wait and destroy.
 from __future__ import annotations
 
 import threading
+import time
+import warnings
 from typing import Optional
 
 from repro.dist import protocol
@@ -27,6 +29,7 @@ from repro.jvm.errors import (
 )
 from repro.jvm.threads import JThread, interruptible_wait
 from repro.net.sockets import Socket
+from repro.super.admission import AdmissionRejected
 
 
 class RemoteApplication:
@@ -45,7 +48,7 @@ class RemoteApplication:
                  class_name: str, args: Optional[list[str]] = None,
                  stdout=None, stderr=None,
                  proto: int = protocol.PROTOCOL_VERSION,
-                 pooled: bool = True):
+                 pooled: bool = True, limits=None):
         self.host = host
         self.port = port
         self.class_name = class_name
@@ -54,7 +57,12 @@ class RemoteApplication:
         self._cond = threading.Condition()
         self.exit_code: Optional[int] = None
         self.error: Optional[str] = None
+        #: Machine-readable error class from a typed ``err`` frame (e.g.
+        #: ``"admission"`` when the target VM shed the launch).
+        self.error_kind: Optional[str] = None
         self._finished = False
+        self._started_monotonic = time.monotonic()
+        self._ended_monotonic: Optional[float] = None
         #: True when the handle ended because the transport died (connection
         #: lost, stream error) rather than a remote launch/auth error — the
         #: cluster failover trigger.
@@ -68,6 +76,11 @@ class RemoteApplication:
                    "class_name": class_name, "args": list(args or [])}
         if proto >= 2:
             request["proto"] = proto
+        # ResourceLimits travel with the request (and are enforced by
+        # the target VM); old daemons ignore the extra key.
+        wire_limits = protocol.limits_to_wire(limits)
+        if wire_limits is not None:
+            request["limits"] = wire_limits
         # SM checkConnect applies here — on pool hits too: reaching out
         # over the network is a policy decision of *this* VM.  An
         # unreachable host is a typed NodeUnavailableException so
@@ -126,7 +139,8 @@ class RemoteApplication:
                     self._finish(int(frame.get("code", -1)), None)
                     return
                 elif kind == "err":
-                    self._finish(None, str(frame.get("msg", "error")))
+                    self._finish(None, str(frame.get("msg", "error")),
+                                 error_kind=frame.get("kind"))
                     return
         except IOException as exc:
             self._finish(None, str(exc), transport=True)
@@ -141,12 +155,15 @@ class RemoteApplication:
             sink.write(chunk)
 
     def _finish(self, code: Optional[int], error: Optional[str],
-                transport: bool = False) -> None:
+                transport: bool = False,
+                error_kind: Optional[str] = None) -> None:
         with self._cond:
             self.exit_code = code
             self.error = error
+            self.error_kind = error_kind
             self.transport_lost = transport
             self._finished = True
+            self._ended_monotonic = time.monotonic()
             self._cond.notify_all()
         if transport:
             # The node (not the request) failed: drop every idle pooled
@@ -186,7 +203,12 @@ class RemoteApplication:
         """Block until the remote application ends; returns its exit code.
 
         Raises :class:`RemoteException` if the remote side reported a
-        launch or authentication error.
+        launch or authentication error, or a typed
+        :class:`~repro.super.admission.AdmissionRejected` when the
+        target VM shed the launch at admission — backpressure survives
+        the network.
+
+        Soft-deprecated in favour of :meth:`wait` (typed result).
         """
         with self._cond:
             done = interruptible_wait(self._cond,
@@ -195,8 +217,24 @@ class RemoteApplication:
             if not done:
                 return None
             if self.error is not None:
+                if self.error_kind == "admission":
+                    raise AdmissionRejected(self.error, reason="remote")
                 raise RemoteException(self.error)
             return self.exit_code
+
+    def wait(self, timeout: Optional[float] = None):
+        """Block like :meth:`wait_for` but return a typed ``ExitStatus``."""
+        code = self.wait_for(timeout)
+        if code is None:
+            return None
+        from repro.core.application import KILLED_EXIT_CODE, ExitStatus
+        with self._cond:
+            ended = self._ended_monotonic
+            duration = (ended - self._started_monotonic) \
+                if ended is not None else 0.0
+        cause = "killed" if code == KILLED_EXIT_CODE else None
+        return ExitStatus(code=code, signal_like_cause=cause,
+                          duration=duration)
 
     def destroy(self) -> None:
         """Ask the remote JVM to destroy the remote application."""
@@ -246,16 +284,22 @@ def remote_exec(ctx, host: str, class_name: str,
                 user: str = "", password: str = "",
                 port: int = 7100, stdout=None, stderr=None,
                 proto: int = protocol.PROTOCOL_VERSION,
-                pooled: bool = True) -> RemoteApplication:
-    """Launch ``class_name`` on the JVM listening at ``host:port``.
+                pooled: bool = True, limits=None) -> RemoteApplication:
+    """Deprecated shim: launch ``class_name`` on the JVM at ``host:port``.
 
-    ``proto=1`` forces the legacy JSON-lines handshake; ``pooled=False``
-    opens (and owns) a dedicated connection — both mainly for tests and
-    the transport benchmarks.
+    Prefer ``launch(ExecSpec(class_name, args,
+    placement=Placement.remote(host, port), ...))``.  ``proto=1`` forces
+    the legacy JSON-lines handshake; ``pooled=False`` opens (and owns) a
+    dedicated connection — both mainly for tests and the transport
+    benchmarks.
     """
+    warnings.warn(
+        "remote_exec() is deprecated; use repro.launch(ExecSpec(..., "
+        "placement=Placement.remote(host, port)))",
+        DeprecationWarning, stacklevel=2)
     return RemoteApplication(ctx, host, port, user, password, class_name,
                              args, stdout=stdout, stderr=stderr,
-                             proto=proto, pooled=pooled)
+                             proto=proto, pooled=pooled, limits=limits)
 
 
 class DistributedApplication:

@@ -25,7 +25,9 @@ the user running it.
 from __future__ import annotations
 
 from repro.core.application import Application
+from repro.core.execspec import ExecSpec
 from repro.dist import protocol
+from repro.super.admission import AdmissionRejected
 from repro.io.streams import PrintStream
 from repro.jvm.classloading import ClassMaterial
 from repro.jvm.errors import (
@@ -61,17 +63,27 @@ def _serve_request(ctx, channel, request, on_done=None):
         return None, None
     class_name = str(request.get("class_name", ""))
     args = [str(a) for a in request.get("args", [])]
+    # ResourceLimits travel with the request and are enforced *here*, on
+    # the executing VM — the client's ceilings survive the network.
+    limits = protocol.limits_from_wire(request.get("limits"))
     # Coalescing frame streams: auto-flush stays off so byte-at-a-time
     # writers pay one frame per newline/threshold, not one per write.
     out_frames = protocol.FrameOutputStream(channel, "o")
     err_frames = protocol.FrameOutputStream(channel, "e")
     stdout = PrintStream(out_frames, auto_flush=False)
     stderr = PrintStream(err_frames, auto_flush=False)
+    spec = ExecSpec(class_name, tuple(args), user=user, stdout=stdout,
+                    stderr=stderr, limits=limits)
     try:
         # The daemon asserts its own setUser grant to launch as `user`.
-        child = access.do_privileged(lambda: Application.exec(
-            class_name, args, vm=ctx.vm, parent=ctx.app, user=user,
-            stdout=stdout, stderr=stderr))
+        child = access.do_privileged(lambda: Application._exec_spec(
+            spec, vm=ctx.vm, parent=ctx.app))
+    except AdmissionRejected as exc:
+        # Typed shedding crosses the wire: the requester re-raises it as
+        # AdmissionRejected, not a generic RemoteException.
+        channel.send({"t": "err", "kind": "admission",
+                      "msg": f"admission rejected: {exc}"})
+        return None, None
     except (ClassNotFoundException, JavaThrowable) as exc:
         channel.send({"t": "err", "msg": f"launch failed: {exc}"})
         return None, None

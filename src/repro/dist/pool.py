@@ -32,6 +32,7 @@ from typing import Optional
 
 from repro.dist.protocol import FrameChannel
 from repro.jvm.errors import IllegalStateException
+from repro.super import faults
 
 #: Idle channels kept per (host, port) key; the rest are closed on release.
 MAX_IDLE_PER_KEY = 4
@@ -101,6 +102,9 @@ class ChannelPool:
         sm = ctx.vm.security_manager
         if sm is not None:
             sm.check_connect(host, port)
+        # Fault point: "the next acquire to this host fails/stalls" —
+        # free when no injector is installed.
+        faults.hit(faults.POINT_DIST_ACQUIRE, host=host, port=port)
         key = (host, port)
         if not fresh:
             while True:

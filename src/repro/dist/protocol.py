@@ -97,6 +97,46 @@ def ensure_buffered(source: InputStream) -> BufferedInputStream:
 
 
 # --------------------------------------------------------------------------
+# ResourceLimits on the wire
+# --------------------------------------------------------------------------
+
+#: ResourceLimits fields carried in a request's ``"limits"`` object.
+#: Old daemons ignore the extra key; old clients simply never send it.
+_LIMIT_FIELDS = ("max_threads", "max_windows", "max_children",
+                 "max_open_streams")
+
+
+def limits_to_wire(limits) -> Optional[dict]:
+    """A request-embeddable dict of the set ceilings, or None."""
+    if limits is None:
+        return None
+    wire = {name: getattr(limits, name, None) for name in _LIMIT_FIELDS}
+    wire = {name: int(value) for name, value in wire.items()
+            if value is not None}
+    return wire or None
+
+
+def limits_from_wire(wire):
+    """Rebuild :class:`~repro.core.application.ResourceLimits` (or None).
+
+    Unknown keys and junk values are dropped, never fatal: a malformed
+    limits object must not take down the daemon serving it.
+    """
+    if not isinstance(wire, dict):
+        return None
+    fields = {}
+    for name in _LIMIT_FIELDS:
+        value = wire.get(name)
+        if isinstance(value, int) and not isinstance(value, bool) \
+                and value >= 0:
+            fields[name] = value
+    if not fields:
+        return None
+    from repro.core.application import ResourceLimits
+    return ResourceLimits(**fields)
+
+
+# --------------------------------------------------------------------------
 # JSON-lines encoding (protocol 1, and the v2 control/fallback frames)
 # --------------------------------------------------------------------------
 

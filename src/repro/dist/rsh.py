@@ -12,7 +12,7 @@ works like the local ``whoami`` — but over there.
 
 from __future__ import annotations
 
-from repro.dist.client import remote_exec
+from repro.dist.client import RemoteApplication
 from repro.jvm.classloading import ClassMaterial
 from repro.jvm.errors import (
     NodeUnavailableException,
@@ -63,10 +63,9 @@ def build_material() -> ClassMaterial:
             # rsh asserts its own connect grant (its launcher — typically
             # a shell — is on the inherited context and has none).
             from repro.security import access
-            remote = access.do_privileged(lambda: remote_exec(
-                ctx, host, class_name, command_args, user=user,
-                password=password, port=port, stdout=ctx.stdout,
-                stderr=ctx.stderr))
+            remote = access.do_privileged(lambda: RemoteApplication(
+                ctx, host, port, user, password, class_name,
+                command_args, stdout=ctx.stdout, stderr=ctx.stderr))
         except (SecurityException, NodeUnavailableException) as exc:
             ctx.stderr.println(f"rsh: {exc}")
             return 1

@@ -103,6 +103,8 @@ class VirtualMachine:
         self.shared_objects = None         # repro.core.sharing
         self.cluster = None                # repro.cluster.spawn
         self.dist_pool = None              # repro.dist.pool (lazy)
+        self.admission = None              # repro.super.admission
+        self.supervisors = {}              # name -> repro.super.Supervisor
 
         self._state = STATE_NEW
         self._state_lock = threading.Lock()

@@ -92,8 +92,15 @@ class InvocationContext:
             raise IllegalStateException(
                 "exec requires the multi-processing VM (no current app)")
         from repro.core.application import Application
-        return Application.exec(class_name, list(args or []),
-                                vm=self.vm, **kwargs)
+        from repro.core.execspec import ExecSpec
+        return Application._exec_spec(
+            ExecSpec(class_name, tuple(args or ()), **kwargs), vm=self.vm)
+
+    def launch(self, spec):
+        """Launch an :class:`~repro.core.execspec.ExecSpec` from in-app
+        code — the unified entry point, placement hints included."""
+        from repro.core.execspec import launch as launch_spec
+        return launch_spec(spec, vm=self.vm, ctx=self)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         app = self.app.name if self.app is not None else None

@@ -1,0 +1,65 @@
+"""Supervision, admission control, and fault injection — keeping
+applications alive (and the VM standing) under real multi-user load.
+
+The paper's lifecycle story (Section 5.1) ends at ``exec`` / ``waitFor``
+/ exit codes.  This package adds the Unix-init layer on top:
+
+* :mod:`repro.super.supervisor` — declarative
+  :class:`~repro.super.spec.ServiceSpec`\\ s driving an ordinary,
+  unprivileged supervisor application that reaps and respawns services
+  with exponential backoff, restart budgets, and health probes.
+* :mod:`repro.super.admission` — the per-VM bounded run queue: capacity
+  and per-user quotas at the launch choke point, with typed
+  :class:`~repro.super.admission.AdmissionRejected` shedding.
+* :mod:`repro.super.faults` — deterministic, seedable fault points
+  threaded through app start, channel acquire, cluster placement, and
+  the supervisor heartbeat, so the whole restart/backoff/failover
+  matrix is testable without sleeps.
+
+Import structure: ``faults`` and ``admission`` depend only on the JVM
+layer and are imported eagerly (the application core itself uses them);
+the supervisor names are PEP 562-lazy because they sit *above* the
+application core and would otherwise close an import cycle.
+"""
+
+from repro.super import faults
+from repro.super.admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    AdmissionRejected,
+)
+from repro.super.faults import FaultInjector, InjectedFault
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "AdmissionRejected",
+    "BackoffPolicy",
+    "FaultInjector",
+    "HealthProbe",
+    "InjectedFault",
+    "ServiceSpec",
+    "Supervisor",
+    "faults",
+    "restart_delays",
+]
+
+_LAZY = {
+    "ServiceSpec": "repro.super.spec",
+    "BackoffPolicy": "repro.super.spec",
+    "HealthProbe": "repro.super.spec",
+    "restart_delays": "repro.super.spec",
+    "Supervisor": "repro.super.supervisor",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value

@@ -1,0 +1,227 @@
+"""Deterministic, seedable fault injection for the supervision matrix.
+
+The restart/backoff/failover behaviour of the supervisor (and of the
+cluster failover it rides on) is only trustworthy if it can be *driven*:
+a test must be able to say "the next two launches of this service fail",
+"the next channel acquire takes 50 ms", or "kill the service the next
+time its heartbeat is checked" — and get exactly that, every run,
+without sleeping until something racy happens to go wrong.
+
+:class:`FaultInjector` is that switchboard.  Production code is threaded
+with named **fault points** (module constants below) that call
+:func:`hit`; when no injector is installed the call is one global load
+and a ``None`` check — effectively free.  Tests install an injector
+(usually via the :func:`injected` context manager) and arm *rules*:
+
+``fail_next(point, n)``
+    The next ``n`` hits of ``point`` raise (``InjectedFault`` by
+    default, or any exception the rule was armed with).
+``delay_next(point, seconds, n)``
+    The next ``n`` hits sleep for ``seconds`` through the interruptible
+    :meth:`~repro.jvm.threads.JThread.sleep`, so a stopping application
+    never wedges inside an injected latency.
+``kill_next(point, n)``
+    The next ``n`` hits destroy the application carried in the hit
+    context (the supervisor's heartbeat probe passes its service's
+    application) — the "kill-on-heartbeat" fault.
+``fail_rate(point, rate)``
+    Probabilistic failure drawn from a :class:`random.Random` seeded at
+    injector construction: the same seed yields the same fire pattern,
+    run after run.
+
+Rules may be scoped with keyword matchers (``fail_next("app.start",
+class_name="tools.Sleep")``) that must be a subset of the hit context.
+Every fire is counted (:meth:`FaultInjector.fires`) so tests assert on
+exact fault sequences instead of wall-clock coincidence.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import random
+import threading
+from typing import Callable, Optional
+
+from repro.jvm.errors import JavaException
+from repro.jvm.threads import JThread
+
+#: Fault points threaded through the kernel.  A point name is just a
+#: string — subsystems may add their own — but these are the ones the
+#: supervision matrix exercises.
+POINT_APP_START = "app.start"          # Application launch (local exec)
+POINT_DIST_ACQUIRE = "dist.acquire"    # channel-pool acquire
+POINT_CLUSTER_PLACE = "cluster.place"  # scheduler placement decision
+POINT_HEARTBEAT = "super.heartbeat"    # supervisor health probe
+
+
+class InjectedFault(JavaException):
+    """The failure raised by an armed ``fail`` rule.
+
+    Carries the fault point so handlers (and tests) can tell an injected
+    failure from an organic one.
+    """
+
+    def __init__(self, message: str | None = None,
+                 point: str | None = None):
+        super().__init__(message)
+        self.point = point
+
+
+class _Rule:
+    """One armed behaviour at one fault point."""
+
+    __slots__ = ("action", "remaining", "rate", "seconds", "exc_factory",
+                 "match")
+
+    def __init__(self, action: str, remaining: Optional[int] = None,
+                 rate: float = 0.0, seconds: float = 0.0,
+                 exc_factory: Optional[Callable] = None,
+                 match: Optional[dict] = None):
+        self.action = action          # "fail" | "delay" | "kill"
+        self.remaining = remaining    # None = unlimited (rate rules)
+        self.rate = rate              # 0 = always fire while remaining > 0
+        self.seconds = seconds
+        self.exc_factory = exc_factory
+        self.match = match or {}
+
+    def matches(self, ctx: dict) -> bool:
+        return all(ctx.get(key) == value for key, value in
+                   self.match.items())
+
+
+class FaultInjector:
+    """A deterministic switchboard of armed fault rules.
+
+    ``seed`` fixes the random stream used by rate rules; ``sleep`` is
+    injectable so latency tests can record delays instead of serving
+    them.
+    """
+
+    def __init__(self, seed: int = 0,
+                 sleep: Optional[Callable[[float], None]] = None):
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._sleep = sleep if sleep is not None else JThread.sleep
+        self._rules: dict[str, list[_Rule]] = {}
+        self._fired: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    # -- arming ----------------------------------------------------------------
+
+    def _arm(self, point: str, rule: _Rule) -> "FaultInjector":
+        with self._lock:
+            self._rules.setdefault(point, []).append(rule)
+        return self
+
+    def fail_next(self, point: str, n: int = 1,
+                  exc: Optional[Callable] = None,
+                  **match) -> "FaultInjector":
+        """The next ``n`` matching hits of ``point`` raise."""
+        return self._arm(point, _Rule("fail", remaining=n,
+                                      exc_factory=exc, match=match))
+
+    def delay_next(self, point: str, seconds: float, n: int = 1,
+                   **match) -> "FaultInjector":
+        """The next ``n`` matching hits sleep for ``seconds``."""
+        return self._arm(point, _Rule("delay", remaining=n,
+                                      seconds=seconds, match=match))
+
+    def kill_next(self, point: str, n: int = 1, **match) -> "FaultInjector":
+        """The next ``n`` matching hits destroy the context's ``app``."""
+        return self._arm(point, _Rule("kill", remaining=n, match=match))
+
+    def fail_rate(self, point: str, rate: float,
+                  exc: Optional[Callable] = None,
+                  **match) -> "FaultInjector":
+        """Fail a seeded-deterministic fraction of matching hits."""
+        return self._arm(point, _Rule("fail", remaining=None, rate=rate,
+                                      exc_factory=exc, match=match))
+
+    # -- observation -----------------------------------------------------------
+
+    def fires(self, point: Optional[str] = None):
+        """Fire counts: one int for ``point``, else the whole dict."""
+        with self._lock:
+            if point is not None:
+                return self._fired.get(point, 0)
+            return dict(self._fired)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._rules.clear()
+            self._fired.clear()
+            self._rng = random.Random(self.seed)
+
+    # -- the hot path ----------------------------------------------------------
+
+    def hit(self, point: str, **ctx) -> None:
+        """Evaluate armed rules at ``point``; may raise, sleep, or kill."""
+        actions: list[_Rule] = []
+        with self._lock:
+            rules = self._rules.get(point)
+            if not rules:
+                return
+            for rule in list(rules):
+                if rule.remaining is not None and rule.remaining <= 0:
+                    rules.remove(rule)
+                    continue
+                if not rule.matches(ctx):
+                    continue
+                if rule.rate and self._rng.random() >= rule.rate:
+                    continue
+                if rule.remaining is not None:
+                    rule.remaining -= 1
+                    if rule.remaining <= 0:
+                        rules.remove(rule)
+                self._fired[point] = self._fired.get(point, 0) + 1
+                actions.append(rule)
+        # Act outside the lock: delays and kills must never hold it.
+        for rule in actions:
+            if rule.action == "delay":
+                self._sleep(rule.seconds)
+            elif rule.action == "kill":
+                app = ctx.get("app")
+                if app is not None:
+                    app.destroy()
+            elif rule.action == "fail":
+                if rule.exc_factory is not None:
+                    raise rule.exc_factory()
+                raise InjectedFault(
+                    f"injected fault at {point} ({ctx or 'no context'})",
+                    point=point)
+
+
+#: The installed injector, or None (the inert default).
+_active: Optional[FaultInjector] = None
+
+
+def active() -> Optional[FaultInjector]:
+    return _active
+
+
+def install(injector: Optional[FaultInjector]) -> Optional[FaultInjector]:
+    """Install (or, with None, remove) the process-wide injector."""
+    global _active
+    previous = _active
+    _active = injector
+    return previous
+
+
+def hit(point: str, **ctx) -> None:
+    """Production-side fault point: free when nothing is installed."""
+    injector = _active
+    if injector is None:
+        return
+    injector.hit(point, **ctx)
+
+
+@contextlib.contextmanager
+def injected(seed: int = 0,
+             sleep: Optional[Callable[[float], None]] = None):
+    """Scoped install: ``with injected() as faults: faults.fail_next(...)``."""
+    injector = FaultInjector(seed=seed, sleep=sleep)
+    previous = install(injector)
+    try:
+        yield injector
+    finally:
+        install(previous)

@@ -1,0 +1,117 @@
+"""Declarative service descriptions for the supervisor.
+
+A :class:`ServiceSpec` is the supervision analogue of an inittab line:
+*what* to run (an :class:`~repro.core.execspec.ExecSpec`), *when* to
+restart it (:data:`PERMANENT` / :data:`TRANSIENT` / :data:`ONE_SHOT`),
+*how fast* (a :class:`BackoffPolicy` — exponential with deterministic
+jitter), and *how to tell it is sick* before it dies (a liveness
+callable and/or a heartbeat deadline).
+
+Backoff is a pure function: :func:`restart_delays` maps (policy,
+service name, seed, attempt count) to the exact delay sequence, so
+tests assert on schedules instead of sleeping through them.  Jitter is
+drawn from ``random.Random(f"{seed}:{name}")`` — two services with the
+same policy de-synchronise, but every run of the same test produces the
+same schedule.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+#: Always restart, whatever the exit code — the init daemon's default.
+PERMANENT = "permanent"
+#: Restart only abnormal exits (nonzero code or a kill); a clean exit 0
+#: means the service is done.
+TRANSIENT = "transient"
+#: Never restart; run to completion once and record the outcome.
+ONE_SHOT = "one_shot"
+
+RESTART_POLICIES = (PERMANENT, TRANSIENT, ONE_SHOT)
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential backoff with bounded, deterministic jitter.
+
+    Delay for attempt *k* (0-based) is ``min(base * factor**k, cap)``
+    scaled by a jitter factor drawn uniformly from
+    ``[1 - jitter, 1 + jitter]``.
+    """
+
+    base: float = 0.05
+    factor: float = 2.0
+    cap: float = 5.0
+    jitter: float = 0.1
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        raw = min(self.base * (self.factor ** attempt), self.cap)
+        if self.jitter:
+            raw *= rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
+        return raw
+
+
+def backoff_rng(name: str, seed: int = 0) -> random.Random:
+    """The jitter stream for one service: same seed+name, same stream."""
+    return random.Random(f"{seed}:{name}")
+
+
+def restart_delays(policy: BackoffPolicy, name: str, seed: int = 0,
+                   attempts: int = 8) -> list[float]:
+    """The exact delay schedule a service would see — pure, for tests."""
+    rng = backoff_rng(name, seed)
+    return [policy.delay(k, rng) for k in range(attempts)]
+
+
+@dataclass(frozen=True)
+class HealthProbe:
+    """How the supervisor decides a running service is degraded.
+
+    ``liveness`` is called with the service's application; a falsy
+    return (or an exception) marks the service ``degraded``.
+    ``heartbeat_deadline`` is the maximum age in seconds of the last
+    :meth:`SupervisedService.beat` before the service is considered
+    degraded — the classic watchdog.  Either may be None.
+    """
+
+    liveness: Optional[Callable] = None
+    heartbeat_deadline: Optional[float] = None
+    interval: float = 0.25
+
+
+@dataclass(frozen=True)
+class ServiceSpec:
+    """One supervised service: the inittab line.
+
+    ``exec_spec`` is the launch description; the supervisor launches it
+    through the ordinary exec path, so the child runs under the
+    supervisor's user and the target class's own code-source grants —
+    supervision confers no privilege (§5.2's login-program discipline).
+
+    ``max_restarts`` within ``restart_window`` seconds escalates the
+    service to ``failed`` and stops respawning it: a crash-looping
+    service must not melt the VM it is meant to keep healthy.
+    """
+
+    name: str
+    exec_spec: object  # repro.core.execspec.ExecSpec (kept loose: no cycle)
+    restart: str = PERMANENT
+    backoff: BackoffPolicy = field(default_factory=BackoffPolicy)
+    max_restarts: int = 5
+    restart_window: float = 30.0
+    probe: Optional[HealthProbe] = None
+
+    def __post_init__(self):
+        if self.restart not in RESTART_POLICIES:
+            raise ValueError(
+                f"unknown restart policy {self.restart!r}; expected one "
+                f"of {RESTART_POLICIES}")
+
+    def should_restart(self, code: int) -> bool:
+        if self.restart == PERMANENT:
+            return True
+        if self.restart == TRANSIENT:
+            return code != 0
+        return False

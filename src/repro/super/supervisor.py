@@ -1,0 +1,406 @@
+"""The supervisor: a Unix-init layer over Section 5.1 applications.
+
+The paper stops at "run once and reap" — ``exec`` / ``waitFor`` / exit
+codes.  A production multi-processing JVM serving long-lived services
+needs the other half of Unix process management: an *init* that respawns
+failed services, backs off when they crash-loop, and notices sickness
+before death.
+
+:class:`Supervisor` is that init, built entirely out of the paper's own
+machinery:
+
+* The supervisor itself is an **ordinary application**
+  (``super.Supervisord``), launched through the normal exec path.  Its
+  code source holds *no* special grants — services are respawned as
+  children of the supervisor application, inheriting its user exactly
+  like any Section 5.1 child.  Supervision confers no privilege: the
+  login-program discipline (§5.2) applied to process management.
+* Each service is reaped with the paper's own ``waitFor`` and respawned
+  with the paper's own ``exec`` (via the unified
+  :func:`~repro.core.execspec.launch`), so a supervised child is
+  indistinguishable from a hand-launched one — same thread-group
+  ancestry, same state inheritance, same security walk.
+* Restart decisions follow the :class:`~repro.super.spec.ServiceSpec`:
+  ``permanent`` / ``transient`` / ``one_shot`` policies, exponential
+  backoff with per-service deterministic jitter, and a restart budget
+  (``max_restarts`` within ``restart_window`` seconds) whose exhaustion
+  **escalates** the service to ``failed`` instead of melting the VM.
+* Health probes (a liveness callable and/or a heartbeat deadline) mark a
+  service ``degraded`` while it still runs — the monitor tick also
+  offers the ``super.heartbeat`` fault point, so kill-on-heartbeat
+  faults drive the whole respawn matrix deterministically in tests.
+
+Observability rides the usual surfaces: ``super.restarts`` /
+``super.escalations`` counters, tracer events for every state change,
+``/proc/super/services``, and the ``svc`` coreutil.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Optional
+
+from repro.core.execspec import ExecSpec, launch
+from repro.jvm.classloading import ClassMaterial
+from repro.jvm.errors import IllegalArgumentException, IllegalStateException
+from repro.jvm.threads import JThread, checkpoint
+from repro.security.codesource import CodeSource
+from repro.super import faults
+from repro.super.spec import ONE_SHOT, ServiceSpec, backoff_rng
+
+CLASS_NAME = "super.Supervisord"
+#: Deliberately grant-less: the supervisor needs no permission beyond
+#: what every local application has.  Keeping applications alive is not
+#: a privileged operation.
+CODE_SOURCE = CodeSource(
+    "file:/usr/local/java/tools/supervisord/Supervisord.class")
+
+# Service states (the /proc/super/services STATE column).
+SVC_NEW = "new"            # added, supervisor not started yet
+SVC_RUNNING = "running"
+SVC_DEGRADED = "degraded"  # alive but failing its health probe
+SVC_BACKOFF = "backoff"    # died; waiting out the restart delay
+SVC_DONE = "done"          # policy says no restart (clean one_shot etc.)
+SVC_FAILED = "failed"      # restart budget exhausted — escalated
+SVC_STOPPED = "stopped"    # operator stop (svc stop)
+
+
+class SupervisedService:
+    """One service under supervision: spec, live handle, and history."""
+
+    def __init__(self, supervisor: "Supervisor", spec: ServiceSpec):
+        self.supervisor = supervisor
+        self.spec = spec
+        self.state = SVC_NEW
+        self.app = None                      # the live Application, or None
+        self.restarts = 0                    # lifetime respawn count
+        self.last_exit = None                # ExitStatus of the last death
+        self.last_heartbeat: Optional[float] = None
+        self.stop_requested = False
+        self._loop_thread: Optional[JThread] = None
+        self._window: deque = deque()        # restart timestamps (budget)
+        self._rng = backoff_rng(spec.name, supervisor.seed)
+
+    def beat(self) -> None:
+        """Refresh the watchdog: the service proves it is still alive."""
+        self.last_heartbeat = self.supervisor._clock()
+
+    def snapshot(self) -> dict:
+        app = self.app
+        return {
+            "name": self.spec.name,
+            "state": self.state,
+            "restarts": self.restarts,
+            "policy": self.spec.restart,
+            "class": self.spec.exec_spec.class_name,
+            "app_id": app.app_id if app is not None else None,
+            "last_code": self.last_exit.code
+            if self.last_exit is not None else None,
+        }
+
+
+class Supervisor:
+    """Declarative service supervision for one VM.
+
+    Construct against a booted :class:`~repro.core.launcher.MultiProcVM`,
+    :meth:`add` specs, then :meth:`start` — which launches the
+    ``super.Supervisord`` application whose threads do all launching,
+    reaping, and probing.  ``clock`` and ``sleep`` are injectable so the
+    restart matrix is testable without wall-clock waits.
+    """
+
+    def __init__(self, mvm, name: str = "super", seed: int = 0,
+                 probe_interval: float = 0.1, clock=time.monotonic,
+                 sleep=None):
+        self.mvm = mvm
+        self.vm = mvm.vm
+        self.name = name
+        self.seed = seed
+        self.probe_interval = probe_interval
+        self._clock = clock
+        self._sleep = sleep if sleep is not None else JThread.sleep
+        self.metrics = self.vm.telemetry.metrics
+        self.tracer = self.vm.telemetry.tracer
+        self._services: dict[str, SupervisedService] = {}
+        self._pending_spawns: deque = deque()
+        self._lock = threading.RLock()
+        self.app = None                      # the Supervisord application
+        self._stopping = False
+        if name in self.vm.supervisors:
+            raise IllegalArgumentException(
+                f"a supervisor named {name!r} already runs on this VM")
+        self.vm.supervisors[name] = self
+
+    # -- service table ---------------------------------------------------------
+
+    def add(self, spec: ServiceSpec) -> SupervisedService:
+        """Register a service; started by :meth:`start` (or immediately
+        when the supervisor already runs)."""
+        with self._lock:
+            if spec.name in self._services:
+                raise IllegalArgumentException(
+                    f"service {spec.name!r} already supervised")
+            service = SupervisedService(self, spec)
+            self._services[spec.name] = service
+        if self.app is not None:
+            self._request_spawn(service)
+        return service
+
+    def service(self, name: str) -> SupervisedService:
+        with self._lock:
+            service = self._services.get(name)
+        if service is None:
+            raise IllegalArgumentException(f"no service named {name!r}")
+        return service
+
+    def services(self) -> list[SupervisedService]:
+        with self._lock:
+            return list(self._services.values())
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self, user=None) -> "Supervisor":
+        """Launch the supervisor application and every registered service.
+
+        ``user`` optionally pins the supervisor's (and therefore its
+        services') running user; default is inherited from the caller,
+        like any exec.
+        """
+        if self.app is not None:
+            return self
+        if CLASS_NAME not in self.vm.registry:
+            self.vm.registry.register(build_material())
+        self.app = launch(
+            ExecSpec(CLASS_NAME, (self.name,), user=user,
+                     name=f"supervisord-{self.name}"),
+            vm=self.vm, parent=self.mvm.initial)
+        return self
+
+    def shutdown(self) -> None:
+        """Stop supervising and tear down the supervisor application
+        (its services die with it — they are its children)."""
+        self._stopping = True
+        if self.app is not None:
+            self.app.destroy()
+            self.app.wait_for(5.0)
+        self.vm.supervisors.pop(self.name, None)
+
+    # -- operator surface (the svc coreutil) -----------------------------------
+
+    def stop_service(self, name: str) -> None:
+        service = self.service(name)
+        service.stop_requested = True
+        app = service.app
+        if app is not None:
+            app.destroy()
+
+    def start_service(self, name: str) -> None:
+        """Request a (re)start; the supervisor's own watchdog thread acts.
+
+        Operators — the ``svc`` tool, any application poking the
+        supervisor object — never spawn threads in the supervisor's
+        group themselves (they would need ``modifyThreadGroup`` on a
+        foreign application); they enqueue, and the next watchdog tick
+        spawns from inside the supervisor application.
+        """
+        service = self.service(name)
+        service.stop_requested = False
+        # A fresh operator start resets the budget and the escalation.
+        service._window.clear()
+        self._request_spawn(service)
+
+    def _request_spawn(self, service: SupervisedService) -> None:
+        with self._lock:
+            if service not in self._pending_spawns:
+                self._pending_spawns.append(service)
+
+    # -- the supervisor application's body -------------------------------------
+
+    def _run(self, ctx) -> None:
+        """Main body of ``super.Supervisord`` (runs inside the app)."""
+        if self.app is None:
+            # The app's main thread can outrun start()'s assignment.
+            self.app = ctx.app
+        with self._lock:
+            services = list(self._services.values())
+        for service in services:
+            self._spawn_loop(service)
+        # The watchdog tick: deferred spawns, health probes, and the
+        # heartbeat fault point.
+        while not self._stopping:
+            checkpoint()
+            self._drain_pending_spawns()
+            self._probe_tick()
+            JThread.sleep(self.probe_interval)
+
+    def _drain_pending_spawns(self) -> None:
+        """Act on queued start requests from inside the supervisor app."""
+        requeue = []
+        try:
+            while True:
+                with self._lock:
+                    if not self._pending_spawns:
+                        return
+                    service = self._pending_spawns.popleft()
+                    loop = service._loop_thread
+                    alive = loop is not None and loop.is_alive()
+                if service.stop_requested or self._stopping:
+                    continue
+                if alive:
+                    if service.app is None:
+                        # The old loop is mid-exit: retry next tick.
+                        requeue.append(service)
+                    continue  # already running — the request is moot
+                self._spawn_loop(service)
+        finally:
+            with self._lock:
+                self._pending_spawns.extend(requeue)
+
+    def _spawn_loop(self, service: SupervisedService) -> None:
+        """One launch-and-reap thread per service, inside the app.
+
+        The explicit group keeps the loop a supervisor-app thread even
+        when ``add``/``start_service`` is called from the host: loops
+        must die with the supervisor, not with whoever poked it.
+        """
+        group = self.app.thread_group if self.app is not None else None
+        thread = JThread(target=lambda: self._service_loop(service),
+                         name=f"svc-{service.spec.name}", group=group,
+                         daemon=False)
+        with self._lock:
+            service._loop_thread = thread
+        thread.start()
+
+    def _service_loop(self, service: SupervisedService) -> None:
+        spec = service.spec
+        while True:
+            checkpoint()
+            code = self._run_once(service)
+            if service.stop_requested or self._stopping:
+                self._set_state(service, SVC_STOPPED)
+                return
+            if not spec.should_restart(code):
+                self._set_state(service, SVC_DONE)
+                return
+            # Restart budget: more than max_restarts inside the window
+            # escalates instead of melting the VM with a crash loop.
+            now = self._clock()
+            window = service._window
+            while window and now - window[0] > spec.restart_window:
+                window.popleft()
+            if len(window) >= spec.max_restarts:
+                self._set_state(service, SVC_FAILED)
+                self.metrics.counter("super.escalations",
+                                     service=spec.name).inc()
+                self.tracer.event("super.escalated", service=spec.name,
+                                  restarts=service.restarts)
+                return
+            window.append(now)
+            delay = spec.backoff.delay(len(window) - 1, service._rng)
+            service.restarts += 1
+            self.metrics.counter("super.restarts", service=spec.name).inc()
+            self.tracer.event("super.restart", service=spec.name,
+                              attempt=service.restarts, delay=delay)
+            self._set_state(service, SVC_BACKOFF)
+            self._sleep(delay)
+            if service.stop_requested or self._stopping:
+                self._set_state(service, SVC_STOPPED)
+                return
+
+    def _run_once(self, service: SupervisedService) -> int:
+        """Launch the service, wait it out, record how it died.
+
+        Returns the exit code (nonzero for a launch that failed before
+        producing an application — an injected start fault, admission
+        shedding, a missing class).
+        """
+        spec = service.spec
+        try:
+            app = launch(spec.exec_spec, vm=self.vm, parent=self.app)
+        except BaseException as exc:  # noqa: BLE001 - any launch failure
+            self.tracer.event("super.launch_failed",
+                              service=spec.name, error=str(exc))
+            service.last_exit = None
+            return 1 if spec.restart != ONE_SHOT else 0
+        app.restarts = service.restarts
+        service.app = app
+        service.beat()
+        self._set_state(service, SVC_RUNNING)
+        status = app.wait()
+        service.app = None
+        service.last_exit = status
+        return status.code if status is not None else 1
+
+    def _probe_tick(self) -> None:
+        """One watchdog pass: fault point, heartbeat age, liveness."""
+        for service in self.services():
+            app = service.app
+            if app is None or service.state not in (SVC_RUNNING,
+                                                    SVC_DEGRADED):
+                continue
+            # The kill-on-heartbeat fault point: armed kills destroy the
+            # service's application from the supervisor's own context
+            # (an ancestor, so no permission is needed).
+            faults.hit(faults.POINT_HEARTBEAT,
+                       service=service.spec.name, app=app)
+            probe = service.spec.probe
+            if probe is None:
+                continue
+            healthy = True
+            if (probe.heartbeat_deadline is not None
+                    and service.last_heartbeat is not None):
+                age = self._clock() - service.last_heartbeat
+                healthy = age <= probe.heartbeat_deadline
+            if healthy and probe.liveness is not None:
+                try:
+                    healthy = bool(probe.liveness(app))
+                except Exception:  # noqa: BLE001 - a sick probe is a sick service
+                    healthy = False
+            if not healthy and service.state == SVC_RUNNING:
+                self._set_state(service, SVC_DEGRADED)
+                self.metrics.counter("super.degraded",
+                                     service=service.spec.name).inc()
+            elif healthy and service.state == SVC_DEGRADED:
+                self._set_state(service, SVC_RUNNING)
+
+    def _set_state(self, service: SupervisedService, state: str) -> None:
+        if service.state == state:
+            return
+        service.state = state
+        self.tracer.event("super.service", service=service.spec.name,
+                          state=state)
+
+    # -- introspection (procfs and svc read these) -----------------------------
+
+    def render_services(self) -> str:
+        lines = ["SERVICE\tSTATE\tPOLICY\tRESTARTS\tAPP\tCLASS\tLAST"]
+        for service in self.services():
+            snap = service.snapshot()
+            lines.append("\t".join([
+                snap["name"], snap["state"], snap["policy"],
+                str(snap["restarts"]),
+                str(snap["app_id"]) if snap["app_id"] is not None else "-",
+                snap["class"],
+                str(snap["last_code"]) if snap["last_code"] is not None
+                else "-"]))
+        return "\n".join(lines) + "\n"
+
+
+def build_material() -> ClassMaterial:
+    material = ClassMaterial(
+        CLASS_NAME, code_source=CODE_SOURCE,
+        doc="Service supervisor: the Unix-init layer over Section 5.1 "
+            "applications (restart policies, backoff, health probes).")
+
+    @material.member
+    def main(jclass, ctx, args):
+        name = args[0] if args else "super"
+        supervisor = ctx.vm.supervisors.get(name)
+        if supervisor is None:
+            raise IllegalStateException(
+                f"no Supervisor object named {name!r} on this VM")
+        supervisor._run(ctx)
+
+    return material

@@ -97,10 +97,14 @@ def build_material() -> ClassMaterial:
             # One privileged frame covers the whole launch *and* the wait:
             # a mid-wait failover relaunches under this tool's connect
             # grant, exactly like the original placement.
-            application = cluster.exec(
-                class_name, command_args, user=user, password=password,
-                policy=policy, untrusted=untrusted, stdout=ctx.stdout,
-                stderr=ctx.stderr, ctx=ctx)
+            from repro.core.execspec import ExecSpec, Placement
+            application = cluster._exec_spec(
+                ExecSpec(class_name, tuple(command_args), user=user,
+                         password=password, stdout=ctx.stdout,
+                         stderr=ctx.stderr,
+                         placement=Placement.cluster(
+                             policy=policy, untrusted=untrusted)),
+                ctx=ctx)
             try:
                 return application.wait_for(30)
             finally:

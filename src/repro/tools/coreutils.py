@@ -668,7 +668,62 @@ def main(jclass, ctx, args):  # noqa: F811
     return 1
 
 
+# --------------------------------------------------------------------------
+# svc — the supervision operator surface
+# --------------------------------------------------------------------------
+
+svc_material = _tool("tools.Svc", "Inspect and drive supervised services.")
+
+
+def _find_service(vm, name):
+    """(supervisor, service) owning ``name``, or (None, None)."""
+    for supervisor in vm.supervisors.values():
+        for service in supervisor.services():
+            if service.spec.name == name:
+                return supervisor, service
+    return None, None
+
+
+@svc_material.member
+def main(jclass, ctx, args):  # noqa: F811
+    supervisors = ctx.vm.supervisors
+    verb, *rest = args if args else ("status",)
+
+    if verb == "status":
+        if not supervisors:
+            ctx.stdout.println("svc: no supervisor running")
+            return 0
+        for name in sorted(supervisors):
+            ctx.stdout.print(supervisors[name].render_services())
+        return 0
+
+    if verb in ("start", "stop"):
+        if not rest:
+            ctx.stderr.println(f"svc: {verb} needs a service name")
+            return 2
+        status = 0
+        for service_name in rest:
+            supervisor, service = _find_service(ctx.vm, service_name)
+            if service is None:
+                ctx.stderr.println(
+                    f"svc: no such service: {service_name}")
+                status = 1
+                continue
+            if verb == "stop":
+                supervisor.stop_service(service_name)
+            else:
+                supervisor.start_service(service_name)
+            ctx.stdout.println(f"{service_name}: {verb} requested")
+        return status
+
+    ctx.stderr.println(
+        "usage: svc [status] | svc start <service>... | "
+        "svc stop <service>...")
+    return 2
+
+
 ALL_MATERIALS = [
+    svc_material,
     sort_material, uniq_material, tee_material, env_material,
     hostname_material, id_material, date_material, true_material,
     false_material,
@@ -689,5 +744,5 @@ COMMANDS = {
     "sort": "tools.Sort", "uniq": "tools.Uniq", "tee": "tools.Tee",
     "env": "tools.Env", "hostname": "tools.Hostname", "id": "tools.Id",
     "date": "tools.Date", "true": "tools.True", "false": "tools.False",
-    "vmstat": "tools.Vmstat",
+    "vmstat": "tools.Vmstat", "svc": "tools.Svc",
 }

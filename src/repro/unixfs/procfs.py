@@ -8,6 +8,8 @@ Mounted read-only at ``/proc`` by the multi-processing launcher::
                               coalescing, and the channel pool
     /proc/cluster/nodes       cluster membership table (controller VMs only)
     /proc/cluster/placements  recent placement decisions
+    /proc/super/services      supervised services: state, policy, restarts
+    /proc/super/admission     the admission controller's counters and queue
     /proc/<app-id>/status     one application's identity and accounting
     /proc/<app-id>/metrics    its slice of the metrics registry
     /proc/<app-id>/audit      its tail of the security audit log (JSONL)
@@ -158,6 +160,16 @@ class ProcFileSystem:
                 f"cluster.failovers\t"
                 f"{int(metrics.total('cluster.failovers'))}",
             ])
+        if self._has_super():
+            lines.extend([
+                f"super.restarts\t{int(metrics.total('super.restarts'))}",
+                f"super.escalations\t"
+                f"{int(metrics.total('super.escalations'))}",
+                f"admission.admitted\t"
+                f"{int(metrics.total('admission.admitted'))}",
+                f"admission.rejected\t"
+                f"{int(metrics.total('admission.rejected'))}",
+            ])
         return "\n".join(lines) + "\n"
 
     def _interned_domain_count(self) -> int:
@@ -218,6 +230,23 @@ class ProcFileSystem:
                 lines.append(f"pool.idle.{endpoint}\t{count}")
         return "\n".join(lines) + "\n"
 
+    def _has_super(self) -> bool:
+        return bool(self.vm.supervisors) or self.vm.admission is not None
+
+    def _super_services_text(self) -> str:
+        chunks = []
+        for name in sorted(self.vm.supervisors):
+            chunks.append(self.vm.supervisors[name].render_services())
+        if not chunks:
+            return "SERVICE\tSTATE\tPOLICY\tRESTARTS\tAPP\tCLASS\tLAST\n"
+        return "".join(chunks)
+
+    def _super_admission_text(self) -> str:
+        admission = self.vm.admission
+        if admission is None:
+            return "admission\toff\n"
+        return admission.render_text()
+
     def _file_payload(self, rel: str) -> bytes:
         parts = self._split(rel)
         if parts == ["vmstat"]:
@@ -229,6 +258,14 @@ class ProcFileSystem:
         if parts == ["dist", "transport"]:
             return self._dist_transport_text().encode("utf-8")
         if parts and parts[0] == "dist":
+            raise VfsNotFound(f"/proc{rel}")
+        if parts and parts[0] == "super":
+            if not self._has_super():
+                raise VfsNotFound(f"/proc{rel}")
+            if parts == ["super", "services"]:
+                return self._super_services_text().encode("utf-8")
+            if parts == ["super", "admission"]:
+                return self._super_admission_text().encode("utf-8")
             raise VfsNotFound(f"/proc{rel}")
         if parts and parts[0] == "cluster":
             cluster = self.vm.cluster
@@ -263,6 +300,10 @@ class ProcFileSystem:
             if self.vm.cluster is None:
                 raise VfsNotFound(f"/proc{rel}")
             return VfsStat(_ino(rel), "dir", 0o555, 0, 0, 0, 0, 1)
+        if parts == ["super"]:
+            if not self._has_super():
+                raise VfsNotFound(f"/proc{rel}")
+            return VfsStat(_ino(rel), "dir", 0o555, 0, 0, 0, 0, 1)
         if parts == ["security"] or parts == ["dist"]:
             return VfsStat(_ino(rel), "dir", 0o555, 0, 0, 0, 0, 1)
         payload = self._file_payload(rel)
@@ -277,11 +318,18 @@ class ProcFileSystem:
             entries = sorted([str(a.app_id) for a in applications], key=int)
             if self.vm.cluster is not None:
                 entries.append("cluster")
-            return entries + ["dist", "security", "vmstat"]
+            entries.extend(["dist", "security"])
+            if self._has_super():
+                entries.append("super")
+            return entries + ["vmstat"]
         if parts == ["cluster"]:
             if self.vm.cluster is None:
                 raise VfsNotFound(f"/proc{rel}")
             return ["nodes", "placements"]
+        if parts == ["super"]:
+            if not self._has_super():
+                raise VfsNotFound(f"/proc{rel}")
+            return ["admission", "services"]
         if parts == ["security"]:
             return ["cache"]
         if parts == ["dist"]:
@@ -298,7 +346,8 @@ class ProcFileSystem:
         parts = self._split(rel)
         if not parts or (len(parts) == 1 and parts[0].isdigit()) \
                 or parts == ["security"] or parts == ["dist"] \
-                or (parts == ["cluster"] and self.vm.cluster is not None):
+                or (parts == ["cluster"] and self.vm.cluster is not None) \
+                or (parts == ["super"] and self._has_super()):
             from repro.unixfs.vfs import VfsIsADirectory
             raise VfsIsADirectory(f"/proc{rel}")
         return self._file_payload(rel)

@@ -39,7 +39,8 @@ def run_bench(bench_file: str, *extra_args: str) -> \
 @pytest.mark.parametrize("bench_file",
                          ["bench_security.py", "bench_dispatch.py",
                           "bench_ipc_pipes.py",
-                          "bench_sharing_and_dist.py"])
+                          "bench_sharing_and_dist.py",
+                          "bench_supervision.py"])
 def test_bench_smoke(bench_file):
     result = run_bench(bench_file)
     assert result.returncode == 0, \

@@ -1,0 +1,226 @@
+"""Admission control: capacity, quotas, typed shedding, no deadlocks."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.execspec import ExecSpec
+from repro.io.file import read_text
+from repro.super.admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    AdmissionRejected,
+)
+
+pytestmark = pytest.mark.supervision
+
+
+@pytest.fixture
+def controller(mvm):
+    def make(policy):
+        return AdmissionController(mvm.vm, policy)
+    return make
+
+
+class TestBounds:
+    def test_admit_and_release_track_occupancy(self, controller):
+        ctrl = controller(AdmissionPolicy(max_running=2))
+        a = ctrl.admit("alice")
+        b = ctrl.admit("bob")
+        assert ctrl.stats()["running"] == 2
+        a.release()
+        b.release()
+        assert ctrl.stats()["running"] == 0
+        assert ctrl.stats()["by_user"] == {}
+
+    def test_release_is_idempotent(self, controller):
+        ctrl = controller(AdmissionPolicy(max_running=1))
+        ticket = ctrl.admit("alice")
+        ticket.release()
+        ticket.release()
+        assert ctrl.stats()["running"] == 0
+
+    def test_capacity_shed_without_timeout(self, controller):
+        ctrl = controller(AdmissionPolicy(max_running=1))
+        ctrl.admit("alice")
+        with pytest.raises(AdmissionRejected) as excinfo:
+            ctrl.admit("bob")
+        assert excinfo.value.reason == "capacity"
+        assert excinfo.value.user == "bob"
+
+    def test_timeout_shed_names_its_reason(self, controller):
+        ctrl = controller(AdmissionPolicy(max_running=1))
+        ctrl.admit("alice")
+        start = time.monotonic()
+        with pytest.raises(AdmissionRejected) as excinfo:
+            ctrl.admit("bob", timeout=0.05)
+        assert excinfo.value.reason == "timeout"
+        assert time.monotonic() - start < 5  # bounded, never forever
+
+    def test_queue_full_sheds_before_queuing(self, controller):
+        ctrl = controller(AdmissionPolicy(max_running=1, max_queued=0))
+        ctrl.admit("alice")
+        with pytest.raises(AdmissionRejected) as excinfo:
+            ctrl.admit("bob", timeout=5)
+        assert excinfo.value.reason == "queue-full"
+
+    def test_user_concurrency_sheds_even_with_timeout(self, controller):
+        ctrl = controller(AdmissionPolicy(per_user_running=1))
+        ctrl.admit("alice")
+        with pytest.raises(AdmissionRejected) as excinfo:
+            ctrl.admit("alice", timeout=5)
+        assert excinfo.value.reason == "user-concurrency"
+        ctrl.admit("bob")  # other users are unaffected
+
+    def test_per_user_quota_override(self, controller):
+        ctrl = controller(AdmissionPolicy(per_user_running=1))
+        ctrl.set_user_quota("alice", running=3)
+        for _ in range(3):
+            ctrl.admit("alice")
+        with pytest.raises(AdmissionRejected):
+            ctrl.admit("alice")
+
+
+class TestQueue:
+    def test_release_grants_a_waiter(self, controller):
+        ctrl = controller(AdmissionPolicy(max_running=1))
+        first = ctrl.admit("alice")
+        admitted = threading.Event()
+
+        def waiter():
+            ctrl.admit("bob", timeout=10)
+            admitted.set()
+
+        thread = threading.Thread(target=waiter, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 5
+        while ctrl.stats()["waiting"] == 0:
+            assert time.monotonic() < deadline
+            time.sleep(0.005)
+        first.release()
+        assert admitted.wait(5)
+        thread.join(5)
+        assert ctrl.stats()["running"] == 1
+
+    def test_user_queue_quota_bounds_waiters(self, controller):
+        ctrl = controller(AdmissionPolicy(max_running=1,
+                                          per_user_queued=1))
+        ctrl.admit("alice")
+        started = threading.Event()
+
+        def waiter():
+            started.set()
+            with pytest.raises(AdmissionRejected):
+                ctrl.admit("bob", timeout=0.5)
+
+        thread = threading.Thread(target=waiter, daemon=True)
+        thread.start()
+        started.wait(5)
+        deadline = time.monotonic() + 5
+        while ctrl.stats()["waiting"] == 0:
+            assert time.monotonic() < deadline
+            time.sleep(0.005)
+        with pytest.raises(AdmissionRejected) as excinfo:
+            ctrl.admit("bob", timeout=0.5)
+        assert excinfo.value.reason == "user-queue"
+        thread.join(5)
+
+    def test_grant_scan_skips_a_quota_blocked_waiter(self, controller):
+        """One saturated user must not head-of-line-block the queue."""
+        ctrl = controller(AdmissionPolicy(max_running=2,
+                                          per_user_running=1))
+        first = ctrl.admit("alice")
+        ctrl.set_user_quota("alice", running=2)
+        second = ctrl.admit("alice")
+        results = {}
+        events = {name: threading.Event() for name in ("bob1", "bob2",
+                                                       "carol")}
+
+        def waiter(name, user):
+            try:
+                results[name] = ctrl.admit(user, timeout=10)
+            except AdmissionRejected as exc:
+                results[name] = exc
+            events[name].set()
+
+        threads = []
+        for name, user in (("bob1", "bob"), ("bob2", "bob"),
+                           ("carol", "carol")):
+            thread = threading.Thread(target=waiter, args=(name, user),
+                                      daemon=True)
+            thread.start()
+            threads.append(thread)
+            deadline = time.monotonic() + 5
+            while ctrl.stats()["waiting"] < len(threads):
+                assert time.monotonic() < deadline
+                time.sleep(0.005)
+
+        first.release()
+        second.release()
+        assert events["bob1"].wait(5)
+        assert events["carol"].wait(5)
+        # bob2 is still waiting: bob's quota is taken by bob1, but carol
+        # was granted past him.
+        assert not events["bob2"].is_set()
+        results["bob1"].release()
+        assert events["bob2"].wait(5)
+        results["bob2"].release()
+        results["carol"].release()
+        for thread in threads:
+            thread.join(5)
+
+
+class TestVMIntegration:
+    def test_saturated_vm_sheds_launches(self):
+        from repro.core.launcher import MultiProcVM
+        mvm = MultiProcVM.boot(admission=AdmissionPolicy(max_running=1))
+        try:
+            with mvm.host_session():
+                blocker = mvm.launch(ExecSpec("tools.Sleep", ("30",)))
+                with pytest.raises(AdmissionRejected) as excinfo:
+                    mvm.launch(ExecSpec("tools.Echo", ("hi",)))
+                assert excinfo.value.reason == "capacity"
+                blocker.destroy()
+                assert blocker.wait(5) is not None
+                # The exit hook released the slot: launches flow again.
+                echo = mvm.launch(ExecSpec("tools.Echo", ("hi",)))
+                assert echo.wait(5).code == 0
+        finally:
+            mvm.shutdown()
+
+    def test_admission_timeout_queues_until_a_slot_frees(self):
+        from repro.core.launcher import MultiProcVM
+        mvm = MultiProcVM.boot(admission=AdmissionPolicy(max_running=1))
+        try:
+            with mvm.host_session():
+                blocker = mvm.launch(ExecSpec("tools.Sleep", ("30",)))
+                timer = threading.Timer(0.1, blocker.destroy)
+                timer.start()
+                try:
+                    queued = mvm.launch(ExecSpec(
+                        "tools.Echo", ("made", "it"),
+                        admission_timeout=10))
+                    assert queued.wait(5).code == 0
+                finally:
+                    timer.cancel()
+        finally:
+            mvm.shutdown()
+
+    def test_procfs_and_vmstat_report_admission(self):
+        from repro.core.launcher import MultiProcVM
+        mvm = MultiProcVM.boot(admission=AdmissionPolicy(max_running=1))
+        try:
+            with mvm.host_session():
+                blocker = mvm.launch(ExecSpec("tools.Sleep", ("30",)))
+                with pytest.raises(AdmissionRejected):
+                    mvm.launch(ExecSpec("tools.Echo", ()))
+                ctx = mvm.initial.context()
+                text = read_text(ctx, "/proc/super/admission")
+                assert "rejected\t1" in text
+                assert "max_running\t1" in text
+                vmstat = read_text(ctx, "/proc/vmstat")
+                assert "admission.rejected\t1" in vmstat
+                blocker.destroy()
+        finally:
+            mvm.shutdown()

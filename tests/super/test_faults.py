@@ -1,0 +1,112 @@
+"""The fault injector: deterministic, scoped, and inert by default."""
+
+import pytest
+
+from repro.super import faults
+from repro.super.faults import FaultInjector, InjectedFault
+
+pytestmark = pytest.mark.supervision
+
+
+class StubApp:
+    def __init__(self):
+        self.destroyed = 0
+
+    def destroy(self):
+        self.destroyed += 1
+
+
+class TestInertPath:
+    def test_hit_without_injector_is_a_no_op(self):
+        assert faults.active() is None
+        faults.hit("anything.at.all", class_name="x")  # must not raise
+
+    def test_injected_scopes_the_install(self):
+        assert faults.active() is None
+        with faults.injected() as injector:
+            assert faults.active() is injector
+        assert faults.active() is None
+
+    def test_injected_restores_a_previous_injector(self):
+        outer = FaultInjector()
+        faults.install(outer)
+        try:
+            with faults.injected():
+                assert faults.active() is not outer
+            assert faults.active() is outer
+        finally:
+            faults.install(None)
+
+
+class TestRules:
+    def test_fail_next_fires_exactly_n_times(self):
+        injector = FaultInjector()
+        injector.fail_next("p", n=2)
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                injector.hit("p")
+        injector.hit("p")  # rule exhausted
+        assert injector.fires("p") == 2
+
+    def test_injected_fault_carries_the_point(self):
+        injector = FaultInjector()
+        injector.fail_next("dist.acquire")
+        with pytest.raises(InjectedFault) as excinfo:
+            injector.hit("dist.acquire", host="h")
+        assert excinfo.value.point == "dist.acquire"
+
+    def test_matchers_scope_the_rule(self):
+        injector = FaultInjector()
+        injector.fail_next("app.start", n=5, class_name="tools.Cat")
+        injector.hit("app.start", class_name="tools.Ls")  # no match
+        with pytest.raises(InjectedFault):
+            injector.hit("app.start", class_name="tools.Cat")
+        assert injector.fires("app.start") == 1
+
+    def test_custom_exception_factory(self):
+        injector = FaultInjector()
+        injector.fail_next("p", exc=lambda: ValueError("boom"))
+        with pytest.raises(ValueError, match="boom"):
+            injector.hit("p")
+
+    def test_delay_next_uses_the_injectable_sleep(self):
+        slept = []
+        injector = FaultInjector(sleep=slept.append)
+        injector.delay_next("p", 0.25, n=2)
+        injector.hit("p")
+        injector.hit("p")
+        injector.hit("p")
+        assert slept == [0.25, 0.25]
+
+    def test_kill_next_destroys_the_context_app(self):
+        injector = FaultInjector()
+        injector.kill_next("super.heartbeat")
+        app = StubApp()
+        injector.hit("super.heartbeat", app=app)
+        injector.hit("super.heartbeat", app=app)  # rule exhausted
+        assert app.destroyed == 1
+
+    def test_fail_rate_is_seed_deterministic(self):
+        def pattern(seed):
+            injector = FaultInjector(seed=seed)
+            injector.fail_rate("p", 0.5)
+            fired = []
+            for _ in range(32):
+                try:
+                    injector.hit("p")
+                    fired.append(False)
+                except InjectedFault:
+                    fired.append(True)
+            return fired
+
+        assert pattern(7) == pattern(7)
+        assert any(pattern(7)) and not all(pattern(7))
+
+    def test_reset_clears_rules_and_counts(self):
+        injector = FaultInjector()
+        injector.fail_next("p", n=5)
+        with pytest.raises(InjectedFault):
+            injector.hit("p")
+        injector.reset()
+        injector.hit("p")
+        assert injector.fires() == {}

@@ -1,0 +1,231 @@
+"""The supervisor: restart policies, backoff, escalation, health."""
+
+import time
+
+import pytest
+
+from repro.core.execspec import ExecSpec
+from repro.io.file import read_text
+from repro.super import faults
+from repro.super.spec import (
+    ONE_SHOT,
+    PERMANENT,
+    TRANSIENT,
+    BackoffPolicy,
+    HealthProbe,
+    ServiceSpec,
+    backoff_rng,
+    restart_delays,
+)
+from repro.super.supervisor import (
+    SVC_DEGRADED,
+    SVC_DONE,
+    SVC_FAILED,
+    SVC_STOPPED,
+    Supervisor,
+)
+
+pytestmark = pytest.mark.supervision
+
+#: A backoff that makes integration tests fast and jitter-free.
+FAST = BackoffPolicy(base=0.001, factor=1.0, cap=0.001, jitter=0.0)
+
+
+def wait_until(predicate, timeout=10.0, interval=0.005):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+@pytest.fixture
+def supervised(mvm, host):
+    """A started supervisor with a fast probe tick; torn down after."""
+    supervisor = Supervisor(mvm, probe_interval=0.01)
+    yield supervisor
+    supervisor.shutdown()
+
+
+class TestBackoffSchedule:
+    def test_schedule_is_deterministic_per_seed_and_name(self):
+        policy = BackoffPolicy()
+        assert restart_delays(policy, "svc", seed=1) == \
+            restart_delays(policy, "svc", seed=1)
+        assert restart_delays(policy, "svc", seed=1) != \
+            restart_delays(policy, "svc", seed=2)
+        assert restart_delays(policy, "a", seed=1) != \
+            restart_delays(policy, "b", seed=1)
+
+    def test_delays_grow_exponentially_to_the_cap(self):
+        policy = BackoffPolicy(base=0.1, factor=2.0, cap=1.0, jitter=0.0)
+        rng = backoff_rng("svc")
+        delays = [policy.delay(k, rng) for k in range(6)]
+        assert delays == [0.1, 0.2, 0.4, 0.8, 1.0, 1.0]
+
+    def test_jitter_stays_within_its_band(self):
+        policy = BackoffPolicy(base=1.0, factor=1.0, cap=1.0, jitter=0.2)
+        for delay in restart_delays(policy, "svc", attempts=64):
+            assert 0.8 <= delay <= 1.2
+
+
+class TestServiceSpec:
+    def test_unknown_restart_policy_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceSpec("s", ExecSpec("tools.True"), restart="sometimes")
+
+    @pytest.mark.parametrize("policy,code,expected", [
+        (PERMANENT, 0, True), (PERMANENT, 1, True),
+        (TRANSIENT, 0, False), (TRANSIENT, 1, True),
+        (ONE_SHOT, 0, False), (ONE_SHOT, 1, False),
+    ])
+    def test_should_restart_matrix(self, policy, code, expected):
+        spec = ServiceSpec("s", ExecSpec("tools.True"), restart=policy)
+        assert spec.should_restart(code) is expected
+
+
+class TestSupervision:
+    def test_killed_permanent_service_respawns(self, mvm, supervised):
+        supervised.add(ServiceSpec(
+            "echoer", ExecSpec("tools.Sleep", ("30",)), backoff=FAST))
+        with faults.injected() as injector:
+            injector.kill_next(faults.POINT_HEARTBEAT, n=2,
+                               service="echoer")
+            supervised.start()
+            service = supervised.service("echoer")
+            assert wait_until(lambda: service.restarts >= 2)
+            assert wait_until(lambda: service.app is not None)
+        # Restart count is visible through /proc/super/services.
+        text = read_text(mvm.initial.context(), "/proc/super/services")
+        row = [line for line in text.splitlines()
+               if line.startswith("echoer")][0]
+        columns = row.split("\t")
+        assert int(columns[3]) >= 2
+        assert columns[2] == "permanent"
+        # ...and the ExitStatus of the kill was recorded.
+        assert service.last_exit.signal_like_cause == "killed"
+        assert int(supervised.metrics.total("super.restarts")) >= 2
+
+    def test_crash_loop_escalates_to_failed(self, mvm, supervised):
+        supervised.add(ServiceSpec(
+            "flappy", ExecSpec("tools.False"), backoff=FAST,
+            max_restarts=3, restart_window=60.0))
+        supervised.start()
+        service = supervised.service("flappy")
+        assert wait_until(lambda: service.state == SVC_FAILED)
+        assert service.restarts == 3
+        assert int(supervised.metrics.total("super.escalations")) == 1
+
+    def test_one_shot_runs_once(self, supervised):
+        supervised.add(ServiceSpec(
+            "once", ExecSpec("tools.False"), restart=ONE_SHOT))
+        supervised.start()
+        service = supervised.service("once")
+        assert wait_until(lambda: service.state == SVC_DONE)
+        assert service.restarts == 0
+        assert service.last_exit.code == 1
+
+    def test_transient_stops_on_clean_exit(self, supervised):
+        supervised.add(ServiceSpec(
+            "job", ExecSpec("tools.True"), restart=TRANSIENT,
+            backoff=FAST))
+        supervised.start()
+        service = supervised.service("job")
+        assert wait_until(lambda: service.state == SVC_DONE)
+        assert service.last_exit.code == 0
+
+    def test_missed_heartbeat_marks_degraded(self, supervised):
+        supervised.add(ServiceSpec(
+            "watchdogged", ExecSpec("tools.Sleep", ("30",)),
+            backoff=FAST,
+            probe=HealthProbe(heartbeat_deadline=0.02)))
+        supervised.start()
+        service = supervised.service("watchdogged")
+        # The only beat is the launch one; the deadline then lapses.
+        assert wait_until(lambda: service.state == SVC_DEGRADED)
+        assert int(supervised.metrics.total("super.degraded")) >= 1
+        # Fresh beats restore the service to running.
+        assert wait_until(
+            lambda: (service.beat(), service.state != SVC_DEGRADED)[1])
+
+    def test_liveness_probe_failure_marks_degraded(self, supervised):
+        supervised.add(ServiceSpec(
+            "probed", ExecSpec("tools.Sleep", ("30",)), backoff=FAST,
+            probe=HealthProbe(liveness=lambda app: False)))
+        supervised.start()
+        service = supervised.service("probed")
+        assert wait_until(lambda: service.state == SVC_DEGRADED)
+
+    def test_injected_launch_failure_counts_as_restart(self, supervised):
+        with faults.injected() as injector:
+            injector.fail_next(faults.POINT_APP_START, n=2,
+                               class_name="tools.Sleep")
+            supervised.add(ServiceSpec(
+                "fragile", ExecSpec("tools.Sleep", ("30",)),
+                backoff=FAST))
+            supervised.start()
+            service = supervised.service("fragile")
+            assert wait_until(lambda: service.restarts >= 2)
+            assert wait_until(lambda: service.app is not None)
+            assert injector.fires(faults.POINT_APP_START) == 2
+
+    def test_stop_and_start_service(self, mvm, supervised):
+        supervised.add(ServiceSpec(
+            "svc1", ExecSpec("tools.Sleep", ("30",)), backoff=FAST))
+        supervised.start()
+        service = supervised.service("svc1")
+        assert wait_until(lambda: service.app is not None)
+        supervised.stop_service("svc1")
+        assert wait_until(lambda: service.state == SVC_STOPPED)
+        assert service.app is None
+        supervised.start_service("svc1")
+        assert wait_until(lambda: service.app is not None)
+
+    def test_services_die_with_the_supervisor(self, mvm, supervised):
+        supervised.add(ServiceSpec(
+            "child", ExecSpec("tools.Sleep", ("30",)), backoff=FAST))
+        supervised.start()
+        service = supervised.service("child")
+        assert wait_until(lambda: service.app is not None)
+        app = service.app
+        supervised.shutdown()
+        assert wait_until(lambda: app.terminated)
+
+
+class TestSvcTool:
+    def test_svc_status_stop_start(self, mvm, host, capture):
+        supervisor = Supervisor(mvm, probe_interval=0.01)
+        try:
+            supervisor.add(ServiceSpec(
+                "webish", ExecSpec("tools.Sleep", ("30",)),
+                backoff=FAST))
+            supervisor.start()
+            service = supervisor.service("webish")
+            assert wait_until(lambda: service.app is not None)
+
+            out = capture()
+            status = mvm.launch(ExecSpec("tools.Svc", ("status",),
+                                         stdout=out.stream))
+            assert status.wait(5).code == 0
+            assert "webish" in out.text and "running" in out.text
+
+            stop = mvm.launch(ExecSpec("tools.Svc", ("stop", "webish")))
+            assert stop.wait(5).code == 0
+            assert wait_until(lambda: service.state == SVC_STOPPED)
+
+            start = mvm.launch(ExecSpec("tools.Svc", ("start", "webish")))
+            assert start.wait(5).code == 0
+            assert wait_until(lambda: service.app is not None)
+
+            bad = mvm.launch(ExecSpec("tools.Svc", ("stop", "nope")))
+            assert bad.wait(5).code == 1
+        finally:
+            supervisor.shutdown()
+
+    def test_svc_status_without_supervisor(self, mvm, host, capture):
+        out = capture()
+        status = mvm.launch(ExecSpec("tools.Svc", (),
+                                     stdout=out.stream))
+        assert status.wait(5).code == 0
+        assert "no supervisor" in out.text

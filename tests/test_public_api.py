@@ -31,6 +31,9 @@ def test_version_present():
     "repro.awt.toolkit", "repro.awt.dispatch",
     "repro.core.application", "repro.core.context", "repro.core.reload",
     "repro.core.usermodel", "repro.core.launcher", "repro.core.sharing",
+    "repro.core.execspec",
+    "repro.super", "repro.super.faults", "repro.super.admission",
+    "repro.super.spec", "repro.super.supervisor",
     "repro.net.fabric", "repro.net.sockets",
     "repro.tools.shell", "repro.tools.terminal", "repro.tools.login",
     "repro.tools.coreutils", "repro.tools.appletviewer",
