@@ -2,11 +2,59 @@
 
 from __future__ import annotations
 
+import json
+import pathlib
+import time
+
 import pytest
 
 from repro.core.launcher import MultiProcVM
 from repro.jvm.classloading import ClassMaterial
 from repro.security.codesource import CodeSource
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+#: Runs kept per area file — enough history for trend gates, bounded size.
+BENCH_HISTORY = 200
+
+
+def record_bench(area: str, entry: dict) -> pathlib.Path:
+    """Append one benchmark result to ``BENCH_<area>.json`` at repo root.
+
+    The file holds ``{"area": ..., "runs": [...]}`` with the newest run
+    last; each entry is stamped with the wall-clock time so regression
+    gates (``tests/perf``) can compare against the recorded baseline.
+    Failures to write (read-only checkout) are swallowed: persistence is
+    an observability feature, never a reason to fail a bench.
+    """
+    path = REPO_ROOT / f"BENCH_{area}.json"
+    try:
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            payload = {"area": area, "runs": []}
+        stamped = dict(entry)
+        stamped["unix_time"] = time.time()
+        runs = payload.get("runs", [])
+        runs.append(stamped)
+        payload["runs"] = runs[-BENCH_HISTORY:]
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+    except OSError:
+        pass
+    return path
+
+
+def bench_baseline(area: str, metric: str,
+                   smoke_key: str = "smoke") -> float | None:
+    """The best (minimum) non-smoke value of ``metric`` on record."""
+    path = REPO_ROOT / f"BENCH_{area}.json"
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    values = [run[metric] for run in payload.get("runs", [])
+              if metric in run and not run.get(smoke_key)]
+    return min(values) if values else None
 
 
 def register_main(vm, name: str, main_fn) -> str:

@@ -20,7 +20,7 @@ sys.path.insert(0, __file__.rsplit("/", 1)[0])
 
 import pytest  # noqa: E402
 
-from _common import banner, bench_mvm  # noqa: E402,F401
+from _common import banner, bench_mvm, record_bench  # noqa: E402,F401
 
 from repro.core.launcher import DEFAULT_POLICY  # noqa: E402
 from repro.security import access, cache  # noqa: E402
@@ -159,9 +159,96 @@ def test_bench_cached_vs_cold_policy_backed():
     print(f"cached:   {cached_us:8.2f} us/check "
           f"({1 / cached_s * LOOP_N:10.0f} checks/s)")
     print(f"speedup:  {speedup:8.1f}x")
+    record_bench("security", {
+        "bench": "cached_vs_cold", "loop_n": LOOP_N,
+        "smoke": LOOP_N < 5000, "uncached_us": uncached_us,
+        "cached_us": cached_us, "speedup": speedup})
     if LOOP_N >= 5000:  # tiny smoke runs are too noisy to gate on
         assert speedup >= 5.0, (
             f"security cache speedup regressed: {speedup:.1f}x < 5x")
+
+
+# ---------------------------------------------------------------------------
+# Execution-state MAC: phase-aware walk vs the plain cached fast path
+# ---------------------------------------------------------------------------
+
+#: Same 8-domain shape as GRANTING_POLICY_TEXT, but every bench grant is
+#: conditioned on phase "steady": the walk must resolve the phase and
+#: consult the per-phase memos, the worst case for the phase machinery.
+PHASED_POLICY_TEXT = DEFAULT_POLICY + "\n".join(
+    f'grant codeBase "file:/bench/p{i}/*", phase "steady" {{\n'
+    f'    permission FilePermission "/home/alice/-", "read,write";\n'
+    f'}};'
+    for i in range(8))
+
+
+def _phased_stack(depth: int):
+    policy = parse_policy(PHASED_POLICY_TEXT)
+    domains = [
+        policy.domain_for_code_source(
+            CodeSource(f"file:/bench/p{i}/Cls{i}.class"))
+        for i in range(depth)]
+    return policy, domains
+
+
+def _cached_us_for(domains) -> float:
+    with contextlib.ExitStack() as stack:
+        for domain in domains:
+            stack.enter_context(access.stack_frame(domain))
+        access.check_permission(PERM)  # warm the memos
+        return _timed_checks(LOOP_N) / LOOP_N * 1e6
+
+
+def test_bench_phase_aware_vs_plain_cached():
+    """The phase-MAC acceptance gate: with the sticky PHASE_AWARE flag
+    set and every grant phase-conditioned, the cached ``check_permission``
+    walk must stay within 10% of the plain (phase-free) cached fast path.
+
+    The plain series runs FIRST: parsing the phased policy flips the
+    process-wide ``cache.PHASE_AWARE`` latch, which would add the phase
+    resolution to the "plain" measurement too.
+    """
+    saved_aware = cache.PHASE_AWARE
+    saved_resolver = cache.phase_resolver
+    best_ratio = None
+    plain_us = phased_us = 0.0
+    try:
+        attempts = 3
+        for attempt in range(attempts):
+            _, plain_domains = policy_backed_stack(8)
+            plain_us = min(_cached_us_for(plain_domains)
+                           for _ in range(3))
+            cache.phase_resolver = lambda: "steady"
+            _, phased_domains = _phased_stack(8)
+            assert cache.PHASE_AWARE  # the phased policy set the latch
+            phased_us = min(_cached_us_for(phased_domains)
+                            for _ in range(3))
+            # Reset the latch between attempts so the plain series stays
+            # a true phase-free baseline (bench-only: prod never resets).
+            cache.PHASE_AWARE = saved_aware
+            cache.phase_resolver = saved_resolver
+            ratio = phased_us / plain_us if plain_us else float("inf")
+            if best_ratio is None or ratio < best_ratio:
+                best_ratio = ratio
+                best_pair = (plain_us, phased_us)
+            if best_ratio <= 1.10:
+                break
+    finally:
+        cache.PHASE_AWARE = saved_aware
+        cache.phase_resolver = saved_resolver
+    plain_us, phased_us = best_pair
+    print(banner("C5: phase-aware cached walk vs plain cached walk"))
+    print(f"plain cached:  {plain_us:8.2f} us/check")
+    print(f"phased cached: {phased_us:8.2f} us/check")
+    print(f"ratio:         {best_ratio:8.3f} (gate: <= 1.10)")
+    record_bench("security", {
+        "bench": "phase_aware_vs_plain", "loop_n": LOOP_N,
+        "smoke": LOOP_N < 5000, "plain_cached_us": plain_us,
+        "phased_cached_us": phased_us, "ratio": best_ratio})
+    if LOOP_N >= 5000:  # tiny smoke runs are too noisy to gate on
+        assert best_ratio <= 1.10, (
+            f"phase-aware walk regressed the cached fast path: "
+            f"{best_ratio:.3f}x > 1.10x")
 
 
 def test_bench_post_refresh_recovery():

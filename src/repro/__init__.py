@@ -85,7 +85,23 @@ from repro.security.permissions import (
     SocketPermission,
     UserPermission,
 )
-from repro.security.policy import Policy, paper_example_policy, parse_policy
+from repro.policytool import (
+    PolicyDiff,
+    PolicyRecorder,
+    diff_policies,
+    infer_policy,
+    lint_policy,
+    recorder_for,
+)
+from repro.security.policy import (
+    PHASE_INIT,
+    PHASE_SHUTDOWN,
+    PHASE_STEADY,
+    PHASES,
+    Policy,
+    paper_example_policy,
+    parse_policy,
+)
 from repro.super import (
     AdmissionController,
     AdmissionPolicy,
@@ -122,6 +138,9 @@ __all__ = [
     "RuntimePermission", "SocketPermission", "PropertyPermission",
     "AWTPermission", "UserPermission",
     "Policy", "parse_policy", "paper_example_policy",
+    "PHASES", "PHASE_INIT", "PHASE_STEADY", "PHASE_SHUTDOWN",
+    "PolicyRecorder", "PolicyDiff", "recorder_for",
+    "infer_policy", "diff_policies", "lint_policy",
     "Terminal", "TerminalDevice",
     "__version__",
 ]

@@ -26,6 +26,7 @@ from typing import Optional
 
 from repro.awt.events import AWTEvent, EventQueue, InvocationEvent
 from repro.jvm.threads import JThread, ThreadGroup
+from repro.security.policy import PHASE_STEADY
 
 
 class EventDispatchThread:
@@ -210,6 +211,9 @@ class PerApplicationDispatcher(Dispatcher):
                 application.event_queue = queue
                 application.event_dispatch_thread = edt
                 edt.start()
+                # First dispatch marks the end of startup: the kernel's
+                # init → steady transition for the execution-state MAC.
+                application._advance_phase(PHASE_STEADY, strict=False)
             return application.event_queue
 
     def _ensure_system_edt(self) -> EventQueue:

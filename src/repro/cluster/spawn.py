@@ -65,7 +65,8 @@ class ClusterApplication:
     def __init__(self, cluster: "Cluster", ctx, class_name: str,
                  args: Optional[list[str]], user: str, password: str,
                  policy: str, untrusted: bool, stdout, stderr,
-                 limits=None):
+                 limits=None, record: bool = False,
+                 phase: Optional[str] = None):
         self._cluster = cluster
         self._ctx = ctx
         self.class_name = class_name
@@ -80,6 +81,10 @@ class ClusterApplication:
         #: by the target VM — the fix for limits silently dropping on
         #: the cluster path.
         self.limits = limits
+        #: Learning mode / launch-phase override, shipped with every
+        #: (re)placement just like limits.
+        self.record = record
+        self.phase = phase
         #: Node names this launch has been placed on, in order.
         self.placements: list[str] = []
         self._past_output: list[str] = []
@@ -122,7 +127,8 @@ class ClusterApplication:
                         self._ctx, node.name, node.port, self._user,
                         self._password, self.class_name, self.args,
                         stdout=self._stdout, stderr=self._stderr,
-                        limits=self.limits)
+                        limits=self.limits, record=self.record,
+                        phase=self.phase)
                 self.placements.append(node.name)
                 return
             except NodeUnavailableException as exc:
@@ -452,7 +458,8 @@ class Cluster:
             self, context, spec.class_name, list(spec.args),
             spec.user_name(), spec.password, placement.policy,
             placement.untrusted, spec.stdout, spec.stderr,
-            limits=spec.limits)
+            limits=spec.limits, record=spec.record_policy,
+            phase=spec.phase)
         self._active.add(application)
         return application
 

@@ -58,6 +58,7 @@ from repro.core.context import current_application_or_none
 from repro.core.execspec import ExecSpec
 from repro.core.reload import ApplicationClassLoader
 from repro.security.auth import NULL_USER, JavaUser
+from repro.security.policy import PHASE_INIT, PHASE_SHUTDOWN, PHASES
 from repro.super import faults
 
 STATE_NEW = "new"
@@ -192,6 +193,13 @@ class Application:
 
         # --- lifecycle ---
         self._state = STATE_NEW
+        #: Execution phase for the phase-conditioned MAC: ``init`` at
+        #: construction, ``steady`` at first AWT dispatch (or by explicit
+        #: :meth:`advance_phase`), ``shutdown`` once exit begins.
+        self._phase = PHASE_INIT
+        #: True while this application's audit slice is being captured
+        #: for policy inference (set by the policy recorder).
+        self.policy_recording = False
         self.exit_code: Optional[int] = None
         #: How the application ended: None (normal exit) or "killed"
         #: (destroyed from outside / torn down with its parent).
@@ -296,6 +304,13 @@ class Application:
                               **spec.state_overrides())
             if ticket is not None:
                 application.add_exit_hook(ticket.release)
+            if spec.phase is not None:
+                # A launch-time phase override (e.g. headless services
+                # started straight into "steady").
+                application._advance_phase(spec.phase, strict=False)
+            if spec.record_policy:
+                from repro.policytool.recorder import recorder_for
+                recorder_for(vm).start(application)
             application._start(list(spec.args))
         except BaseException:
             if ticket is not None:
@@ -492,6 +507,58 @@ class Application:
         self.exit_hooks.append(hook)
 
     # ------------------------------------------------------------------
+    # execution phases (the execution-state MAC)
+    # ------------------------------------------------------------------
+
+    @property
+    def phase(self) -> str:
+        """Current lifecycle phase: ``init``, ``steady`` or ``shutdown``."""
+        return self._phase
+
+    def advance_phase(self, phase: str) -> bool:
+        """Move this application forward to ``phase``.
+
+        Phases only advance (``init`` → ``steady`` → ``shutdown``), so an
+        app can *drop* phase-conditioned privileges but never regain them.
+        An application may advance itself; anyone else needs the same
+        standing as for :meth:`destroy` (ancestor, same user, or the
+        ``modifyApplication`` permission).  Returns True if the phase
+        changed.
+        """
+        caller = current_application_or_none()
+        if (caller is not self and not self._is_ancestor(caller)
+                and caller.user != self._user):
+            sm = self.vm.security_manager
+            if sm is not None:
+                sm.check_modify_application(self)
+        return self._advance_phase(phase)
+
+    def _advance_phase(self, phase: str, strict: bool = True) -> bool:
+        """Kernel-side phase advance; with ``strict=False`` a backwards
+        request is a no-op (used by kernel transition points that may race
+        with shutdown)."""
+        if phase not in PHASES:
+            raise IllegalArgumentException(f"unknown phase {phase!r}")
+        with self._cond:
+            current_index = PHASES.index(self._phase)
+            target_index = PHASES.index(phase)
+            if target_index <= current_index:
+                if target_index < current_index and strict:
+                    raise IllegalStateException(
+                        f"cannot move application {self.name} back from "
+                        f"{self._phase} to {phase}")
+                return False
+            self._phase = phase
+        # No cache invalidation: per-phase decision memos coexist inside
+        # each protection domain, so a transition costs nothing beyond
+        # first-touch misses in the new phase.
+        telemetry = self.vm.telemetry
+        telemetry.tracer.event("app.phase", app=self.name, phase=phase)
+        telemetry.metrics.counter("app.phase.transitions",
+                                  app=self.name, phase=phase).inc()
+        return True
+
+    # ------------------------------------------------------------------
     # exit (Section 5.1)
     # ------------------------------------------------------------------
 
@@ -545,6 +612,7 @@ class Application:
             self._state = STATE_EXITING
             self.exit_code = status
             self._cond.notify_all()
+        self._advance_phase(PHASE_SHUTDOWN, strict=False)
         self.vm.telemetry.tracer.event("app.exit", app=self.name,
                                        code=status)
         registry = self.vm.application_registry
@@ -607,6 +675,7 @@ class Application:
                 self.exit_code = KILLED_EXIT_CODE
                 self.exit_cause = "killed"
             self._cond.notify_all()
+        self._advance_phase(PHASE_SHUTDOWN, strict=False)
 
     # ------------------------------------------------------------------
     # waiting and inspection

@@ -102,6 +102,12 @@ class ExecSpec:
     properties: object = None
     name: Optional[str] = None
     limits: object = None
+    # -- policy learning + execution-state MAC --
+    #: Capture this app's audit slice for policy inference (policygen).
+    record_policy: bool = False
+    #: Launch-time phase override (e.g. headless services that should
+    #: start straight in "steady"); None keeps the kernel's default.
+    phase: Optional[str] = None
     # -- routing + admission --
     placement: Placement = field(default_factory=Placement)
     admission_timeout: Optional[float] = None
@@ -175,7 +181,8 @@ def launch(spec: ExecSpec, *, vm=None, parent=None, ctx=None):
         return RemoteApplication(
             context, placement.host, placement.port, spec.user_name(),
             spec.password, spec.class_name, list(spec.args),
-            stdout=spec.stdout, stderr=spec.stderr, limits=spec.limits)
+            stdout=spec.stdout, stderr=spec.stderr, limits=spec.limits,
+            record=spec.record_policy, phase=spec.phase)
 
     raise IllegalArgumentException(
         f"unknown placement kind {placement.kind!r}")

@@ -42,6 +42,7 @@ from repro.jvm.errors import SecurityException
 from repro.jvm.threads import JThread
 from repro.jvm.vm import VirtualMachine
 from repro.security import access
+from repro.security import cache as seccache
 from repro.security.auth import (
     NULL_USER,
     UserDatabase,
@@ -134,6 +135,13 @@ grant codeBase "file:/usr/local/java/apps/backup/*" {
     permission FilePermission "/var/backup", "read";
     permission FilePermission "/var/backup/-", "read,write";
 };
+
+// The policygen tool closes the audit loop: it may toggle learning mode
+// on applications (the same standing rule as kill applies on top) and
+// write inferred policies anywhere the invoking user may write.
+grant codeBase "file:/usr/local/java/tools/policygen/*" {
+    permission RuntimePermission "controlPolicyRecording";
+};
 """
 
 
@@ -149,7 +157,30 @@ def _resolve_user_permissions():
     policy = application.vm.policy
     if policy is None:
         return None
+    if getattr(policy, "phase_sensitive", False):
+        return policy.permissions_for_user(application.user.name,
+                                           application.phase)
     return policy.permissions_for_user(application.user.name)
+
+
+def _resolve_current_phase():
+    """Execution-state MAC hook: the calling app's lifecycle phase.
+
+    Installed as ``security.cache.phase_resolver``; host threads (no
+    current application) have no phase, so phase-conditioned grants fail
+    closed for them.
+    """
+    application = current_application_or_none()
+    if application is None:
+        return None
+    return application.phase
+
+
+def _resolve_check_stack():
+    """Policy-learning hook: protection-domain names on the caller's
+    access-control context, newest first.  Only consulted for apps in
+    recording mode (``telemetry.stack_resolver``)."""
+    return tuple(domain.name for domain in access.get_context().domains)
 
 
 def _stream_close_policy(stream) -> None:
@@ -201,6 +232,8 @@ def install_global_hooks() -> None:
         streams_mod.close_policy = _stream_close_policy
         streams_mod.diagnostic_sink = _stream_diagnostic
         telemetry.app_resolver = current_application_or_none
+        telemetry.stack_resolver = _resolve_check_stack
+        seccache.phase_resolver = _resolve_current_phase
         _hooks_installed = True
 
 
@@ -227,11 +260,16 @@ class MultiProcVM:
              stdin=None, stdout=None, stderr=None,
              with_tools: bool = True,
              system_exit_exits_application: bool = False,
-             admission=None) -> "MultiProcVM":
+             admission=None,
+             audit_capacity: Optional[int] = None) -> "MultiProcVM":
         install_global_hooks()
         vm = VirtualMachine(os_context, stdin=stdin, stdout=stdout,
                             stderr=stderr)
         vm.boot()
+        if audit_capacity is not None:
+            # Bound the audit ring for this deployment (learning sessions
+            # can stream overflow to JSONL instead of growing memory).
+            vm.telemetry.audit.set_capacity(audit_capacity)
         from repro.net.fabric import NetworkFabric
         vm.network = network if network is not None else NetworkFabric()
         vm.network.add_host(vm.machine.hostname)

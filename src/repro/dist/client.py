@@ -48,7 +48,8 @@ class RemoteApplication:
                  class_name: str, args: Optional[list[str]] = None,
                  stdout=None, stderr=None,
                  proto: int = protocol.PROTOCOL_VERSION,
-                 pooled: bool = True, limits=None):
+                 pooled: bool = True, limits=None,
+                 record: bool = False, phase: Optional[str] = None):
         self.host = host
         self.port = port
         self.class_name = class_name
@@ -81,6 +82,12 @@ class RemoteApplication:
         wire_limits = protocol.limits_to_wire(limits)
         if wire_limits is not None:
             request["limits"] = wire_limits
+        # Policy learning mode and a launch-phase override travel the
+        # same way as limits: optional keys old daemons ignore.
+        if record:
+            request["record"] = True
+        if phase is not None:
+            request["phase"] = phase
         # SM checkConnect applies here — on pool hits too: reaching out
         # over the network is a policy decision of *this* VM.  An
         # unreachable host is a typed NodeUnavailableException so

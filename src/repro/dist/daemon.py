@@ -41,6 +41,7 @@ from repro.jvm.threads import JThread, checkpoint
 from repro.net.sockets import ServerSocket
 from repro.security import access
 from repro.security.codesource import CodeSource
+from repro.security.policy import PHASES
 
 CLASS_NAME = "dist.RexecDaemon"
 CODE_SOURCE = CodeSource("file:/usr/local/java/tools/rexecd/RexecDaemon.class")
@@ -66,6 +67,12 @@ def _serve_request(ctx, channel, request, on_done=None):
     # ResourceLimits travel with the request and are enforced *here*, on
     # the executing VM — the client's ceilings survive the network.
     limits = protocol.limits_from_wire(request.get("limits"))
+    # Learning mode and a launch-phase override ride along the same way.
+    # Junk phases from untrusted requesters are dropped, not fatal.
+    record = bool(request.get("record", False))
+    phase = request.get("phase")
+    if phase is not None and str(phase) not in PHASES:
+        phase = None
     # Coalescing frame streams: auto-flush stays off so byte-at-a-time
     # writers pay one frame per newline/threshold, not one per write.
     out_frames = protocol.FrameOutputStream(channel, "o")
@@ -73,7 +80,8 @@ def _serve_request(ctx, channel, request, on_done=None):
     stdout = PrintStream(out_frames, auto_flush=False)
     stderr = PrintStream(err_frames, auto_flush=False)
     spec = ExecSpec(class_name, tuple(args), user=user, stdout=stdout,
-                    stderr=stderr, limits=limits)
+                    stderr=stderr, limits=limits,
+                    record_policy=record, phase=phase)
     try:
         # The daemon asserts its own setUser grant to launch as `user`.
         child = access.do_privileged(lambda: Application._exec_spec(

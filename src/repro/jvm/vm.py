@@ -105,6 +105,7 @@ class VirtualMachine:
         self.dist_pool = None              # repro.dist.pool (lazy)
         self.admission = None              # repro.super.admission
         self.supervisors = {}              # name -> repro.super.Supervisor
+        self.policy_recorder = None        # repro.policytool.recorder (lazy)
 
         self._state = STATE_NEW
         self._state_lock = threading.Lock()

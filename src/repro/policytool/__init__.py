@@ -1,0 +1,47 @@
+"""Policy inference + execution-state MAC: the audit loop, closed.
+
+The paper's central operational cost is hand-authored per-application
+policies (Section 5.3), and its audit requirement produces a trail nobody
+consumes.  This package turns that trail into a least-privilege policy
+engine, following the trace-to-policy direction of "Generating
+Stack-based Access Control Policies" and the phase-conditioned profiles
+of TOMOYO Linux (see PAPERS.md):
+
+* :mod:`repro.policytool.recorder` — per-application *learning mode*: a
+  :class:`PolicyRecorder` listens on the VM's audit log and captures one
+  isolated slice per recorded application (enabled per-launch via
+  ``ExecSpec(record_policy=True)`` or at runtime by the ``policygen``
+  tool).
+* :mod:`repro.policytool.infer` — folds a recorded slice into the
+  smallest grant set that still satisfies the trace, generalizing file
+  targets to directory globs where safe, and emits it in the existing
+  ``security.policy`` file format (``Policy.render``).
+* :mod:`repro.policytool.diff` — compares an inferred policy against the
+  live one: *missing* grants would deny the observed workload, *unused*
+  grants are over-privilege to retire.
+* :mod:`repro.policytool.lint` — static checks on any policy (duplicate
+  selectors, redundant permissions, shadowed phase grants, stray
+  AllPermission, unknown phases).
+
+The execution-state MAC itself lives in the security layer (``phase``
+grant conditions in :mod:`repro.security.policy`, phase-keyed decision
+memos in :mod:`repro.security.codesource`) and the application lifecycle
+(:meth:`repro.core.application.Application.advance_phase`); this package
+is the tooling that exploits it.
+"""
+
+from repro.policytool.diff import DiffEntry, PolicyDiff, diff_policies, render_diff
+from repro.policytool.infer import (
+    infer_policy,
+    needed_permissions,
+    unsatisfied_records,
+)
+from repro.policytool.lint import LintFinding, lint_policy, render_findings
+from repro.policytool.recorder import PolicyRecorder, RecordingSlice, recorder_for
+
+__all__ = [
+    "DiffEntry", "LintFinding", "PolicyDiff", "PolicyRecorder",
+    "RecordingSlice", "diff_policies", "infer_policy",
+    "lint_policy", "needed_permissions", "recorder_for", "render_diff",
+    "render_findings", "unsatisfied_records",
+]

@@ -1,0 +1,98 @@
+"""Diff an inferred policy against the live one.
+
+Two directions, two findings:
+
+* **missing** — a permission the workload exercised (it is in the
+  inferred policy) that the live policy does not grant to that code
+  source in that phase.  Installing the live policy as-is would deny the
+  recorded workload there.
+* **unused** — a live code-source grant that implies *none* of the
+  observed needs of any matching code source: over-privilege the trace
+  says can be retired.  Only live entries that apply to an observed code
+  source are judged — grants to code that never ran are out of scope of
+  the trace, not "unused".
+
+Pure user grants (Section 5.3 ``grant user`` blocks) are skipped on the
+unused side: they are exercised indirectly through ``UserPermission`` and
+a code-source trace cannot prove them idle.  ``UserPermission`` itself is
+likewise never reported unused.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.security.permissions import Permission, UserPermission
+from repro.security.policy import Policy
+
+
+@dataclass(frozen=True)
+class DiffEntry:
+    """One divergence between live and inferred policy."""
+
+    code_base: Optional[str]
+    phase: Optional[str]
+    permission: Permission
+
+    def describe(self) -> str:
+        where = self.code_base or "<all code>"
+        if self.phase is not None:
+            where += f' [phase "{self.phase}"]'
+        return f"{where}: {self.permission!r}"
+
+
+@dataclass
+class PolicyDiff:
+    missing: list[DiffEntry]
+    unused: list[DiffEntry]
+
+    def is_clean(self) -> bool:
+        return not self.missing and not self.unused
+
+
+def diff_policies(live: Policy, inferred: Policy) -> PolicyDiff:
+    """Compare the live policy against an audit-inferred one."""
+    missing: list[DiffEntry] = []
+    observed: list[tuple] = []  # (code_source, phase, [needed permissions])
+    for entry in inferred.entries():
+        code_source = entry.code_source
+        url = code_source.url if code_source is not None else None
+        granted = live.permissions_for_code_source(code_source, entry.phase)
+        for permission in entry.permissions:
+            if not granted.implies(permission):
+                missing.append(DiffEntry(url, entry.phase, permission))
+        observed.append((code_source, entry.phase,
+                         list(entry.permissions)))
+
+    unused: list[DiffEntry] = []
+    for live_entry in live.entries():
+        if live_entry.code_source is None and live_entry.user is not None:
+            continue  # pure user grant: exercised via UserPermission
+        needed = [permission
+                  for code_source, phase, permissions in observed
+                  if live_entry.matches_code_source(code_source, phase)
+                  for permission in permissions]
+        if not needed:
+            continue  # no observed code source matches this grant
+        url = live_entry.code_source.url \
+            if live_entry.code_source is not None else None
+        for permission in live_entry.permissions:
+            if isinstance(permission, UserPermission):
+                continue
+            if not any(permission.implies(need) for need in needed):
+                unused.append(
+                    DiffEntry(url, live_entry.phase, permission))
+    return PolicyDiff(missing, unused)
+
+
+def render_diff(diff: PolicyDiff) -> str:
+    """Human-readable diff: ``+`` would-deny, ``-`` over-privilege."""
+    lines: list[str] = []
+    for entry in diff.missing:
+        lines.append(f"+ missing  {entry.describe()}")
+    for entry in diff.unused:
+        lines.append(f"- unused   {entry.describe()}")
+    if not lines:
+        lines.append("policies agree on the observed workload")
+    return "\n".join(lines) + "\n"

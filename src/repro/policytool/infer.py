@@ -1,0 +1,201 @@
+"""Inference: fold an audit slice into the smallest sufficient grant set.
+
+The pipeline, per "Generating Stack-based Access Control Policies":
+
+1. keep the *granted*, structured records (denials tell us what the old
+   policy refused, not what the workload needs; string-only ancestry
+   grants have no permission object to re-grant);
+2. attribute each record to the application code sources that needed it —
+   every non-system domain on the captured stack context (the walk
+   required **all** of them to pass), falling back to the top-of-stack
+   ``domain`` column when no stack was captured;
+3. bucket by ``(code source, phase)`` and union actions per
+   ``(permission type, target)``;
+4. *generalize*: when at least :data:`GLOB_THRESHOLD` distinct files in
+   the same directory were touched, replace them with one ``dir/*``
+   grant (never at filesystem root — that would be a privilege cliff,
+   not a tidy-up);
+5. *minimize*: drop any permission implied by another in the same
+   bucket;
+6. emit exact-URL ``codeBase`` grants through the normal
+   :class:`~repro.security.policy.Policy` API, so
+   ``policy.render()`` round-trips through ``parse_policy``.
+
+Generalization note: merging files unions their action sets, so a
+directory where one file was read and another written becomes
+``read,write`` on the glob.  That is the usual precision/size trade; pass
+``glob_threshold=0`` to disable generalization entirely.
+"""
+
+from __future__ import annotations
+
+import posixpath
+from typing import Iterable, Optional
+
+from repro.security.codesource import CodeSource
+from repro.security.permissions import (
+    FilePermission,
+    Permission,
+    make_permission,
+)
+from repro.security.policy import Policy
+
+#: Distinct same-directory files needed before they collapse to ``dir/*``.
+GLOB_THRESHOLD = 3
+
+#: Domain names that never receive inferred grants: the trusted kernel
+#: side of the walk, not the application under study.
+_SYSTEM_DOMAIN_NAMES = {"<system>", "<ancestry>"}
+_SYSTEM_URL_PREFIX = "file:/system"
+
+
+def _is_grantable_domain(name: Optional[str]) -> bool:
+    """True for domain names an inferred grant may target.
+
+    Interned policy-backed domains are named by their code-source URL;
+    system/boot domains carry sentinel names (or the boot URL) and stay
+    out of inferred policies.
+    """
+    if not name or name in _SYSTEM_DOMAIN_NAMES:
+        return False
+    if name.startswith(_SYSTEM_URL_PREFIX):
+        return False
+    return ":" in name  # URL-shaped — usable as a codeBase selector
+
+
+def _app_domains(record: dict) -> list[str]:
+    stack = record.get("stack")
+    if stack:
+        return [name for name in stack if _is_grantable_domain(name)]
+    domain = record.get("domain")
+    if _is_grantable_domain(domain):
+        return [domain]
+    return []
+
+
+def _record_permission(record: dict) -> Optional[Permission]:
+    ptype = record.get("ptype")
+    if not ptype:
+        return None
+    try:
+        return make_permission(ptype, record.get("target"),
+                               record.get("actions") or None)
+    except Exception:
+        return None  # foreign permission type in an imported trace
+
+
+def needed_permissions(records: Iterable[dict], *,
+                       phase_aware: bool = False) -> dict:
+    """Step 1-3: ``(code_base, phase) -> {(ptype, target): set(actions)}``.
+
+    With ``phase_aware`` False (the default) every bucket lands on phase
+    ``None`` — an unconditional policy.  With it True, records split by
+    the phase they were observed in, yielding phase-conditioned grants.
+    """
+    needs: dict = {}
+    for record in records:
+        if not record.get("granted") or not record.get("ptype"):
+            continue
+        phase = record.get("phase") if phase_aware else None
+        for code_base in _app_domains(record):
+            bucket = needs.setdefault((code_base, phase), {})
+            key = (record["ptype"], record.get("target"))
+            actions = bucket.setdefault(key, set())
+            for action in (record.get("actions") or "").split(","):
+                action = action.strip()
+                if action:
+                    actions.add(action)
+    return needs
+
+
+def _build_permissions(bucket: dict) -> list[Permission]:
+    permissions = []
+    for (ptype, target), actions in bucket.items():
+        try:
+            permissions.append(make_permission(
+                ptype, target, ",".join(sorted(actions)) or None))
+        except Exception:
+            continue
+    return permissions
+
+
+def _generalize_files(permissions: list[Permission],
+                      threshold: int) -> list[Permission]:
+    """Step 4: ``>= threshold`` exact files in one directory → ``dir/*``."""
+    if threshold <= 0:
+        return permissions
+    by_dir: dict[str, list[FilePermission]] = {}
+    for permission in permissions:
+        if not isinstance(permission, FilePermission):
+            continue
+        name = permission.name
+        if name.endswith(("/*", "/-")) or name == "<<ALL FILES>>":
+            continue  # already generalized (or maximal)
+        parent = posixpath.dirname(name)
+        if parent and parent != "/":
+            by_dir.setdefault(parent, []).append(permission)
+    out = list(permissions)
+    for parent, group in by_dir.items():
+        if len(group) < threshold:
+            continue
+        merged_actions = sorted(
+            {action for permission in group
+             for action in permission.actions().split(",") if action})
+        out = [p for p in out if p not in group]
+        out.append(FilePermission(parent + "/*", ",".join(merged_actions)))
+    return out
+
+
+def _drop_implied(permissions: list[Permission]) -> list[Permission]:
+    """Step 5: deduplicate, then drop anything another grant implies."""
+    unique = list({(type(p).__name__, p.name, p.actions()): p
+                   for p in permissions}.values())
+    return [p for p in unique
+            if not any(q is not p and q.implies(p) for q in unique)]
+
+
+def infer_policy(records: Iterable[dict], *, phase_aware: bool = False,
+                 glob_threshold: int = GLOB_THRESHOLD) -> Policy:
+    """The full pipeline: an audit slice in, a least-privilege policy out.
+
+    The result renders to ``security.policy`` text via ``.render()`` and
+    parses back with ``parse_policy`` (grant order and permission order
+    are deterministic, so diffs are stable).
+    """
+    needs = needed_permissions(records, phase_aware=phase_aware)
+    policy = Policy()
+    for code_base, phase in sorted(needs,
+                                   key=lambda k: (k[0], k[1] or "")):
+        permissions = _build_permissions(needs[(code_base, phase)])
+        permissions = _generalize_files(permissions, glob_threshold)
+        permissions = _drop_implied(permissions)
+        permissions.sort(
+            key=lambda p: (type(p).__name__, p.name or "", p.actions()))
+        policy.add_grant(permissions, code_base=code_base, phase=phase)
+    return policy
+
+
+def unsatisfied_records(policy: Policy, records: Iterable[dict], *,
+                        phase_aware: bool = False) -> list[dict]:
+    """The granted records ``policy`` would *deny* (the would-deny set).
+
+    Empty means ``policy`` is sufficient for the recorded workload: every
+    domain that passed a check still passes it.  Used by the sufficiency
+    tests and by ``diff`` to cross-check a tightened policy before
+    installing it.
+    """
+    missing = []
+    for record in records:
+        if not record.get("granted"):
+            continue
+        permission = _record_permission(record)
+        if permission is None:
+            continue
+        phase = record.get("phase") if phase_aware else None
+        for code_base in _app_domains(record):
+            granted = policy.permissions_for_code_source(
+                CodeSource(code_base), phase)
+            if not granted.implies(permission):
+                missing.append(record)
+                break
+    return missing

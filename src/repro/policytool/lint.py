@@ -1,0 +1,139 @@
+"""Static policy checks — the correctness tooling for hand-edited files.
+
+Inference produces clean policies; humans then edit them.  ``policygen
+lint`` catches the classes of drift that the parser happily accepts but
+that silently change (or fail to change) enforcement:
+
+* ``unknown-phase`` (error): a phase name the kernel never enters — the
+  grant can never match, i.e. it silently denies.
+* ``dead-user-selector`` (error): ``user`` and ``codeBase`` in the same
+  grant — the code path ignores ``user`` and the user path requires
+  ``codeBase`` absent, so the selector does nothing.
+* ``duplicate-selector`` (warn): two grants with identical selectors;
+  legal, but merge them.
+* ``shadowed-phase-grant`` (warn): a phase-conditioned grant whose every
+  permission is already granted unconditionally to the same code — the
+  phase condition enforces nothing.
+* ``all-permission`` (warn): AllPermission outside the system domain.
+* ``redundant-permission`` (info): a permission implied by another in
+  the same grant.
+* ``empty-grant`` (info): a grant block with no permissions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.security.permissions import AllPermission
+from repro.security.policy import PHASES, Policy
+
+SEVERITIES = ("error", "warn", "info")
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    code: str
+    severity: str
+    message: str
+
+    def describe(self) -> str:
+        return f"{self.severity}: [{self.code}] {self.message}"
+
+
+def _selector_of(entry) -> str:
+    parts = []
+    if entry.code_source is not None:
+        if entry.code_source.url is not None:
+            parts.append(f'codeBase "{entry.code_source.url}"')
+        if entry.code_source.signers:
+            parts.append(
+                f'signedBy "{",".join(sorted(entry.code_source.signers))}"')
+    if entry.user is not None:
+        parts.append(f'user "{entry.user}"')
+    if entry.phase is not None:
+        parts.append(f'phase "{entry.phase}"')
+    return ", ".join(parts) or "<all code>"
+
+
+def lint_policy(policy: Policy) -> list[LintFinding]:
+    """All findings for ``policy``, errors first."""
+    findings: list[LintFinding] = []
+    entries = policy.entries()
+
+    seen_selectors: dict[tuple, int] = {}
+    for entry in entries:
+        selector = _selector_of(entry)
+        key = (entry.code_source, entry.user, entry.phase)
+        count = seen_selectors.get(key, 0)
+        seen_selectors[key] = count + 1
+        if count == 1:  # report once, on the first duplicate
+            findings.append(LintFinding(
+                "duplicate-selector", "warn",
+                f"more than one grant for {selector}; merge them"))
+
+        if entry.phase is not None and entry.phase not in PHASES:
+            findings.append(LintFinding(
+                "unknown-phase", "error",
+                f'grant {selector}: phase "{entry.phase}" is not one of '
+                f"{'/'.join(PHASES)} — it can never match"))
+
+        if entry.user is not None and entry.code_source is not None:
+            findings.append(LintFinding(
+                "dead-user-selector", "error",
+                f"grant {selector}: user and codeBase together match "
+                "neither the code path nor the user path"))
+
+        if not entry.permissions:
+            findings.append(LintFinding(
+                "empty-grant", "info", f"grant {selector}: no permissions"))
+
+        for permission in entry.permissions:
+            if isinstance(permission, AllPermission):
+                url = entry.code_source.url if entry.code_source else None
+                if url is None or not url.startswith("file:/system"):
+                    findings.append(LintFinding(
+                        "all-permission", "warn",
+                        f"grant {selector}: AllPermission outside the "
+                        "system domain defeats least privilege"))
+            others = [p for p in entry.permissions if p is not permission]
+            if any(other.implies(permission) for other in others):
+                findings.append(LintFinding(
+                    "redundant-permission", "info",
+                    f"grant {selector}: {permission!r} is implied by "
+                    "another permission in the same grant"))
+
+        if entry.phase is not None and entry.permissions:
+            unconditional = [
+                other for other in entries
+                if other is not entry and other.phase is None
+                and other.user is None and entry.user is None
+                and _code_covers(other, entry)]
+            if unconditional and all(
+                    any(granted.implies(permission)
+                        for other in unconditional
+                        for granted in other.permissions)
+                    for permission in entry.permissions):
+                findings.append(LintFinding(
+                    "shadowed-phase-grant", "warn",
+                    f"grant {selector}: every permission is already "
+                    "granted unconditionally — the phase condition "
+                    "enforces nothing"))
+
+    findings.sort(key=lambda finding: SEVERITIES.index(finding.severity))
+    return findings
+
+
+def _code_covers(broader, narrower) -> bool:
+    """Does ``broader``'s code selector cover ``narrower``'s?"""
+    if broader.code_source is None:
+        return True
+    if narrower.code_source is None:
+        return False
+    return broader.code_source.implies(narrower.code_source) or \
+        broader.code_source.url == narrower.code_source.url
+
+
+def render_findings(findings: list[LintFinding]) -> str:
+    if not findings:
+        return "clean: no findings\n"
+    return "\n".join(finding.describe() for finding in findings) + "\n"

@@ -1,0 +1,125 @@
+"""Learning mode: per-application capture of the audit stream.
+
+The recorder is an :class:`~repro.telemetry.audit.AuditLog` listener that
+routes every record carrying an ``app_id`` into that application's own
+:class:`RecordingSlice`.  Slices are keyed and filtered by application id
+*before* anything is appended, so two applications recording in parallel
+can never interleave: a record lands in exactly the slice its ``app_id``
+names, or nowhere.
+
+Recording is enabled per launch (``ExecSpec(record_policy=True)``) or at
+runtime by the ``policygen record`` tool; it stops automatically when the
+application exits (via an exit hook), leaving the finished slice behind
+for ``policygen infer`` / ``/proc/policy/<app>``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+#: Safety bound per slice — a runaway app in learning mode stops growing
+#: its slice (and counts what it lost) instead of growing memory.
+SLICE_CAPACITY = 50_000
+
+
+class RecordingSlice:
+    """One application's captured audit records, in arrival order."""
+
+    __slots__ = ("app_id", "app_name", "user", "records", "active",
+                 "dropped", "_lock")
+
+    def __init__(self, application):
+        self.app_id = application.app_id
+        self.app_name = application.name
+        self.user = application.user.name
+        self.records: list[dict] = []
+        self.active = True
+        self.dropped = 0
+        self._lock = threading.Lock()
+
+    def append(self, entry: dict) -> None:
+        with self._lock:
+            if not self.active:
+                return
+            if len(self.records) >= SLICE_CAPACITY:
+                self.dropped += 1
+                return
+            self.records.append(entry)
+
+    def snapshot(self) -> list[dict]:
+        with self._lock:
+            return list(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class PolicyRecorder:
+    """Routes the audit stream into per-application slices."""
+
+    def __init__(self, hub):
+        self._hub = hub
+        self._lock = threading.Lock()
+        self._slices: dict[int, RecordingSlice] = {}
+        self._listening = False
+
+    def _on_record(self, entry: dict) -> None:
+        app_id = entry.get("app_id")
+        if app_id is None:
+            return
+        slice_ = self._slices.get(app_id)
+        if slice_ is not None:
+            slice_.append(entry)
+
+    def start(self, application) -> RecordingSlice:
+        """Begin (or restart) recording ``application``'s audit slice."""
+        with self._lock:
+            if not self._listening:
+                self._hub.audit.add_listener(self._on_record)
+                self._listening = True
+            slice_ = self._slices.get(application.app_id)
+            if slice_ is None or not slice_.active:
+                slice_ = RecordingSlice(application)
+                self._slices[application.app_id] = slice_
+        application.policy_recording = True
+        application.add_exit_hook(lambda: self.stop(application))
+        return slice_
+
+    def stop(self, application) -> Optional[RecordingSlice]:
+        """Freeze the slice (it stays readable for inference)."""
+        application.policy_recording = False
+        slice_ = self._slices.get(application.app_id)
+        if slice_ is not None:
+            slice_.active = False
+        return slice_
+
+    def slice_for(self, app_id: int) -> Optional[RecordingSlice]:
+        return self._slices.get(app_id)
+
+    def is_recording(self, app_id: int) -> bool:
+        slice_ = self._slices.get(app_id)
+        return slice_ is not None and slice_.active
+
+    def discard(self, app_id: int) -> Optional[RecordingSlice]:
+        with self._lock:
+            return self._slices.pop(app_id, None)
+
+    def slices(self) -> list[RecordingSlice]:
+        with self._lock:
+            return list(self._slices.values())
+
+
+_recorder_lock = threading.Lock()
+
+
+def recorder_for(vm) -> PolicyRecorder:
+    """The VM's (lazily created) policy recorder."""
+    recorder = getattr(vm, "policy_recorder", None)
+    if recorder is None:
+        with _recorder_lock:
+            recorder = getattr(vm, "policy_recorder", None)
+            if recorder is None:
+                recorder = PolicyRecorder(vm.telemetry)
+                vm.policy_recorder = recorder
+    return recorder

@@ -32,6 +32,7 @@ import threading
 from typing import Callable, Optional
 
 from repro.jvm.errors import AccessControlException
+from repro.security import cache
 from repro.security.codesource import ProtectionDomain
 from repro.security.permissions import Permission, Permissions, UserPermission
 
@@ -106,20 +107,25 @@ class AccessControlContext:
         self.domains = tuple(domains)
 
     def check_permission(self, permission: Permission,
-                         _seen: Optional[set] = None) -> None:
+                         _seen: Optional[set] = None,
+                         _phase: Optional[str] = None) -> None:
         """Check every captured domain; ``_seen`` (internal) carries the
         identities the enclosing stack walk already validated, so shared
         (interned) domains are checked once per walk, not once per
-        appearance."""
+        appearance.  ``_phase`` (internal) is the caller's lifecycle phase,
+        resolved once by the enclosing walk; direct callers resolve it
+        here."""
+        if _phase is None and cache.PHASE_AWARE:
+            _phase = cache.current_phase()
         if _seen is None:
             for domain in self.domains:
-                _check_domain(domain, permission)
+                _check_domain(domain, permission, _phase)
             return
         for domain in self.domains:
             key = id(domain)
             if key not in _seen:
                 _seen.add(key)
-                _check_domain(domain, permission)
+                _check_domain(domain, permission, _phase)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"AccessControlContext({[d.name for d in self.domains]})"
@@ -131,12 +137,12 @@ def _user_permissions() -> Optional[Permissions]:
     return user_permission_resolver()
 
 
-def _domain_satisfies(domain: ProtectionDomain,
-                      permission: Permission) -> bool:
+def _domain_satisfies(domain: ProtectionDomain, permission: Permission,
+                      phase: Optional[str] = None) -> bool:
     """Code-source grants, combined with user grants per Section 5.3."""
-    if domain.implies(permission):
+    if domain.implies(permission, phase):
         return True
-    if domain.implies(_USER_PERMISSION):
+    if domain.implies(_USER_PERMISSION, phase):
         user_perms = _user_permissions()
         if user_perms is not None and user_perms.implies(permission):
             return True
@@ -144,10 +150,11 @@ def _domain_satisfies(domain: ProtectionDomain,
 
 
 def _check_domain(domain: Optional[ProtectionDomain],
-                  permission: Permission) -> None:
+                  permission: Permission,
+                  phase: Optional[str] = None) -> None:
     if domain is None:
         return  # host / boot frames are fully trusted
-    if not _domain_satisfies(domain, permission):
+    if not _domain_satisfies(domain, permission, phase):
         raise AccessControlException(
             f"access denied to {domain.name}", permission)
 
@@ -161,23 +168,30 @@ def _walk(permission: Permission) -> None:
     :func:`get_context` applies when snapshotting), and the set is shared
     with the privileged frame's bounding context and the thread's
     inherited context.
+
+    The execution-state MAC resolves the caller's lifecycle phase *once
+    per walk* (never per domain) and threads it through every domain
+    check, so phase-free deployments pay one global flag load and
+    phase-aware ones pay one resolver call per check.
     """
     stack = _stack()
     seen: set[int] = set()
+    phase = cache.current_phase() if cache.PHASE_AWARE else None
     for frame in reversed(stack):
         domain = frame.domain
         if domain is not None:
             key = id(domain)
             if key not in seen:
                 seen.add(key)
-                _check_domain(domain, permission)
+                _check_domain(domain, permission, phase)
         if frame.privileged:
             if frame.context is not None:
-                frame.context.check_permission(permission, _seen=seen)
+                frame.context.check_permission(permission, _seen=seen,
+                                               _phase=phase)
             return
     inherited = _inherited_context()
     if inherited is not None:
-        inherited.check_permission(permission, _seen=seen)
+        inherited.check_permission(permission, _seen=seen, _phase=phase)
 
 
 def check_permission(permission: Permission) -> None:

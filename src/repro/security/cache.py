@@ -37,6 +37,26 @@ ENABLED = True
 #: cost more than the rare reset).
 DOMAIN_MEMO_LIMIT = 256
 
+#: Sticky flag: set True the first time any :class:`Policy` sees a grant
+#: with a ``phase`` condition (the execution-state MAC).  Checked once per
+#: access-control walk, so deployments that never use phase grants pay a
+#: single global load per check and nothing else.
+PHASE_AWARE = False
+
+#: Injection point: returns the current application's lifecycle phase
+#: ("init" / "steady" / "shutdown") or None for host threads.  Installed by
+#: ``repro.core.launcher.install_global_hooks``; kept here so the access
+#: controller never imports the application layer.
+phase_resolver = None
+
+
+def current_phase():
+    """The calling thread's application phase, or None outside any app."""
+    resolver = phase_resolver
+    if resolver is None:
+        return None
+    return resolver()
+
 
 class CacheCounters:
     """The ``security.cache.*`` metric bundle, bound to one registry.

@@ -107,38 +107,59 @@ class ProtectionDomain:
         # check.  A policy object without an epoch (a test stub) cannot be
         # validated, so such domains skip memoization entirely.
         self._memo: dict[Permission, bool] = {}
+        #: Per-phase decision memos (phase -> permission -> bool), used
+        #: only when the policy is phase-sensitive.  Memos for different
+        #: phases coexist, so an application's phase transition needs no
+        #: invalidation at all — and never touches the global epoch.
+        self._memo_by_phase: dict[str, dict[Permission, bool]] = {}
         self._memo_epoch = -1
         self._memo_static = -1
         self._memoizable = policy is None or hasattr(policy, "epoch")
         self._counters = getattr(policy, "cache_counters",
                                  cache.GLOBAL_COUNTERS)
 
-    def implies(self, permission: Permission) -> bool:
+    def implies(self, permission: Permission,
+                phase: Optional[str] = None) -> bool:
         policy = self.policy
+        # The phase only matters when the policy actually conditions on it;
+        # otherwise decisions stay phase-free and share the plain memo.
+        phased = (phase is not None and policy is not None
+                  and getattr(policy, "phase_sensitive", False))
         if not cache.ENABLED or not self._memoizable:
             if self.static_permissions.implies(permission):
                 return True
             if policy is not None:
+                if phased:
+                    return policy.implies(self, permission, phase)
                 return policy.implies(self, permission)
             return False
         epoch = policy.epoch if policy is not None else 0
         static_version = self.static_permissions.version
         if epoch != self._memo_epoch or static_version != self._memo_static:
             # Wholesale replacement keeps concurrent readers safe: the new
-            # dict is installed before the stamps, so a reader that sees
-            # matching stamps (below) is guaranteed a dict at least as new
+            # dicts are installed before the stamps, so a reader that sees
+            # matching stamps (below) is guaranteed dicts at least as new
             # as those stamps.
-            memo = self._memo = {}
+            self._memo = {}
+            self._memo_by_phase = {}
             self._memo_epoch = epoch
             self._memo_static = static_version
+        if phased:
+            memo = self._memo_by_phase.get(phase)
+            if memo is None:
+                memo = self._memo_by_phase[phase] = {}
         else:
             memo = self._memo
         cached = memo.get(permission)
         if cached is not None:
             self._counters.domain_hit.inc()
             return cached
-        result = self.static_permissions.implies(permission) or \
-            (policy is not None and policy.implies(self, permission))
+        if phased:
+            result = self.static_permissions.implies(permission) or \
+                policy.implies(self, permission, phase)
+        else:
+            result = self.static_permissions.implies(permission) or \
+                (policy is not None and policy.implies(self, permission))
         if len(memo) < cache.DOMAIN_MEMO_LIMIT:
             memo[permission] = result
         self._counters.domain_miss.inc()

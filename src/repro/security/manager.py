@@ -35,6 +35,12 @@ class SecurityManager:
     #: decisions made from host threads reach the right audit log.
     vm = None
 
+    #: Canonical label this manager writes into audit records.  Fixed per
+    #: class (not derived from ``type(self).__name__``) so subclassed or
+    #: wrapped managers cannot drift the trail's vocabulary — policy
+    #: inference keys on these two labels.
+    AUDIT_NAME = "SecurityManager"
+
     # -- the funnel --------------------------------------------------------------
 
     def check_permission(self, permission: Permission) -> None:
@@ -49,12 +55,12 @@ class SecurityManager:
         try:
             access.check_permission(permission)
         except SecurityException:
-            audit_check(str(permission), granted=False,
-                        manager=type(self).__name__,
+            audit_check(permission, granted=False,
+                        manager=self.AUDIT_NAME,
                         domain=domain_name, vm=self.vm)
             raise
-        audit_check(str(permission), granted=True,
-                    manager=type(self).__name__,
+        audit_check(permission, granted=True,
+                    manager=self.AUDIT_NAME,
                     domain=domain_name, vm=self.vm)
 
     # -- files --------------------------------------------------------------------

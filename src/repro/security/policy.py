@@ -21,6 +21,20 @@ permissions to the *user* alice, consulted by the access controller when a
 domain holding :class:`~repro.security.permissions.UserPermission` runs on
 behalf of alice (Section 5.3).
 
+A grant may additionally carry a ``phase`` condition (the execution-state
+MAC, in the spirit of TOMOYO's per-phase profiles)::
+
+    grant codeBase "file:/usr/local/java/apps/editor/*", phase "init" {
+        permission FilePermission "/etc/editor.conf", "read";
+    };
+
+Phase-conditioned grants only apply while the calling application is in
+that lifecycle phase (:data:`PHASES`: ``init`` → ``steady`` →
+``shutdown``).  Host threads have no phase, so phase grants fail closed
+for them.  Phase enforcement folds into the cached ``check_permission``
+walk — per-phase decision memos coexist inside each protection domain, so
+a phase transition never bumps the global epoch.
+
 The paper's own example policy (Section 5.3) is provided verbatim by
 :func:`paper_example_policy` and exercised by the S1 experiment tests.
 """
@@ -42,6 +56,15 @@ from repro.security.permissions import (
 )
 
 
+#: Application lifecycle phases, in their only legal order.  The kernel
+#: advances apps forward through these (construction → first AWT dispatch
+#: → exit); apps may advance themselves to drop privileges early.
+PHASE_INIT = "init"
+PHASE_STEADY = "steady"
+PHASE_SHUTDOWN = "shutdown"
+PHASES = (PHASE_INIT, PHASE_STEADY, PHASE_SHUTDOWN)
+
+
 @dataclass
 class GrantEntry:
     """One ``grant`` block of a policy."""
@@ -49,15 +72,23 @@ class GrantEntry:
     code_source: Optional[CodeSource] = None
     user: Optional[str] = None
     permissions: list[Permission] = field(default_factory=list)
+    #: Optional execution-phase condition; None means "in any phase".
+    phase: Optional[str] = None
 
-    def matches_code_source(self, code_source: Optional[CodeSource]) -> bool:
+    def matches_code_source(self, code_source: Optional[CodeSource],
+                            phase: Optional[str] = None) -> bool:
+        if self.phase is not None and self.phase != phase:
+            return False  # fail closed: host threads have phase None
         if self.user is not None and self.code_source is None:
             return False  # pure user grant; never matches code
         if self.code_source is None:
             return True  # grant to all code
         return self.code_source.implies(code_source)
 
-    def matches_user(self, user_name: str) -> bool:
+    def matches_user(self, user_name: str,
+                     phase: Optional[str] = None) -> bool:
+        if self.phase is not None and self.phase != phase:
+            return False
         return self.user == user_name and self.code_source is None
 
 
@@ -77,13 +108,20 @@ class Policy:
         self._entries: list[GrantEntry] = list(entries or [])
         self._lock = threading.RLock()
         self._epoch = 0
-        self._code_source_cache: dict[Optional[CodeSource], Permissions] = {}
-        self._user_cache: dict[str, Permissions] = {}
+        #: keyed ``(code_source, phase)`` / ``(user, phase)``; phase is
+        #: normalized to None while no grant carries a phase condition, so
+        #: phase-free policies keep exactly one entry per source.
+        self._code_source_cache: dict[tuple, Permissions] = {}
+        self._user_cache: dict[tuple, Permissions] = {}
         #: One interned policy-backed domain per code source, so identical
         #: code sources share one decision memo (hit rates compound).
         self._interned_domains: dict[Optional[CodeSource],
                                      ProtectionDomain] = {}
         self.cache_counters = cache.CacheCounters()
+        self.phase_sensitive = any(
+            entry.phase is not None for entry in self._entries)
+        if self.phase_sensitive:
+            cache.PHASE_AWARE = True
 
     @property
     def epoch(self) -> int:
@@ -107,19 +145,26 @@ class Policy:
         self._epoch += 1
         self._code_source_cache.clear()
         self._user_cache.clear()
+        self.phase_sensitive = any(
+            entry.phase is not None for entry in self._entries)
+        if self.phase_sensitive:
+            # Sticky, process-wide: once any policy conditions on phase,
+            # walks start resolving the caller's phase (once per walk).
+            cache.PHASE_AWARE = True
         self.cache_counters.invalidation.inc()
 
     def add_grant(self, permissions: list[Permission],
                   code_base: Optional[str] = None,
                   signed_by: Optional[str] = None,
-                  user: Optional[str] = None) -> GrantEntry:
+                  user: Optional[str] = None,
+                  phase: Optional[str] = None) -> GrantEntry:
         code_source = None
         if code_base is not None or signed_by is not None:
             signers = [s.strip() for s in (signed_by or "").split(",")
                        if s.strip()]
             code_source = CodeSource(code_base, signers)
         entry = GrantEntry(code_source=code_source, user=user,
-                           permissions=list(permissions))
+                           permissions=list(permissions), phase=phase)
         with self._lock:
             self._entries.append(entry)
             self._invalidate_locked()
@@ -132,64 +177,74 @@ class Policy:
     # -- evaluation -----------------------------------------------------------------
 
     def _scan_code_source(
-            self, code_source: Optional[CodeSource]) -> Permissions:
+            self, code_source: Optional[CodeSource],
+            phase: Optional[str] = None) -> Permissions:
         granted = Permissions()
         for entry in self._entries:
-            if entry.matches_code_source(code_source):
+            if entry.matches_code_source(code_source, phase):
                 for permission in entry.permissions:
                     granted.add(permission)
         return granted
 
-    def _scan_user(self, user_name: str) -> Permissions:
+    def _scan_user(self, user_name: str,
+                   phase: Optional[str] = None) -> Permissions:
         granted = Permissions()
         for entry in self._entries:
-            if entry.matches_user(user_name):
+            if entry.matches_user(user_name, phase):
                 for permission in entry.permissions:
                     granted.add(permission)
         return granted
 
     def permissions_for_code_source(
-            self, code_source: Optional[CodeSource]) -> Permissions:
+            self, code_source: Optional[CodeSource],
+            phase: Optional[str] = None) -> Permissions:
+        if phase is not None and not self.phase_sensitive:
+            phase = None  # phase-free policy: one cache entry per source
         with self._lock:
             if not cache.ENABLED:
-                return self._scan_code_source(code_source)
-            granted = self._code_source_cache.get(code_source)
+                return self._scan_code_source(code_source, phase)
+            key = (code_source, phase)
+            granted = self._code_source_cache.get(key)
             if granted is None:
                 self.cache_counters.policy_miss.inc()
-                granted = self._scan_code_source(code_source)
+                granted = self._scan_code_source(code_source, phase)
                 granted.set_read_only()
-                self._code_source_cache[code_source] = granted
+                self._code_source_cache[key] = granted
             else:
                 self.cache_counters.policy_hit.inc()
             return granted
 
-    def permissions_for_user(self, user_name: str) -> Permissions:
+    def permissions_for_user(self, user_name: str,
+                             phase: Optional[str] = None) -> Permissions:
         """Section 5.3's user grants, consulted via UserPermission.
 
-        Memoized per ``(user, epoch)``: cache entries never survive a
-        grant mutation (the epoch bump clears them under the same lock),
+        Memoized per ``(user, phase, epoch)``: cache entries never survive
+        a grant mutation (the epoch bump clears them under the same lock),
         so ``setUser`` plus a policy refresh are both seen immediately by
         ``_domain_satisfies`` — which now stops allocating a fresh
         ``Permissions`` on every check of the user path.
         """
+        if phase is not None and not self.phase_sensitive:
+            phase = None
         with self._lock:
             if not cache.ENABLED:
-                return self._scan_user(user_name)
-            granted = self._user_cache.get(user_name)
+                return self._scan_user(user_name, phase)
+            key = (user_name, phase)
+            granted = self._user_cache.get(key)
             if granted is None:
                 self.cache_counters.policy_miss.inc()
-                granted = self._scan_user(user_name)
+                granted = self._scan_user(user_name, phase)
                 granted.set_read_only()
-                self._user_cache[user_name] = granted
+                self._user_cache[key] = granted
             else:
                 self.cache_counters.policy_hit.inc()
             return granted
 
-    def implies(self, domain: ProtectionDomain,
-                permission: Permission) -> bool:
+    def implies(self, domain: ProtectionDomain, permission: Permission,
+                phase: Optional[str] = None) -> bool:
         """Dynamic policy lookup used by :class:`ProtectionDomain`."""
         return self.permissions_for_code_source(
-            domain.code_source).implies(permission)
+            domain.code_source, phase).implies(permission)
 
     def domain_for_code_source(
             self, code_source: Optional[CodeSource],
@@ -244,6 +299,8 @@ class Policy:
                     selectors.append(f'signedBy "{signers}"')
             if entry.user is not None:
                 selectors.append(f'user "{entry.user}"')
+            if entry.phase is not None:
+                selectors.append(f'phase "{entry.phase}"')
             header = "grant" + (" " + ", ".join(selectors)
                                 if selectors else "")
             lines = [header + " {"]
@@ -359,6 +416,7 @@ def _parse_grant(stream: _TokenStream, policy: Policy) -> None:
     code_base: Optional[str] = None
     signed_by: Optional[str] = None
     user: Optional[str] = None
+    phase: Optional[str] = None
     while True:
         token = stream.peek()
         if token is None:
@@ -377,6 +435,8 @@ def _parse_grant(stream: _TokenStream, policy: Policy) -> None:
             signed_by = stream.expect("string")
         elif keyword == "user":
             user = stream.expect("string")
+        elif keyword == "phase":
+            phase = stream.expect("string")
         else:
             raise IllegalArgumentException(
                 f"unknown grant selector {keyword!r}")
@@ -394,7 +454,7 @@ def _parse_grant(stream: _TokenStream, policy: Policy) -> None:
         permissions.append(make_permission(type_name, target, actions))
     stream.accept("punct", ";")
     policy.add_grant(permissions, code_base=code_base,
-                     signed_by=signed_by, user=user)
+                     signed_by=signed_by, user=user, phase=phase)
 
 
 # --------------------------------------------------------------------------

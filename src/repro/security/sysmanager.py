@@ -33,6 +33,8 @@ from repro.telemetry import audit_check
 class SystemSecurityManager(SecurityManager):
     """Inter-application protection policy (Section 5.6)."""
 
+    AUDIT_NAME = "SystemSecurityManager"
+
     def _current_group(self):
         current = JThread.current_or_none()
         return current.group if current is not None else None
@@ -41,7 +43,7 @@ class SystemSecurityManager(SecurityManager):
         """Grants decided *here* (not by the AccessController) still land
         in the audit trail — Section 5.6's point is that several managers
         decide, so the trail says which one did."""
-        audit_check(what, granted=True, manager=type(self).__name__,
+        audit_check(what, granted=True, manager=self.AUDIT_NAME,
                     check=check, domain="<ancestry>", vm=self.vm)
 
     def check_access_thread(self, thread) -> None:

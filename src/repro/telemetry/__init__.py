@@ -25,7 +25,13 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from repro.telemetry.audit import AuditLog
+from repro.telemetry.audit import (
+    AUDIT_CAPACITY,
+    AuditLog,
+    JsonlStreamHook,
+    KNOWN_MANAGERS,
+    normalize_manager,
+)
 from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.telemetry.trace import (
     NOOP_SPAN,
@@ -37,10 +43,12 @@ from repro.telemetry.trace import (
 )
 
 __all__ = [
-    "AuditLog", "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "AuditLog", "Counter", "Gauge", "Histogram", "JsonlStreamHook",
+    "KNOWN_MANAGERS", "MetricsRegistry",
     "NOOP_SPAN", "Span", "TraceCollector", "Tracer", "TelemetryHub",
     "GLOBAL_HUB", "app_resolver", "audit_check", "current_hub",
-    "install_collector", "installed_collector",
+    "install_collector", "installed_collector", "normalize_manager",
+    "stack_resolver",
 ]
 
 #: Injection point: returns the current Application (or None).  Installed
@@ -48,15 +56,25 @@ __all__ = [
 #: never imports the application layer.
 app_resolver: Optional[Callable[[], object]] = None
 
+#: Injection point: returns the protection-domain names on the calling
+#: thread's access-control context, for policy-learning stack capture.
+#: Consulted only when the current application has ``policy_recording``
+#: set, so ordinary checks never pay for a context snapshot.
+stack_resolver: Optional[Callable[[], tuple]] = None
+
 
 class TelemetryHub:
     """One VM's bundle of metrics + tracer + audit log."""
 
-    def __init__(self, name: str = "vm"):
+    def __init__(self, name: str = "vm",
+                 audit_capacity: Optional[int] = None):
         self.name = name
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(name)
-        self.audit = AuditLog()
+        self.audit = AuditLog(audit_capacity if audit_capacity is not None
+                              else AUDIT_CAPACITY)
+        self.audit.bind_drop_counter(
+            self.metrics.counter("security.audit.dropped"))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"TelemetryHub({self.name!r}, metrics={len(self.metrics)}, "
@@ -82,10 +100,15 @@ def current_hub() -> TelemetryHub:
     return GLOBAL_HUB
 
 
-def audit_check(permission: str, granted: bool, manager: str,
+def audit_check(permission, granted: bool, manager: str,
                 check: str = "checkPermission",
                 domain: Optional[str] = None, vm=None) -> None:
     """Record one security decision with full attribution.
+
+    ``permission`` may be a :class:`~repro.security.permissions.Permission`
+    (the managers pass the checked object so the record carries structured
+    ``ptype``/``target``/``actions`` columns for policy inference) or a
+    plain string (ancestry-style grants with no permission object).
 
     Resolves the current application for the user / application columns;
     ``vm`` is a fallback hub source for checks made from host threads (the
@@ -105,13 +128,33 @@ def audit_check(permission: str, granted: bool, manager: str,
         user = None
         app_id = None
         app_name = None
-    hub.audit.record(check=check, permission=permission, granted=granted,
-                     manager=manager, domain=domain, user=user,
-                     app_id=app_id, app_name=app_name)
+    if isinstance(permission, str):
+        permission_str = permission
+        ptype = target = actions = None
+    else:
+        permission_str = str(permission)
+        ptype = type(permission).__name__
+        target = permission.name
+        actions = permission.actions() or None
+    phase = getattr(application, "phase", None)
+    stack = None
+    if application is not None and getattr(application, "policy_recording",
+                                           False):
+        resolver = stack_resolver
+        if resolver is not None:
+            try:
+                stack = resolver()
+            except Exception:
+                stack = None
+    hub.audit.record(check=check, permission=permission_str,
+                     granted=granted, manager=manager, domain=domain,
+                     user=user, app_id=app_id, app_name=app_name,
+                     ptype=ptype, target=target, actions=actions,
+                     phase=phase, stack=stack)
     hub.metrics.counter("security.checks", app=app_name or "",
                         decision="grant" if granted else "deny").inc()
     tracer = hub.tracer
     if tracer.recording:
         tracer.event("security.check", app=app_name,
-                     permission=permission, granted=granted,
+                     permission=permission_str, granted=granted,
                      manager=manager, user=user)

@@ -1,0 +1,199 @@
+"""``policygen`` — drive the policy-inference loop from the shell.
+
+Subcommands::
+
+    policygen record <app-id> on|off|status   toggle learning mode
+    policygen infer  <app-id> [--phases] [-o FILE]
+    policygen diff   <app-id> [--phases]      inferred vs live policy
+    policygen lint   [FILE]                   static checks (live policy
+                                              when no file is given)
+
+Like ``kill``, acting on another user's application needs standing: the
+caller must run as the same user, be an ancestor, or hold
+``modifyApplication``.  On top of that, toggling recording is gated on
+the ``controlPolicyRecording`` runtime permission, granted by the default
+policy to this tool's code source only — the login pattern: the privilege
+belongs to the *program*, not the user running it.
+"""
+
+from __future__ import annotations
+
+from repro.core.context import current_application_or_none
+from repro.io.file import read_text, write_text
+from repro.jvm.classloading import ClassMaterial
+from repro.jvm.errors import (
+    IllegalArgumentException,
+    IOException,
+    SecurityException,
+)
+from repro.policytool.diff import diff_policies, render_diff
+from repro.policytool.infer import infer_policy
+from repro.policytool.lint import lint_policy, render_findings
+from repro.policytool.recorder import recorder_for
+from repro.security import access
+from repro.security.codesource import CodeSource
+from repro.security.permissions import RuntimePermission
+from repro.security.policy import parse_policy
+
+CLASS_NAME = "tools.Policygen"
+CODE_SOURCE = CodeSource(
+    "file:/usr/local/java/tools/policygen/Policygen.class")
+
+USAGE = ("usage: policygen record <app-id> on|off|status | "
+         "policygen infer <app-id> [--phases] [-o FILE] | "
+         "policygen diff <app-id> [--phases] | policygen lint [FILE]")
+
+
+def _find_application(ctx, raw):
+    registry = ctx.vm.application_registry
+    if registry is None:
+        return None
+    try:
+        return registry.find(int(raw))
+    except ValueError:
+        return None
+
+
+def _check_standing(ctx, application) -> None:
+    """The ``kill`` rule: same user, ancestor, or modifyApplication."""
+    caller = current_application_or_none()
+    if (caller is not None and caller is not application
+            and not application._is_ancestor(caller)
+            and caller.user != application.user):
+        sm = ctx.vm.security_manager
+        if sm is not None:
+            sm.check_modify_application(application)
+
+
+def _check_record_privilege(ctx) -> None:
+    """Code-source gate: only this tool's domain holds the grant."""
+    sm = ctx.vm.security_manager
+    if sm is not None:
+        access.do_privileged(lambda: sm.check_permission(
+            RuntimePermission("controlPolicyRecording")))
+
+
+def _records_for(ctx, application):
+    """The app's recorded slice if one exists, else its live audit slice."""
+    recorder = getattr(ctx.vm, "policy_recorder", None)
+    slice_ = recorder.slice_for(application.app_id) \
+        if recorder is not None else None
+    if slice_ is not None:
+        return slice_.snapshot()
+    return ctx.vm.telemetry.audit.records(app_id=application.app_id)
+
+
+def build_material() -> ClassMaterial:
+    material = ClassMaterial(
+        CLASS_NAME, code_source=CODE_SOURCE,
+        doc="Infer, diff and lint security policies from the audit trail.")
+
+    @material.member
+    def main(jclass, ctx, args):
+        verb, *rest = args if args else ("help",)
+
+        if verb == "record":
+            if len(rest) < 1:
+                ctx.stderr.println(USAGE)
+                return 2
+            application = _find_application(ctx, rest[0])
+            if application is None:
+                ctx.stderr.println(
+                    f"policygen: no such application: {rest[0]}")
+                return 1
+            action = rest[1] if len(rest) > 1 else "status"
+            recorder = recorder_for(ctx.vm)
+            if action == "status":
+                state = "on" if recorder.is_recording(application.app_id) \
+                    else "off"
+                ctx.stdout.println(
+                    f"{application.app_id} {application.name}: "
+                    f"recording {state}")
+                return 0
+            if action not in ("on", "off"):
+                ctx.stderr.println(USAGE)
+                return 2
+            try:
+                _check_standing(ctx, application)
+                _check_record_privilege(ctx)
+            except SecurityException as exc:
+                ctx.stderr.println(f"policygen: {exc}")
+                return 1
+            if action == "on":
+                recorder.start(application)
+            else:
+                recorder.stop(application)
+            ctx.stdout.println(
+                f"{application.app_id} {application.name}: "
+                f"recording {action}")
+            return 0
+
+        if verb in ("infer", "diff"):
+            if not rest:
+                ctx.stderr.println(USAGE)
+                return 2
+            application = _find_application(ctx, rest[0])
+            if application is None:
+                ctx.stderr.println(
+                    f"policygen: no such application: {rest[0]}")
+                return 1
+            try:
+                _check_standing(ctx, application)
+            except SecurityException as exc:
+                ctx.stderr.println(f"policygen: {exc}")
+                return 1
+            options = rest[1:]
+            phase_aware = "--phases" in options
+            records = _records_for(ctx, application)
+            if not records:
+                ctx.stderr.println(
+                    f"policygen: no audit records for application "
+                    f"{application.app_id}")
+                return 1
+            inferred = infer_policy(records, phase_aware=phase_aware)
+            if verb == "diff":
+                live = ctx.vm.policy
+                if live is None:
+                    ctx.stderr.println("policygen: no live policy")
+                    return 1
+                ctx.stdout.print(render_diff(diff_policies(live, inferred)))
+                return 0
+            text = inferred.render()
+            if "-o" in options:
+                index = options.index("-o")
+                if index + 1 >= len(options):
+                    ctx.stderr.println(USAGE)
+                    return 2
+                target = options[index + 1]
+                try:
+                    write_text(ctx, target, text)
+                except (IOException, SecurityException) as exc:
+                    ctx.stderr.println(f"policygen: {target}: {exc}")
+                    return 1
+                ctx.stdout.println(f"wrote {target}")
+                return 0
+            ctx.stdout.print(text)
+            return 0
+
+        if verb == "lint":
+            if rest:
+                try:
+                    policy = parse_policy(read_text(ctx, rest[0]))
+                except (IOException, SecurityException,
+                        IllegalArgumentException) as exc:
+                    ctx.stderr.println(f"policygen: {rest[0]}: {exc}")
+                    return 1
+            else:
+                policy = ctx.vm.policy
+                if policy is None:
+                    ctx.stderr.println("policygen: no live policy")
+                    return 1
+            findings = lint_policy(policy)
+            ctx.stdout.print(render_findings(findings))
+            return 1 if any(finding.severity == "error"
+                            for finding in findings) else 0
+
+        ctx.stdout.println(USAGE)
+        return 0 if verb == "help" else 2
+
+    return material

@@ -5,8 +5,8 @@ from __future__ import annotations
 from repro.cluster import registry as cluster_registry
 from repro.dist import daemon as rexec_daemon
 from repro.dist import rsh
-from repro.tools import appletviewer, clusterctl, coreutils, login, shell, \
-    terminal
+from repro.tools import appletviewer, clusterctl, coreutils, login, \
+    policygen, shell, terminal
 
 
 def register_tools(vm) -> None:
@@ -19,6 +19,7 @@ def register_tools(vm) -> None:
         rexec_daemon.build_material(),
         rsh.build_material(),
         clusterctl.build_material(),
+        policygen.build_material(),
         cluster_registry.build_agent_material(),
         cluster_registry.build_server_material(),
     ]
@@ -34,6 +35,7 @@ def register_tools(vm) -> None:
         "rexecd": rexec_daemon.CLASS_NAME,
         "rsh": rsh.CLASS_NAME,
         "cluster": clusterctl.CLASS_NAME,
+        "policygen": policygen.CLASS_NAME,
         "clusteragent": cluster_registry.AGENT_CLASS_NAME,
         "clusterd": cluster_registry.SERVER_CLASS_NAME,
     })

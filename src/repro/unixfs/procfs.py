@@ -142,6 +142,7 @@ class ProcFileSystem:
             f"security.checks\t{audit.grants + audit.denies}",
             f"security.grants\t{audit.grants}",
             f"security.denies\t{audit.denies}",
+            f"security.audit.dropped\t{audit.dropped}",
             f"security.cache.hits\t"
             f"{int(metrics.total('security.cache.hit'))}",
             f"security.cache.misses\t"
@@ -175,6 +176,37 @@ class ProcFileSystem:
     def _interned_domain_count(self) -> int:
         counter = getattr(self.vm.policy, "interned_domain_count", None)
         return counter() if counter is not None else 0
+
+    def _policy_text(self, application) -> str:
+        """``/proc/policy/<app-id>``: phase, recording status, and the
+        inferred-vs-live grant delta for one application."""
+        from repro.policytool.diff import diff_policies
+        from repro.policytool.infer import infer_policy
+        recorder = getattr(self.vm, "policy_recorder", None)
+        slice_ = recorder.slice_for(application.app_id) \
+            if recorder is not None else None
+        if slice_ is not None:
+            records = slice_.snapshot()
+            recording = "on" if slice_.active else "done"
+        else:
+            records = self.vm.telemetry.audit.records(
+                app_id=application.app_id)
+            recording = "off"
+        inferred = infer_policy(records, phase_aware=True)
+        grant_count = sum(len(entry.permissions)
+                          for entry in inferred.entries())
+        lines = [
+            f"Phase:\t{application.phase}",
+            f"Recording:\t{recording}",
+            f"Records:\t{len(records)}",
+            f"InferredGrants:\t{grant_count}",
+        ]
+        live = self.vm.policy
+        if live is not None:
+            delta = diff_policies(live, inferred)
+            lines.append(f"MissingGrants:\t{len(delta.missing)}")
+            lines.append(f"UnusedGrants:\t{len(delta.unused)}")
+        return "\n".join(lines) + "\n"
 
     def _security_cache_text(self) -> str:
         """The epoch-invalidated permission cache, layer by layer."""
@@ -255,6 +287,12 @@ class ProcFileSystem:
             return self._security_cache_text().encode("utf-8")
         if parts and parts[0] == "security":
             raise VfsNotFound(f"/proc{rel}")
+        if len(parts) == 2 and parts[0] == "policy" and parts[1].isdigit():
+            application = self._application(int(parts[1]))
+            self._gate(application, rel)
+            return self._policy_text(application).encode("utf-8")
+        if parts and parts[0] == "policy":
+            raise VfsNotFound(f"/proc{rel}")
         if parts == ["dist", "transport"]:
             return self._dist_transport_text().encode("utf-8")
         if parts and parts[0] == "dist":
@@ -304,7 +342,8 @@ class ProcFileSystem:
             if not self._has_super():
                 raise VfsNotFound(f"/proc{rel}")
             return VfsStat(_ino(rel), "dir", 0o555, 0, 0, 0, 0, 1)
-        if parts == ["security"] or parts == ["dist"]:
+        if parts == ["security"] or parts == ["dist"] \
+                or parts == ["policy"]:
             return VfsStat(_ino(rel), "dir", 0o555, 0, 0, 0, 0, 1)
         payload = self._file_payload(rel)
         return VfsStat(_ino(rel), "file", 0o444, 0, 0, len(payload), 0, 1)
@@ -318,7 +357,7 @@ class ProcFileSystem:
             entries = sorted([str(a.app_id) for a in applications], key=int)
             if self.vm.cluster is not None:
                 entries.append("cluster")
-            entries.extend(["dist", "security"])
+            entries.extend(["dist", "policy", "security"])
             if self._has_super():
                 entries.append("super")
             return entries + ["vmstat"]
@@ -334,6 +373,11 @@ class ProcFileSystem:
             return ["cache"]
         if parts == ["dist"]:
             return ["transport"]
+        if parts == ["policy"]:
+            registry = self.vm.application_registry
+            applications = registry.applications(check=False) \
+                if registry is not None else []
+            return sorted([str(a.app_id) for a in applications], key=int)
         if len(parts) == 1 and parts[0].isdigit():
             application = self._application(int(parts[0]))
             self._gate(application, rel)
@@ -346,6 +390,7 @@ class ProcFileSystem:
         parts = self._split(rel)
         if not parts or (len(parts) == 1 and parts[0].isdigit()) \
                 or parts == ["security"] or parts == ["dist"] \
+                or parts == ["policy"] \
                 or (parts == ["cluster"] and self.vm.cluster is not None) \
                 or (parts == ["super"] and self._has_super()):
             from repro.unixfs.vfs import VfsIsADirectory

@@ -1,0 +1,305 @@
+"""Inference: least-privilege policies out of audit slices.
+
+The two property-style obligations from the issue:
+
+* **sufficiency** — re-running the recorded workload under the inferred
+  policy produces zero denials;
+* **minimality** — removing any single inferred grant breaks the
+  workload (a would-deny appears).
+"""
+
+import pytest
+
+from repro.core.execspec import ExecSpec
+from repro.core.launcher import MultiProcVM
+from repro.io.file import read_text, write_text
+from repro.policytool.diff import diff_policies, render_diff
+from repro.policytool.infer import (
+    infer_policy,
+    needed_permissions,
+    unsatisfied_records,
+)
+from repro.policytool.lint import lint_policy
+from repro.policytool.recorder import recorder_for
+from repro.security.policy import Policy, parse_policy
+from tests.conftest import make_app
+
+pytestmark = pytest.mark.policy
+
+APP_BASE = "file:/usr/local/java/apps/demo/Demo.class"
+
+
+def synthetic(ptype, target, actions, *, granted=True, phase=None,
+              stack=(APP_BASE,)):
+    return {"granted": granted, "ptype": ptype, "target": target,
+            "actions": actions, "phase": phase, "stack": stack,
+            "domain": stack[0] if stack else None,
+            "permission": f"({ptype} {target} {actions})"}
+
+
+def workload_records(host, register_app):
+    """Run a small file workload in learning mode; return its slice."""
+    def main(jclass, ctx, args):
+        read_text(ctx, "/etc/motd")
+        write_text(ctx, "/tmp/infer-probe.txt", "hello")
+        read_text(ctx, "/tmp/infer-probe.txt")
+        return 0
+
+    class_name = register_app("Inferee", main)
+    app = host.launch(ExecSpec(class_name, (), record_policy=True))
+    assert app.wait_for(10) == 0
+    return recorder_for(host.vm).slice_for(app.app_id).snapshot(), \
+        class_name
+
+
+class TestInference:
+    def test_inferred_policy_is_sufficient(self, host, register_app):
+        records, __ = workload_records(host, register_app)
+        inferred = infer_policy(records)
+        assert unsatisfied_records(inferred, records) == []
+
+    def test_inferred_policy_is_minimal(self, host, register_app):
+        """Dropping any one inferred permission produces a would-deny."""
+        records, __ = workload_records(host, register_app)
+        inferred = infer_policy(records)
+        entries = inferred.entries()
+        assert entries
+        total = sum(len(entry.permissions) for entry in entries)
+        assert total >= 2
+        for skip_entry in range(len(entries)):
+            for skip_perm in range(len(entries[skip_entry].permissions)):
+                pruned = Policy()
+                for index, entry in enumerate(entries):
+                    kept = [p for j, p in enumerate(entry.permissions)
+                            if not (index == skip_entry
+                                    and j == skip_perm)]
+                    pruned.add_grant(
+                        kept,
+                        code_base=entry.code_source.url
+                        if entry.code_source else None,
+                        user=entry.user, phase=entry.phase)
+                assert unsatisfied_records(pruned, records), \
+                    "every inferred grant must be load-bearing"
+
+    def test_workload_reruns_cleanly_under_inferred_policy(
+            self, host, register_app):
+        """End-to-end sufficiency: boot a VM whose *entire* policy is the
+        inferred one and run the same workload — zero denials."""
+        records, __ = workload_records(host, register_app)
+        inferred = infer_policy(records)
+        replay = MultiProcVM.boot(policy=parse_policy(inferred.render()))
+        try:
+            def main(jclass, ctx, args):
+                read_text(ctx, "/etc/motd")
+                write_text(ctx, "/tmp/infer-probe.txt", "hello")
+                read_text(ctx, "/tmp/infer-probe.txt")
+                return 0
+
+            class_name = make_app(replay.vm, "Inferee", main)
+            with replay.host_session():
+                app = replay.launch(ExecSpec(class_name, ()))
+                assert app.wait_for(10) == 0
+            assert replay.vm.telemetry.audit.denials(
+                app_id=app.app_id) == []
+        finally:
+            replay.shutdown()
+
+    def test_denials_never_become_grants(self):
+        records = [synthetic("FilePermission", "/secret", "read",
+                             granted=False)]
+        assert infer_policy(records).entries() == []
+
+    def test_system_domains_receive_nothing(self):
+        records = [synthetic("FilePermission", "/etc/motd", "read",
+                             stack=("<system>", "<ancestry>"))]
+        assert infer_policy(records).entries() == []
+
+    def test_actions_union_per_target(self):
+        records = [
+            synthetic("FilePermission", "/tmp/f", "read"),
+            synthetic("FilePermission", "/tmp/f", "write"),
+        ]
+        needs = needed_permissions(records)
+        assert needs[(APP_BASE, None)][("FilePermission", "/tmp/f")] == \
+            {"read", "write"}
+        entries = infer_policy(records).entries()
+        assert len(entries) == 1
+        [permission] = entries[0].permissions
+        assert permission.actions() == "read,write"
+
+    def test_generalizes_same_directory_files_to_glob(self):
+        records = [synthetic("FilePermission", f"/data/f{i}.txt", "read")
+                   for i in range(3)]
+        [entry] = infer_policy(records).entries()
+        [permission] = entry.permissions
+        assert permission.name == "/data/*"
+        assert permission.actions() == "read"
+
+    def test_generalization_respects_threshold_and_root(self):
+        below = [synthetic("FilePermission", f"/data/f{i}.txt", "read")
+                 for i in range(2)]
+        [entry] = infer_policy(below).entries()
+        assert sorted(p.name for p in entry.permissions) == \
+            ["/data/f0.txt", "/data/f1.txt"]
+        # Files directly under / never collapse to "/*".
+        top = [synthetic("FilePermission", f"/f{i}", "read")
+               for i in range(5)]
+        [entry] = infer_policy(top).entries()
+        assert all(p.name != "/*" for p in entry.permissions)
+
+    def test_phase_aware_buckets_split_by_phase(self):
+        records = [
+            synthetic("FilePermission", "/boot.cfg", "read",
+                      phase="init"),
+            synthetic("FilePermission", "/data.txt", "read",
+                      phase="steady"),
+        ]
+        flat = infer_policy(records)
+        assert [entry.phase for entry in flat.entries()] == [None]
+        phased = infer_policy(records, phase_aware=True)
+        assert [entry.phase for entry in phased.entries()] == \
+            ["init", "steady"]
+        assert phased.phase_sensitive
+
+    def test_implied_permissions_are_dropped(self):
+        records = [
+            synthetic("FilePermission", "/data/-", "read"),
+            synthetic("FilePermission", "/data/inner.txt", "read"),
+        ]
+        [entry] = infer_policy(records).entries()
+        assert [p.name for p in entry.permissions] == ["/data/-"]
+
+
+class TestDiff:
+    def test_missing_and_unused_directions(self):
+        live = parse_policy("""
+        grant codeBase "file:/usr/local/java/apps/demo/*" {
+            permission FilePermission "/etc/motd", "read";
+            permission SocketPermission "evil.example.com", "connect";
+        };
+        """)
+        records = [
+            synthetic("FilePermission", "/etc/motd", "read"),
+            synthetic("FilePermission", "/tmp/new.txt", "write"),
+        ]
+        inferred = infer_policy(records)
+        diff = diff_policies(live, inferred)
+        assert not diff.is_clean()
+        assert [entry.permission.name for entry in diff.missing] == \
+            ["/tmp/new.txt"]
+        assert [entry.permission.name for entry in diff.unused] == \
+            ["evil.example.com"]
+        text = render_diff(diff)
+        assert "+ missing" in text and "- unused" in text
+
+    def test_agreeing_policies_diff_clean(self):
+        records = [synthetic("FilePermission", "/etc/motd", "read")]
+        inferred = infer_policy(records)
+        diff = diff_policies(parse_policy(inferred.render()), inferred)
+        assert diff.is_clean()
+        assert "agree" in render_diff(diff)
+
+    def test_grants_to_unobserved_code_are_not_unused(self):
+        live = parse_policy("""
+        grant codeBase "file:/usr/local/java/apps/other/*" {
+            permission FilePermission "/var/other", "read";
+        };
+        """)
+        records = [synthetic("FilePermission", "/etc/motd", "read")]
+        diff = diff_policies(live, infer_policy(records))
+        assert diff.unused == []
+
+    def test_inferred_policy_round_trips_through_text(self, host,
+                                                      register_app):
+        records, __ = workload_records(host, register_app)
+        inferred = infer_policy(records)
+        reparsed = parse_policy(inferred.render())
+        assert diff_policies(reparsed, inferred).is_clean()
+        assert unsatisfied_records(reparsed, records) == []
+
+
+class TestLint:
+    def find(self, policy_text, code):
+        findings = lint_policy(parse_policy(policy_text))
+        return [f for f in findings if f.code == code]
+
+    def test_unknown_phase_is_an_error(self):
+        found = self.find("""
+        grant codeBase "file:/a/*", phase "turbo" {
+            permission FilePermission "/x", "read";
+        };
+        """, "unknown-phase")
+        assert found and found[0].severity == "error"
+
+    def test_dead_user_selector_is_an_error(self):
+        found = self.find("""
+        grant codeBase "file:/a/*", user "alice" {
+            permission FilePermission "/x", "read";
+        };
+        """, "dead-user-selector")
+        assert found and found[0].severity == "error"
+
+    def test_duplicate_selector_warns_once(self):
+        found = self.find("""
+        grant codeBase "file:/a/*" {
+            permission FilePermission "/x", "read";
+        };
+        grant codeBase "file:/a/*" {
+            permission FilePermission "/y", "read";
+        };
+        """, "duplicate-selector")
+        assert len(found) == 1
+        assert found[0].severity == "warn"
+
+    def test_shadowed_phase_grant_warns(self):
+        found = self.find("""
+        grant codeBase "file:/a/*" {
+            permission FilePermission "/data/-", "read";
+        };
+        grant codeBase "file:/a/*", phase "steady" {
+            permission FilePermission "/data/x.txt", "read";
+        };
+        """, "shadowed-phase-grant")
+        assert found and found[0].severity == "warn"
+
+    def test_all_permission_outside_system_warns(self):
+        found = self.find("""
+        grant codeBase "file:/opt/thing/*" {
+            permission AllPermission;
+        };
+        """, "all-permission")
+        assert found and found[0].severity == "warn"
+        assert self.find("""
+        grant codeBase "file:/system/*" {
+            permission AllPermission;
+        };
+        """, "all-permission") == []
+
+    def test_redundant_permission_and_empty_grant_are_info(self):
+        found = self.find("""
+        grant codeBase "file:/a/*" {
+            permission FilePermission "/data/-", "read";
+            permission FilePermission "/data/x", "read";
+        };
+        grant codeBase "file:/b/*" {
+        };
+        """, "redundant-permission")
+        assert found and found[0].severity == "info"
+
+    def test_findings_sort_errors_first(self):
+        findings = lint_policy(parse_policy("""
+        grant codeBase "file:/b/*" {
+        };
+        grant codeBase "file:/a/*", phase "turbo" {
+            permission FilePermission "/x", "read";
+        };
+        """))
+        assert findings[0].severity == "error"
+        assert findings[-1].severity == "info"
+
+    def test_clean_policy_has_no_findings(self):
+        assert lint_policy(parse_policy("""
+        grant codeBase "file:/a/*" {
+            permission FilePermission "/x", "read";
+        };
+        """)) == []
