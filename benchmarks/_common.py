@@ -44,9 +44,16 @@ def record_bench(area: str, entry: dict) -> pathlib.Path:
     return path
 
 
-def bench_baseline(area: str, metric: str,
-                   smoke_key: str = "smoke") -> float | None:
-    """The best (minimum) non-smoke value of ``metric`` on record."""
+def bench_baseline(area: str, metric: str, smoke_key: str = "smoke",
+                   best: str = "min") -> float | None:
+    """The best non-smoke value of ``metric`` on record.
+
+    ``best`` picks the sense of "best": ``"min"`` for latency-style
+    metrics (seconds, allocations), ``"max"`` for throughput-style ones
+    (MB/s, lines/s, events/s) — regression gates compare new runs
+    against the strongest recorded baseline in the metric's own
+    direction.
+    """
     path = REPO_ROOT / f"BENCH_{area}.json"
     try:
         payload = json.loads(path.read_text())
@@ -54,7 +61,9 @@ def bench_baseline(area: str, metric: str,
         return None
     values = [run[metric] for run in payload.get("runs", [])
               if metric in run and not run.get(smoke_key)]
-    return min(values) if values else None
+    if not values:
+        return None
+    return max(values) if best == "max" else min(values)
 
 
 def register_main(vm, name: str, main_fn) -> str:

@@ -14,6 +14,7 @@ Two measurements per dispatch mode:
   Per-application: unaffected.
 """
 
+import os
 import sys
 import threading
 import time
@@ -22,14 +23,25 @@ sys.path.insert(0, __file__.rsplit("/", 1)[0])
 
 import pytest  # noqa: E402
 
-from _common import banner, register_main  # noqa: E402
+from _common import banner, record_bench, register_main  # noqa: E402
 
 from repro.awt.components import Button, Frame  # noqa: E402
+from repro.awt.dispatch import EventDispatchThread  # noqa: E402
+from repro.awt.events import (  # noqa: E402
+    ActionEvent,
+    EventQueue,
+    PaintEvent,
+)
 from repro.awt.toolkit import CENTRALIZED, PER_APPLICATION  # noqa: E402
 from repro.core.launcher import MultiProcVM  # noqa: E402
-from repro.jvm.threads import JThread  # noqa: E402
+from repro.jvm.threads import JThread, ThreadGroup  # noqa: E402
+
+#: REPRO_BENCH_N scales every series (smoke runs force it tiny).
+BENCH_N = int(os.environ.get("REPRO_BENCH_N", "0"))
+SMOKE = bool(BENCH_N)
 
 BLOCK_S = 0.25
+BURST_EVENTS = (BENCH_N * 20) if BENCH_N else 10000
 
 
 class GuiProbe:
@@ -98,6 +110,77 @@ def _measure_blocked_latency(mode: str) -> tuple[float, float]:
             return idle, blocked
     finally:
         mvm.shutdown()
+
+
+class _CountingComponent:
+    """A bare event sink: counts deliveries, flags the sentinel event."""
+
+    def __init__(self):
+        self.dispatched = 0
+        self.paints = 0
+        self.done = threading.Event()
+
+    def process_event(self, event):
+        self.dispatched += 1
+        if isinstance(event, PaintEvent):
+            self.paints += 1
+        if getattr(event, "command", None) == "sentinel":
+            self.done.set()
+
+
+def _burst_dispatch() -> tuple[float, int, int]:
+    """Post a BURST_EVENTS storm straight at one EDT.
+
+    Mixed burst: three repaints per action event, all aimed at a handful
+    of components — the shape of a remote-playground paint storm.
+    Returns (events/s wall-clock, repaints posted, repaints executed).
+    """
+    root = ThreadGroup(None, "system")
+    queue = EventQueue("bench-burst")
+    components = [_CountingComponent() for _ in range(4)]
+    edt = EventDispatchThread(queue, root, "bench-edt", daemon=True)
+    edt.start()
+    repaints = 0
+    start = time.perf_counter()
+    for index in range(BURST_EVENTS):
+        component = components[index % len(components)]
+        if index % 4:
+            queue.post_event(PaintEvent(component))
+            repaints += 1
+        else:
+            queue.post_event(ActionEvent(component, "go"))
+    sentinel = components[0]
+    queue.post_event(ActionEvent(sentinel, "sentinel"))
+    assert sentinel.done.wait(30)
+    elapsed = time.perf_counter() - start
+    edt.shutdown()
+    edt.join(5)
+    executed = sum(component.paints for component in components)
+    return (BURST_EVENTS + 1) / elapsed, repaints, executed
+
+
+def test_bench_event_burst_dispatch(benchmark):
+    """C3-burst: batched drain + repaint coalescing under a paint storm."""
+    benchmark.pedantic(_burst_dispatch, rounds=5, iterations=1,
+                       warmup_rounds=1)
+    events_s, posted, executed = _burst_dispatch()
+    for _ in range(4):  # best-of, same as the other series
+        candidate = _burst_dispatch()
+        if candidate[0] > events_s:
+            events_s, posted, executed = candidate
+    coalesce_ratio = executed / posted if posted else 1.0
+    print(banner("C3-burst: event storm through one dispatcher"))
+    print(f"events dispatched:            {events_s:10.0f} events/s")
+    print(f"repaints executed/posted:     {executed}/{posted} "
+          f"({coalesce_ratio:0.3f})")
+    record_bench("dispatch", {
+        "bench": "burst_dispatch", "events": BURST_EVENTS, "smoke": SMOKE,
+        "events_s": events_s, "repaints_posted": posted,
+        "repaints_executed": executed,
+        "paint_coalesce_ratio": coalesce_ratio})
+    if not SMOKE:
+        assert coalesce_ratio < 1.0, (
+            "a paint storm at 4 components must coalesce some repaints")
 
 
 @pytest.mark.parametrize("mode", [CENTRALIZED, PER_APPLICATION])

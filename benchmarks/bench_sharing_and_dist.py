@@ -15,19 +15,24 @@ import time
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
 
-from _common import banner, register_main  # noqa: E402
+from _common import banner, record_bench, register_main  # noqa: E402
 
 from repro.core.launcher import MultiProcVM  # noqa: E402
 from repro.dist.client import remote_exec  # noqa: E402
+from repro.dist.protocol import FrameChannel  # noqa: E402
 from repro.io.streams import make_pipe  # noqa: E402
+from repro.jvm.threads import JThread, ThreadGroup  # noqa: E402
 from repro.net.fabric import NetworkFabric  # noqa: E402
 from repro.unixfs.machine import standard_process  # noqa: E402
 
 #: REPRO_BENCH_N scales every series (smoke runs force it tiny).
 BENCH_N = int(os.environ.get("REPRO_BENCH_N", "0"))
+SMOKE = bool(BENCH_N)
 
 PAYLOAD = "x" * 1024
 STDOUT_LINES = (BENCH_N * 4) if BENCH_N else 2000
+FRAMES = (BENCH_N * 8) if BENCH_N else 4000
+FRAME_DATA = b"f" * 100
 
 
 def boot_pair():
@@ -124,6 +129,73 @@ def test_bench_remote_vs_local_exec(benchmark):
     assert remote_ms > local_ms, "remote exec cannot be cheaper than local"
 
 
+def _frame_burst(vectored: bool) -> float:
+    """Ship FRAMES binary data frames through a pipe; returns frames/s.
+
+    A consumer thread drains the pipe with the zero-copy path so the
+    writer's send cost is what dominates — the vectored series batches
+    the whole burst through ``send_many`` in slices of 64 (a realistic
+    coalescer flush), the sequential series pays one ``send`` per frame.
+    """
+    root = ThreadGroup(None, "system")
+    reader, writer = make_pipe()
+    channel = FrameChannel(output_stream=writer, binary=True)
+    done = []
+
+    def consume():
+        total = 0
+        while True:
+            drained = reader.drain_into(lambda segments: None)
+            if not drained:
+                break
+            total += drained
+        done.append(total)
+
+    consumer = JThread(target=consume, group=root)
+    consumer.start()
+    frame = {"t": "o", "d": FRAME_DATA}
+    start = time.perf_counter()
+    if vectored:
+        for base in range(0, FRAMES, 64):
+            channel.send_many(
+                [frame] * min(64, FRAMES - base), flush=False)
+        channel.flush()
+    else:
+        for _ in range(FRAMES):
+            channel.send(frame, flush=False)
+        channel.flush()
+    elapsed = time.perf_counter() - start
+    channel.close()  # EOF for the consumer; reader closes after it exits
+    consumer.join(30)
+    reader.close()
+    assert done and done[0] == FRAMES * (5 + len(FRAME_DATA))
+    return FRAMES / elapsed
+
+
+def test_bench_vectored_frame_send(benchmark):
+    """§8e: ``send_many`` gather-writes vs per-frame ``send``."""
+    benchmark.pedantic(lambda: _frame_burst(vectored=True),
+                       rounds=7, iterations=1, warmup_rounds=2)
+    vectored_frames_s = FRAMES / benchmark.stats.stats.min
+    sequential_frames_s = max(
+        _frame_burst(vectored=False) for _ in range(7))
+    advantage = vectored_frames_s / sequential_frames_s
+    print(banner("§8e: frame burst — vectored vs sequential send"))
+    print(f"sequential send():            {sequential_frames_s:10.0f} "
+          f"frames/s")
+    print(f"vectored send_many():         {vectored_frames_s:10.0f} "
+          f"frames/s")
+    print(f"advantage: x{advantage:0.2f}")
+    record_bench("transport", {
+        "bench": "vectored_send", "frames": FRAMES, "smoke": SMOKE,
+        "vectored_frames_s": vectored_frames_s,
+        "sequential_frames_s": sequential_frames_s,
+        "advantage": advantage})
+    if not SMOKE:
+        assert advantage >= 0.9, (
+            f"vectored frame send slower than sequential: x{advantage:0.2f}")
+
+
 def _register_spammer(mvm):
     line = "y" * 100
 
@@ -172,6 +244,9 @@ def test_bench_remote_stdout_throughput(benchmark):
     print(f"JSON lines (protocol 1):      {json_lines_s:10.0f} lines/s")
     print(f"binary frames (protocol 2):   {binary_lines_s:10.0f} lines/s")
     print(f"advantage: x{binary_lines_s / json_lines_s:0.1f}")
+    record_bench("transport", {
+        "bench": "remote_stdout", "lines": STDOUT_LINES, "smoke": SMOKE,
+        "binary_lines_s": binary_lines_s, "json_lines_s": json_lines_s})
 
 
 def test_bench_pooled_vs_fresh_connection_exec(benchmark):

@@ -24,9 +24,40 @@ import threading
 import time
 from typing import Optional
 
-from repro.awt.events import AWTEvent, EventQueue, InvocationEvent
+from repro.awt.events import (
+    AWTEvent,
+    EventQueue,
+    InvocationEvent,
+    PaintEvent,
+)
 from repro.jvm.threads import JThread, ThreadGroup
 from repro.security.policy import PHASE_STEADY
+
+
+def coalesce_repaints(batch: list) -> tuple:
+    """Last-writer-wins repaint coalescing within one dispatch batch.
+
+    For each component, only the batch's *final* :class:`PaintEvent`
+    survives (keyed by event type and source identity, so a subclassed
+    paint event never swallows a plain one).  Dropping the superseded
+    repaints is safe because painting is idempotent and the last request
+    already reflects the component's final state; everything that is not
+    a paint event keeps its exact position and ordering.
+
+    Returns ``(events_to_dispatch, dropped_count)``.
+    """
+    last: dict = {}
+    paints = 0
+    for index, event in enumerate(batch):
+        if isinstance(event, PaintEvent):
+            paints += 1
+            last[(type(event), id(event.source))] = index
+    if paints <= len(last):
+        return batch, 0
+    kept = [event for index, event in enumerate(batch)
+            if not isinstance(event, PaintEvent)
+            or last[(type(event), id(event.source))] == index]
+    return kept, len(batch) - len(kept)
 
 
 class EventDispatchThread:
@@ -74,31 +105,46 @@ class EventDispatchThread:
     def _loop(self) -> None:
         hub = self._hub
         tracer = hub.tracer if hub is not None else None
+        batched = coalesced = None
+        if hub is not None:
+            label = self._app_label or "system"
+            batched = hub.metrics.counter("awt.dispatch.batched", app=label)
+            coalesced = hub.metrics.counter("awt.repaint.coalesced",
+                                            app=label)
         while True:
-            event = self.queue.next_event()
-            if event is None:
+            batch = self.queue.drain_events()
+            if batch is None:
                 return
-            span = None
+            batch, dropped = coalesce_repaints(batch)
             if hub is not None:
-                label = self._label_for(event)
-                latency, dispatched = self._instruments_for(label)
-                posted = event._posted_ns
-                if posted is not None:
-                    latency.observe((time.monotonic_ns() - posted) / 1e9)
-                dispatched.inc()
-                if tracer.recording:
-                    span = tracer.span("awt.dispatch", app=label,
-                                       event=type(event).__name__)
-            try:
-                event.dispatch()
-            except BaseException as exc:  # noqa: BLE001 - EDT must survive
-                if span is not None:
-                    span.set(error=type(exc).__name__)
-                if self._error_sink is not None:
-                    self._error_sink(event, exc)
-            finally:
-                if span is not None:
-                    span.end()
+                if len(batch) > 1:
+                    # Events beyond the first rode along on one wakeup.
+                    batched.inc(len(batch) - 1)
+                if dropped:
+                    coalesced.inc(dropped)
+            for event in batch:
+                span = None
+                if hub is not None:
+                    label = self._label_for(event)
+                    latency, dispatched = self._instruments_for(label)
+                    posted = event._posted_ns
+                    if posted is not None:
+                        latency.observe(
+                            (time.monotonic_ns() - posted) / 1e9)
+                    dispatched.inc()
+                    if tracer.recording:
+                        span = tracer.span("awt.dispatch", app=label,
+                                           event=type(event).__name__)
+                try:
+                    event.dispatch()
+                except BaseException as exc:  # noqa: BLE001 - EDT survives
+                    if span is not None:
+                        span.set(error=type(exc).__name__)
+                    if self._error_sink is not None:
+                        self._error_sink(event, exc)
+                finally:
+                    if span is not None:
+                        span.end()
 
     def shutdown(self) -> None:
         self.queue.close()

@@ -134,7 +134,11 @@ class EventQueue:
                 raise IllegalStateException(
                     f"event queue {self.name} is closed")
             self._events.append(event)
-            self._cond.notify_all()
+            if len(self._events) == 1:
+                # Edge-triggered: a retriever only ever waits on an empty
+                # queue, so only the empty → non-empty transition can have
+                # a waiter to wake; every other notify is lock churn.
+                self._cond.notify_all()
             return len(self._events)
 
     def next_event(self) -> Optional[AWTEvent]:
@@ -144,6 +148,24 @@ class EventQueue:
                                lambda: self._events or self._closed)
             if self._events:
                 return self._events.pop(0)
+            return None
+
+    def drain_events(self) -> Optional[list[AWTEvent]]:
+        """Block for events, then return *everything* pending at once.
+
+        The batched retrieval path: one wakeup hands the caller the
+        queue's whole backlog (the list itself — no copy), so a burst of
+        N posts costs one dispatcher handshake instead of N
+        ``next_event`` round trips.  Returns None once the queue is
+        closed and drained, mirroring :meth:`next_event`.
+        """
+        with self._cond:
+            interruptible_wait(self._cond,
+                               lambda: self._events or self._closed)
+            if self._events:
+                batch = self._events
+                self._events = []
+                return batch
             return None
 
     def peek_event(self) -> Optional[AWTEvent]:

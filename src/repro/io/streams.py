@@ -51,7 +51,13 @@ def _report_diagnostic(stream: "_StreamBase", message: str) -> None:
     except Exception:
         pass  # diagnostics are best-effort by definition
 
-DEFAULT_PIPE_CAPACITY = 64 * 1024
+#: Logical bound on buffered pipe bytes before a writer blocks.  The ring
+#: backing store starts at :attr:`RingPipe.INITIAL_SIZE` (8 KiB) and only
+#: grows toward this ceiling under sustained pressure, so the generous
+#: default costs nothing for chatty low-volume pipes while letting bulk
+#: transfers amortize the reader/writer condition handoff (the dominant
+#: IPC cost) over 8x more bytes than the old 64 KiB bound.
+DEFAULT_PIPE_CAPACITY = 512 * 1024
 
 
 class _StreamBase:
@@ -148,6 +154,16 @@ class OutputStream(_StreamBase):
     def write(self, payload: bytes) -> None:
         raise NotImplementedError
 
+    def writev(self, segments) -> None:
+        """Write all ``segments`` in order (gather-write).
+
+        The default is a plain loop; sinks with per-write overhead worth
+        batching (pipes, buffered streams) override it to pay that
+        overhead once for the whole vector.
+        """
+        for segment in segments:
+            self.write(segment)
+
     def flush(self) -> None:
         """Flush buffered bytes (no-op by default)."""
 
@@ -222,11 +238,445 @@ class NullOutputStream(OutputStream):
 
 
 # --------------------------------------------------------------------------
-# Pipes
+# Pipes — the ring-buffer IPC fast path
 # --------------------------------------------------------------------------
 
-class _Pipe:
-    """Bounded byte channel shared by a Piped{Input,Output}Stream pair."""
+class _RingTotals:
+    """Process-wide rollup of ring-pipe activity (vmstat / ``/proc/ipc``).
+
+    Updated while the owning pipe's condition is held, so increments are
+    serialized per pipe; cross-pipe interleavings can in principle lose an
+    increment, which is acceptable for telemetry (same stance as the
+    metrics registry's lock-cheap counters).
+    """
+
+    __slots__ = ("wakeups", "suppressed_wakeups", "zero_copy_bytes",
+                 "copies")
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
+        self.wakeups = 0
+        self.suppressed_wakeups = 0
+        self.zero_copy_bytes = 0
+        self.copies = 0
+
+    def snapshot(self) -> dict:
+        return {"wakeups": self.wakeups,
+                "suppressed_wakeups": self.suppressed_wakeups,
+                "zero_copy_bytes": self.zero_copy_bytes,
+                "copies": self.copies}
+
+
+#: Module-wide ring-pipe counters, surfaced by ``/proc/ipc/ring`` and the
+#: ``ipc.ring.*`` vmstat lines.
+RING_STATS = _RingTotals()
+
+
+class RingPipe:
+    """Fixed-capacity ring buffer shared by a Piped{Input,Output}Stream pair.
+
+    The intra-VM data plane's core: a power-of-two backing store indexed
+    by monotonically increasing head/tail counters (``index = pos & mask``)
+    so neither side ever shifts bytes (the old ``bytearray`` channel paid
+    a ``del buffer[:size]`` memmove per read and materialized *two* copies
+    per read: the slice and then ``bytes()`` of it).  Here:
+
+    * writes copy the caller's bytes straight into the ring (one copy);
+    * reads materialize at most one ``bytes`` object per contiguous
+      segment straight from the ring (one copy; two segment copies only
+      at the wrap seam), or hand borrowed ``memoryview`` segments to a
+      consumer under the lock (zero copies) via :meth:`drain_into`;
+    * wakeups are **edge-triggered**: writers notify only on the
+      empty→non-empty transition, readers only on full→non-full, instead
+      of once per chunk — a blocked peer can only be waiting on one of
+      those two edges, so every other notify was pure lock churn.
+
+    The logical ``capacity`` (what bounds a blocked writer) may be smaller
+    than the power-of-two physical size; all invariants are on the logical
+    bound.
+    """
+
+    __slots__ = ("capacity", "_limit", "_size", "_mask", "_buf", "_view",
+                 "_head", "_tail", "cond", "writer_closed", "reader_closed",
+                 "wakeups", "suppressed_wakeups", "zero_copy_bytes",
+                 "copies", "_folded")
+
+    #: Physical size a fresh ring starts at; it doubles on demand up to
+    #: the capacity ceiling, so a mostly-idle pipe costs 8 KiB, not the
+    #: full (possibly large) default capacity.
+    INITIAL_SIZE = 8192
+
+    def __init__(self, capacity: int):
+        self.capacity = max(1, int(capacity))
+        limit = 1
+        while limit < self.capacity:
+            limit <<= 1
+        #: Largest physical size the ring may grow to (pow2 >= capacity).
+        self._limit = limit
+        size = min(limit, self.INITIAL_SIZE)
+        self._size = size
+        self._mask = size - 1
+        self._buf = bytearray(size)
+        self._view = memoryview(self._buf)
+        #: Monotonic byte counters; ``tail - head`` is the fill level.
+        self._head = 0
+        self._tail = 0
+        # A plain Lock, not the Condition default RLock: every acquisition
+        # in this module is flat (the ``_``-accessors and
+        # ``_write_blocking`` run with ``cond`` already held and never
+        # re-acquire), and the non-reentrant lock is measurably cheaper on
+        # the per-chunk hot path.
+        self.cond = threading.Condition(threading.Lock())
+        self.writer_closed = False
+        self.reader_closed = False
+        self.wakeups = 0
+        self.suppressed_wakeups = 0
+        self.zero_copy_bytes = 0
+        self.copies = 0
+        self._folded = None
+
+    # All _-prefixed accessors assume ``cond`` is held.
+
+    def _used(self) -> int:
+        return self._tail - self._head
+
+    def _grow(self, need: int) -> None:
+        """Grow the physical store straight to the capacity ceiling,
+        linearizing the current content to offset 0.
+
+        One-shot rather than doubling: a pipe that outgrows its initial
+        8 KiB is a bulk pipe and will hit the ceiling almost immediately
+        under sustained pressure anyway, so doubling would just pay
+        O(capacity) in repeated linearize copies (25% of transferred
+        bytes at a 1 MiB capacity) for no memory savings that matter.
+        ``need`` is kept for the call-site contract; any grow satisfies
+        it because ``need <= capacity <= limit``.
+        """
+        new_size = self._limit
+        if new_size == self._size:
+            return
+        used = self._tail - self._head
+        new_buf = bytearray(new_size)
+        if used:
+            pos = 0
+            for segment in self._segments(used):
+                new_buf[pos:pos + len(segment)] = segment
+                pos += len(segment)
+        self._view.release()
+        self._buf = new_buf
+        self._view = memoryview(new_buf)
+        self._size = new_size
+        self._mask = new_size - 1
+        self._head = 0
+        self._tail = used
+
+    def _put(self, view, offset: int) -> int:
+        """Copy as many bytes as fit from ``view[offset:]``; return count.
+
+        ``view`` may be raw ``bytes`` when it is being written whole
+        (``offset == 0`` covering the full payload) — the unwrapped fast
+        path assigns it without materializing a slice; the wrap seam
+        wraps locally so segment slicing stays copy-free.
+        """
+        used = self._tail - self._head
+        n = self.capacity - used
+        if n <= 0:
+            return 0
+        remaining = len(view) - offset
+        if remaining < n:
+            n = remaining
+        if n > self._size - used:
+            self._grow(used + n)
+            free = self._size - used
+            if n > free:
+                n = free
+        i = self._tail & self._mask
+        end = i + n
+        if end <= self._size:
+            if offset == 0 and n == len(view):
+                self._view[i:end] = view
+            else:
+                self._view[i:end] = view[offset:offset + n]
+            self.copies += 1
+        else:
+            if not isinstance(view, memoryview):
+                view = memoryview(view)
+            first = self._size - i
+            self._view[i:] = view[offset:offset + first]
+            self._view[:n - first] = view[offset + first:offset + n]
+            self.copies += 2
+        self._tail += n
+        return n
+
+    def _take(self, n: int) -> bytes:
+        """Materialize ``n`` buffered bytes with one copy per segment."""
+        head = self._head
+        i = head & self._mask
+        end = i + n
+        if end <= self._size:
+            chunk = bytes(self._view[i:end])
+            self.copies += 1
+        else:
+            # Wrap seam: join copies each segment exactly once.
+            chunk = b"".join((self._view[i:], self._view[:end - self._size]))
+            self.copies += 2
+        self._head = head + n
+        self.zero_copy_bytes += n
+        return chunk
+
+    def _segments(self, n: int) -> list:
+        """Borrowed memoryview segments over ``n`` buffered bytes.
+
+        Valid only while ``cond`` is held and before the head advances
+        past them — the zero-copy handoff behind :meth:`drain_into`.
+        """
+        i = self._head & self._mask
+        end = i + n
+        if end <= self._size:
+            return [self._view[i:end]]
+        return [self._view[i:], self._view[:end - self._size]]
+
+    def _notify_edge(self) -> None:
+        self.wakeups += 1
+        self.cond.notify_all()
+
+    def _fold_totals(self) -> None:
+        """Roll this pipe's counters into :data:`RING_STATS` (called at
+        each side's close, delta-based) — the hot paths touch only
+        pipe-local ints, never the process-wide rollup."""
+        folded = self._folded or (0, 0, 0, 0)
+        RING_STATS.wakeups += self.wakeups - folded[0]
+        RING_STATS.suppressed_wakeups += self.suppressed_wakeups - folded[1]
+        RING_STATS.zero_copy_bytes += self.zero_copy_bytes - folded[2]
+        RING_STATS.copies += self.copies - folded[3]
+        self._folded = (self.wakeups, self.suppressed_wakeups,
+                        self.zero_copy_bytes, self.copies)
+
+    def stats(self) -> dict:
+        with self.cond:
+            return {"wakeups": self.wakeups,
+                    "suppressed_wakeups": self.suppressed_wakeups,
+                    "zero_copy_bytes": self.zero_copy_bytes,
+                    "copies": self.copies,
+                    "buffered": self._tail - self._head,
+                    "capacity": self.capacity}
+
+
+class PipedInputStream(InputStream):
+    """Read side of a pipe created by :func:`make_pipe`."""
+
+    def __init__(self, pipe: RingPipe):
+        super().__init__()
+        self._pipe = pipe
+
+    def read(self, size: int = -1) -> bytes:
+        self._ensure_open()
+        pipe = self._pipe
+        with pipe.cond:
+            if pipe._tail == pipe._head and not (
+                    pipe.writer_closed or pipe.reader_closed):
+                # Slow path only when there is genuinely nothing to read.
+                interruptible_wait(
+                    pipe.cond,
+                    lambda: pipe._tail != pipe._head or pipe.writer_closed
+                    or pipe.reader_closed)
+            if pipe.reader_closed:
+                # Our own side was closed while we were blocked — the
+                # read can never be satisfied (a closed fd, not EOF).
+                raise StreamClosedException("pipe reader closed")
+            used = pipe._tail - pipe._head
+            if not used and pipe.writer_closed:
+                return b""
+            n = used if (size is None or size < 0) else min(size, used)
+            chunk = pipe._take(n)
+            if used >= pipe.capacity and n:
+                pipe._notify_edge()  # full → non-full: a writer may wait
+            elif n:
+                pipe.suppressed_wakeups += 1
+            return chunk
+
+    def drain_into(self, consumer, max_bytes: int = -1) -> int:
+        """``readv``-style zero-copy drain.
+
+        Blocks for data, then calls ``consumer(segments)`` with the
+        ring's borrowed :class:`memoryview` segments (at most two — one
+        per side of the wrap seam) *while the pipe lock is held*; the
+        bytes are consumed when the consumer returns, with no
+        intermediate ``bytes`` materialization at all.  Returns the
+        number of bytes drained; 0 at end of stream.
+
+        The consumer must not call back into this pipe (the lock is not
+        reentrant) and must not retain the views past its return.
+        """
+        self._ensure_open()
+        pipe = self._pipe
+        with pipe.cond:
+            if pipe._tail == pipe._head and not (
+                    pipe.writer_closed or pipe.reader_closed):
+                interruptible_wait(
+                    pipe.cond,
+                    lambda: pipe._tail != pipe._head or pipe.writer_closed
+                    or pipe.reader_closed)
+            if pipe.reader_closed:
+                raise StreamClosedException("pipe reader closed")
+            used = pipe._tail - pipe._head
+            if not used:
+                return 0
+            n = used if max_bytes is None or max_bytes < 0 \
+                else min(max_bytes, used)
+            segments = pipe._segments(n)
+            try:
+                consumer(segments)
+            finally:
+                for segment in segments:
+                    segment.release()
+            pipe._head += n
+            pipe.zero_copy_bytes += n
+            if used >= pipe.capacity and n:
+                pipe._notify_edge()
+            elif n:
+                pipe.suppressed_wakeups += 1
+            return n
+
+    def available(self) -> int:
+        with self._pipe.cond:
+            return self._pipe._tail - self._pipe._head
+
+    def at_eof_hint(self) -> bool:
+        """True when the next read is guaranteed to return EOF.
+
+        Non-blocking; the connection pool uses it to drop channels whose
+        peer already hung up before handing them out again.
+        """
+        with self._pipe.cond:
+            return self._pipe.writer_closed \
+                and self._pipe._tail == self._pipe._head
+
+    def _close_impl(self) -> None:
+        pipe = self._pipe
+        with pipe.cond:
+            pipe.reader_closed = True
+            pipe._fold_totals()
+            pipe.cond.notify_all()
+
+
+class PipedOutputStream(OutputStream):
+    """Write side of a pipe created by :func:`make_pipe`.
+
+    Writing to a pipe whose reader has gone away raises
+    :class:`StreamClosedException` — the Java analogue of ``EPIPE``.
+    """
+
+    def __init__(self, pipe: RingPipe):
+        super().__init__()
+        self._pipe = pipe
+
+    def write(self, payload) -> None:
+        if self.closed:
+            raise StreamClosedException("stream is closed")
+        # Accept bytes / bytearray / memoryview without copying into an
+        # intermediate: each chunk is consumed (copied into the ring)
+        # before the lock is released.  Mutating a bytearray concurrently
+        # with a blocking write is the caller's race, as with os.write.
+        pipe = self._pipe
+        with pipe.cond:
+            if pipe.reader_closed:
+                raise StreamClosedException("pipe reader closed")
+            total = len(payload)
+            if not total:
+                return
+            tail = pipe._tail
+            used = tail - pipe._head
+            if used + total <= pipe.capacity:
+                # Fast path: the whole payload fits — one copy, no
+                # wrapper objects, and a wakeup only on the
+                # empty → non-empty edge.  The slice-assign is inlined
+                # for the common unwrapped case (both guards matter:
+                # ``total <= _size - used`` keeps us off unread bytes
+                # when the ring hasn't physically grown yet, ``end <=
+                # _size`` keeps us off the wrap seam).
+                i = tail & pipe._mask
+                end = i + total
+                if end <= pipe._size and total <= pipe._size - used:
+                    pipe._view[i:end] = payload
+                    pipe.copies += 1
+                    pipe._tail = tail + total
+                else:
+                    pipe._put(payload, 0)
+                if used == 0:
+                    pipe.wakeups += 1
+                    pipe.cond.notify_all()
+                else:
+                    pipe.suppressed_wakeups += 1
+                return
+            self._write_blocking(pipe, memoryview(payload))
+
+    def _write_blocking(self, pipe: RingPipe, view: memoryview) -> None:
+        """Capacity-bounded write loop (``pipe.cond`` held)."""
+        total = len(view)
+        offset = 0
+        while True:
+            if pipe.reader_closed:
+                raise StreamClosedException("pipe reader closed")
+            was_empty = pipe._tail == pipe._head
+            n = pipe._put(view, offset)
+            offset += n
+            if n:
+                if was_empty:
+                    pipe._notify_edge()  # empty → non-empty
+                else:
+                    pipe.suppressed_wakeups += 1
+            if offset >= total:
+                return
+            interruptible_wait(
+                pipe.cond,
+                lambda: pipe.reader_closed
+                or pipe._tail - pipe._head < pipe.capacity)
+
+    def writev(self, segments) -> None:
+        """Gather-write all ``segments`` in one lock session.
+
+        The vectored entry point: N coalesced frames cost one condition
+        acquisition (plus capacity waits), not N ``write()`` calls.
+        """
+        self._ensure_open()
+        pipe = self._pipe
+        with pipe.cond:
+            for segment in segments:
+                if pipe.reader_closed:
+                    raise StreamClosedException("pipe reader closed")
+                total = len(segment)
+                if not total:
+                    continue
+                used = pipe._tail - pipe._head
+                if used + total <= pipe.capacity:
+                    pipe._put(segment, 0)
+                    if used == 0:
+                        pipe._notify_edge()
+                    else:
+                        pipe.suppressed_wakeups += 1
+                else:
+                    self._write_blocking(pipe, memoryview(segment))
+
+    def reader_gone_hint(self) -> bool:
+        """True when the next write is guaranteed to raise (reader closed)."""
+        with self._pipe.cond:
+            return self._pipe.reader_closed
+
+    def _close_impl(self) -> None:
+        pipe = self._pipe
+        with pipe.cond:
+            pipe.writer_closed = True
+            pipe._fold_totals()
+            pipe.cond.notify_all()
+
+
+# -- the legacy bytearray channel, kept for ring-vs-legacy benchmarking ----
+
+class _LegacyPipe:
+    """The pre-ring bounded channel: one shared ``bytearray``."""
 
     def __init__(self, capacity: int):
         self.capacity = capacity
@@ -236,12 +686,8 @@ class _Pipe:
         self.reader_closed = False
 
 
-class PipedInputStream(InputStream):
-    """Read side of a pipe created by :func:`make_pipe`."""
-
-    def __init__(self, pipe: _Pipe):
-        super().__init__()
-        self._pipe = pipe
+class _LegacyPipedInputStream(PipedInputStream):
+    """Read side of a legacy pipe: double-copy reads, notify per chunk."""
 
     def read(self, size: int = -1) -> bytes:
         self._ensure_open()
@@ -252,8 +698,6 @@ class PipedInputStream(InputStream):
                 lambda: pipe.buffer or pipe.writer_closed
                 or pipe.reader_closed)
             if pipe.reader_closed:
-                # Our own side was closed while we were blocked — the
-                # read can never be satisfied (a closed fd, not EOF).
                 raise StreamClosedException("pipe reader closed")
             if not pipe.buffer and pipe.writer_closed:
                 return b""
@@ -266,16 +710,14 @@ class PipedInputStream(InputStream):
             pipe.cond.notify_all()
             return chunk
 
+    def drain_into(self, consumer, max_bytes: int = -1) -> int:
+        raise NotImplementedError("legacy pipes have no zero-copy drain")
+
     def available(self) -> int:
         with self._pipe.cond:
             return len(self._pipe.buffer)
 
     def at_eof_hint(self) -> bool:
-        """True when the next read is guaranteed to return EOF.
-
-        Non-blocking; the connection pool uses it to drop channels whose
-        peer already hung up before handing them out again.
-        """
         with self._pipe.cond:
             return self._pipe.writer_closed and not self._pipe.buffer
 
@@ -286,25 +728,12 @@ class PipedInputStream(InputStream):
             pipe.cond.notify_all()
 
 
-class PipedOutputStream(OutputStream):
-    """Write side of a pipe created by :func:`make_pipe`.
-
-    Writing to a pipe whose reader has gone away raises
-    :class:`StreamClosedException` — the Java analogue of ``EPIPE``.
-    """
-
-    def __init__(self, pipe: _Pipe):
-        super().__init__()
-        self._pipe = pipe
+class _LegacyPipedOutputStream(PipedOutputStream):
+    """Write side of a legacy pipe: lock and notify per chunk."""
 
     def write(self, payload) -> None:
         self._ensure_open()
         pipe = self._pipe
-        # Accept bytes / bytearray / memoryview without copying: a
-        # memoryview over the caller's buffer is enough, because each
-        # chunk is consumed (extend copies it into the pipe) before the
-        # lock is released.  Mutating a bytearray concurrently with a
-        # blocking write is the caller's race, exactly as with os.write.
         view = payload if isinstance(payload, memoryview) \
             else memoryview(payload)
         offset = 0
@@ -322,10 +751,9 @@ class PipedOutputStream(OutputStream):
                 offset += len(chunk)
                 pipe.cond.notify_all()
 
-    def reader_gone_hint(self) -> bool:
-        """True when the next write is guaranteed to raise (reader closed)."""
-        with self._pipe.cond:
-            return self._pipe.reader_closed
+    def writev(self, segments) -> None:
+        for segment in segments:
+            self.write(segment)
 
     def _close_impl(self) -> None:
         pipe = self._pipe
@@ -334,12 +762,22 @@ class PipedOutputStream(OutputStream):
             pipe.cond.notify_all()
 
 
-def make_pipe(capacity: int = DEFAULT_PIPE_CAPACITY,
-              owner=None) -> tuple[PipedInputStream, PipedOutputStream]:
-    """Create a connected (reader, writer) pipe pair."""
-    pipe = _Pipe(capacity)
-    reader = PipedInputStream(pipe)
-    writer = PipedOutputStream(pipe)
+def make_pipe(capacity: int = DEFAULT_PIPE_CAPACITY, owner=None,
+              legacy: bool = False) \
+        -> tuple[PipedInputStream, PipedOutputStream]:
+    """Create a connected (reader, writer) pipe pair.
+
+    ``legacy=True`` builds the pre-ring bytearray channel — kept only so
+    the IPC benchmarks can measure the ring against its predecessor.
+    """
+    if legacy:
+        legacy_pipe = _LegacyPipe(capacity)
+        reader: PipedInputStream = _LegacyPipedInputStream(legacy_pipe)
+        writer: PipedOutputStream = _LegacyPipedOutputStream(legacy_pipe)
+    else:
+        pipe = RingPipe(capacity)
+        reader = PipedInputStream(pipe)
+        writer = PipedOutputStream(pipe)
     reader.owner = owner
     writer.owner = owner
     return reader, writer
@@ -509,12 +947,41 @@ class BufferedOutputStream(OutputStream):
     def write(self, payload) -> None:
         self._ensure_open()
         with self._lock:
-            if not self._buffer and len(payload) >= self._buffer_size:
+            if len(payload) >= self._buffer_size:
+                # Large-write bypass: flush whatever is pending, then
+                # ship the caller's buffer directly — copying a payload
+                # that already exceeds the coalescing threshold into the
+                # chunk would buy nothing and cost a full extra copy.
+                self._drain()
                 self._sink.write(payload)
                 return
             self._buffer.extend(payload)
             if len(self._buffer) >= self._buffer_size:
                 self._drain()
+
+    def writev(self, segments) -> None:
+        """Gather-write: coalesce small segments, bypass with large ones.
+
+        Produces at most one sink ``writev`` (or a short write sequence
+        on sinks without one) for the whole vector, with the pending
+        chunk flushed in order ahead of any bypassing segment.
+        """
+        self._ensure_open()
+        with self._lock:
+            out = []
+            for segment in segments:
+                if len(segment) >= self._buffer_size:
+                    if self._buffer:
+                        out.append(bytes(self._buffer))
+                        del self._buffer[:]
+                    out.append(segment)
+                else:
+                    self._buffer.extend(segment)
+                    if len(self._buffer) >= self._buffer_size:
+                        out.append(bytes(self._buffer))
+                        del self._buffer[:]
+            if out:
+                self._sink.writev(out)
 
     def flush(self) -> None:
         with self._lock:

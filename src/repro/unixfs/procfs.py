@@ -133,12 +133,18 @@ class ProcFileSystem:
             f"reload.bytes\t{int(metrics.total('reload.bytes'))}",
             f"awt.events.dispatched\t"
             f"{int(metrics.total('awt.events.dispatched'))}",
+            f"awt.dispatch.batched\t"
+            f"{int(metrics.total('awt.dispatch.batched'))}",
+            f"awt.repaint.coalesced\t"
+            f"{int(metrics.total('awt.repaint.coalesced'))}",
             f"limits.rejected\t{int(metrics.total('limits.rejected'))}",
             f"dist.frames.sent\t{int(metrics.total('dist.frames.sent'))}",
             f"dist.frames.received\t"
             f"{int(metrics.total('dist.frames.received'))}",
             f"dist.frames.coalesced\t"
             f"{int(metrics.total('dist.frames.coalesced'))}",
+            f"dist.frames.vectored\t"
+            f"{int(metrics.total('dist.frames.vectored'))}",
             f"security.checks\t{audit.grants + audit.denies}",
             f"security.grants\t{audit.grants}",
             f"security.denies\t{audit.denies}",
@@ -152,6 +158,12 @@ class ProcFileSystem:
             f"security.cache.interned_domains\t"
             f"{self._interned_domain_count()}",
         ]
+        ring = self._ring_snapshot()
+        lines.extend([
+            f"ipc.ring.wakeups\t{ring['wakeups']}",
+            f"ipc.ring.suppressed_wakeups\t{ring['suppressed_wakeups']}",
+            f"ipc.ring.zero_copy_bytes\t{ring['zero_copy_bytes']}",
+        ])
         if self.vm.cluster is not None:
             lines.extend([
                 f"cluster.nodes.live\t"
@@ -230,6 +242,26 @@ class ProcFileSystem:
             lines.append(f"policy_epoch\t{epoch}")
         return "\n".join(lines) + "\n"
 
+    def _ring_snapshot(self) -> dict:
+        from repro.io.streams import RING_STATS
+        return RING_STATS.snapshot()
+
+    def _ipc_ring_text(self) -> str:
+        """The ring-pipe data plane in numbers.
+
+        Totals are folded in when a pipe endpoint closes (the hot paths
+        keep pipe-local counters), so a long-lived pipe's traffic shows
+        up here once it is torn down.
+        """
+        ring = self._ring_snapshot()
+        lines = [
+            f"wakeups\t{ring['wakeups']}",
+            f"suppressed_wakeups\t{ring['suppressed_wakeups']}",
+            f"zero_copy_bytes\t{ring['zero_copy_bytes']}",
+            f"copies\t{ring['copies']}",
+        ]
+        return "\n".join(lines) + "\n"
+
     def _dist_transport_text(self) -> str:
         """The transport fast path, in numbers: framing and the pool."""
         from repro.dist.pool import existing_pool
@@ -297,6 +329,10 @@ class ProcFileSystem:
             return self._dist_transport_text().encode("utf-8")
         if parts and parts[0] == "dist":
             raise VfsNotFound(f"/proc{rel}")
+        if parts == ["ipc", "ring"]:
+            return self._ipc_ring_text().encode("utf-8")
+        if parts and parts[0] == "ipc":
+            raise VfsNotFound(f"/proc{rel}")
         if parts and parts[0] == "super":
             if not self._has_super():
                 raise VfsNotFound(f"/proc{rel}")
@@ -343,7 +379,7 @@ class ProcFileSystem:
                 raise VfsNotFound(f"/proc{rel}")
             return VfsStat(_ino(rel), "dir", 0o555, 0, 0, 0, 0, 1)
         if parts == ["security"] or parts == ["dist"] \
-                or parts == ["policy"]:
+                or parts == ["ipc"] or parts == ["policy"]:
             return VfsStat(_ino(rel), "dir", 0o555, 0, 0, 0, 0, 1)
         payload = self._file_payload(rel)
         return VfsStat(_ino(rel), "file", 0o444, 0, 0, len(payload), 0, 1)
@@ -357,7 +393,7 @@ class ProcFileSystem:
             entries = sorted([str(a.app_id) for a in applications], key=int)
             if self.vm.cluster is not None:
                 entries.append("cluster")
-            entries.extend(["dist", "policy", "security"])
+            entries.extend(["dist", "ipc", "policy", "security"])
             if self._has_super():
                 entries.append("super")
             return entries + ["vmstat"]
@@ -373,6 +409,8 @@ class ProcFileSystem:
             return ["cache"]
         if parts == ["dist"]:
             return ["transport"]
+        if parts == ["ipc"]:
+            return ["ring"]
         if parts == ["policy"]:
             registry = self.vm.application_registry
             applications = registry.applications(check=False) \
@@ -390,7 +428,7 @@ class ProcFileSystem:
         parts = self._split(rel)
         if not parts or (len(parts) == 1 and parts[0].isdigit()) \
                 or parts == ["security"] or parts == ["dist"] \
-                or parts == ["policy"] \
+                or parts == ["ipc"] or parts == ["policy"] \
                 or (parts == ["cluster"] and self.vm.cluster is not None) \
                 or (parts == ["super"] and self._has_super()):
             from repro.unixfs.vfs import VfsIsADirectory

@@ -1,0 +1,208 @@
+"""Batched event dispatch: drain-all retrieval and repaint coalescing.
+
+One dispatcher wakeup now drains the queue's whole backlog, and within
+a batch superseded repaints collapse last-writer-wins per component —
+the data-plane treatment for the remote-playground paint storms the
+Malkhi–Reiter line of work streams over dist frames.
+"""
+
+import threading
+import time
+
+from repro.awt.dispatch import EventDispatchThread, coalesce_repaints
+from repro.awt.events import (
+    ActionEvent,
+    EventQueue,
+    InvocationEvent,
+    PaintEvent,
+)
+from repro.jvm.threads import JThread, ThreadGroup
+
+
+class Probe:
+    """Counts deliveries per event type and records the order."""
+
+    def __init__(self, name="probe"):
+        self.name = name
+        self.order = []
+        self.done = threading.Event()
+
+    def process_event(self, event):
+        self.order.append(event)
+        if getattr(event, "command", None) == "sentinel":
+            self.done.set()
+
+
+class TestDrainEvents:
+    def test_returns_whole_backlog(self):
+        queue = EventQueue("drain")
+        probe = Probe()
+        events = [ActionEvent(probe, str(index)) for index in range(5)]
+        for event in events:
+            queue.post_event(event)
+        assert queue.drain_events() == events
+        assert queue.pending() == 0
+
+    def test_none_after_close_and_drain(self):
+        queue = EventQueue("drain")
+        probe = Probe()
+        queue.post_event(ActionEvent(probe, "last"))
+        queue.close()
+        batch = queue.drain_events()
+        assert [event.command for event in batch] == ["last"]
+        assert queue.drain_events() is None
+
+    def test_blocks_until_first_post(self):
+        root = ThreadGroup(None, "system")
+        queue = EventQueue("drain")
+        probe = Probe()
+        got = []
+
+        def drain():
+            got.append(queue.drain_events())
+
+        thread = JThread(target=drain, group=root)
+        thread.start()
+        thread.join(0.1)
+        assert got == []  # parked on the empty queue
+        queue.post_event(ActionEvent(probe, "wake"))
+        thread.join(5)
+        assert [event.command for event in got[0]] == ["wake"]
+
+
+class TestCoalesceRepaints:
+    def test_last_paint_per_component_wins(self):
+        alpha, beta = Probe("alpha"), Probe("beta")
+        batch = [PaintEvent(alpha), PaintEvent(beta), PaintEvent(alpha),
+                 PaintEvent(beta), PaintEvent(alpha)]
+        kept, dropped = coalesce_repaints(batch)
+        assert dropped == 3
+        assert kept == [batch[3], batch[4]]
+
+    def test_non_paint_events_and_order_preserved(self):
+        probe = Probe()
+        action = ActionEvent(probe, "click")
+        invocation = InvocationEvent(lambda: None)
+        final_paint = PaintEvent(probe)
+        batch = [PaintEvent(probe), action, invocation, final_paint]
+        kept, dropped = coalesce_repaints(batch)
+        assert kept == [action, invocation, final_paint]
+        assert dropped == 1
+
+    def test_paint_subclass_keyed_separately(self):
+        class DamagePaintEvent(PaintEvent):
+            pass
+
+        probe = Probe()
+        plain, damage = PaintEvent(probe), DamagePaintEvent(probe)
+        kept, dropped = coalesce_repaints([plain, damage])
+        assert kept == [plain, damage]  # different types never merge
+        assert dropped == 0
+
+    def test_unique_paints_untouched(self):
+        probes = [Probe(str(index)) for index in range(3)]
+        batch = [PaintEvent(probe) for probe in probes]
+        kept, dropped = coalesce_repaints(batch)
+        assert kept is batch  # fast path: nothing to drop, no copy
+        assert dropped == 0
+
+
+class TestBatchedEdt:
+    def test_burst_coalesces_but_last_paint_lands(self):
+        root = ThreadGroup(None, "system")
+        queue = EventQueue("burst")
+        probe = Probe()
+        edt = EventDispatchThread(queue, root, "edt-batch", daemon=True)
+        edt.start()
+        for _ in range(500):
+            queue.post_event(PaintEvent(probe))
+        queue.post_event(ActionEvent(probe, "sentinel"))
+        assert probe.done.wait(10)
+        edt.shutdown()
+        edt.join(5)
+        paints = [e for e in probe.order if isinstance(e, PaintEvent)]
+        assert paints, "at least one repaint must always be delivered"
+        assert len(paints) < 500, "a single-component storm must coalesce"
+        # The surviving repaint of each drained batch is the newest one,
+        # so the last paint overall is delivered at or after every kept
+        # paint — the component never renders stale-then-silent.
+        assert probe.order[-1].command == "sentinel"
+
+    def test_invocation_events_never_dropped(self):
+        root = ThreadGroup(None, "system")
+        queue = EventQueue("invoke")
+        probe = Probe()
+        edt = EventDispatchThread(queue, root, "edt-invoke", daemon=True)
+        edt.start()
+        ran = []
+        invocations = []
+        for index in range(50):
+            queue.post_event(PaintEvent(probe))
+            event = InvocationEvent(lambda i=index: ran.append(i))
+            invocations.append(event)
+            queue.post_event(event)
+        for event in invocations:
+            assert event.await_completion(10)
+        edt.shutdown()
+        edt.join(5)
+        assert ran == list(range(50))
+
+    def test_errors_do_not_kill_the_batch(self):
+        root = ThreadGroup(None, "system")
+        queue = EventQueue("errors")
+        probe = Probe()
+        errors = []
+        edt = EventDispatchThread(
+            queue, root, "edt-errors", daemon=True,
+            error_sink=lambda event, exc: errors.append(exc))
+
+        class Exploding:
+            def process_event(self, event):
+                raise RuntimeError("listener bug")
+
+        edt.start()
+        queue.post_event(ActionEvent(Exploding(), "boom"))
+        queue.post_event(ActionEvent(probe, "sentinel"))
+        assert probe.done.wait(10)
+        edt.shutdown()
+        edt.join(5)
+        assert len(errors) == 1 and "listener bug" in str(errors[0])
+
+    def test_post_after_close_still_raises(self):
+        queue = EventQueue("closed")
+        queue.close()
+        try:
+            queue.post_event(ActionEvent(Probe(), "late"))
+        except Exception as exc:
+            assert "closed" in str(exc)
+        else:
+            raise AssertionError("post_event on a closed queue must raise")
+
+    def test_slow_handler_batches_the_backlog(self):
+        """While one dispatch runs, later posts pile up and arrive as a
+        single drained batch (observable through coalescing)."""
+        root = ThreadGroup(None, "system")
+        queue = EventQueue("backlog")
+        gate = threading.Event()
+
+        class Stalling(Probe):
+            def process_event(self, event):
+                if getattr(event, "command", None) == "stall":
+                    gate.wait(5)
+                super().process_event(event)
+
+        probe = Stalling()
+        edt = EventDispatchThread(queue, root, "edt-stall", daemon=True)
+        edt.start()
+        queue.post_event(ActionEvent(probe, "stall"))
+        time.sleep(0.05)  # the EDT is now inside the stalling handler
+        for _ in range(100):
+            queue.post_event(PaintEvent(probe))
+        queue.post_event(ActionEvent(probe, "sentinel"))
+        gate.set()
+        assert probe.done.wait(10)
+        edt.shutdown()
+        edt.join(5)
+        paints = [e for e in probe.order if isinstance(e, PaintEvent)]
+        assert len(paints) == 1, \
+            "the piled-up storm must collapse to the final repaint"

@@ -194,6 +194,86 @@ class TestFrameChannel:
         channel.recv()
         assert not channel.peer_binary
 
+    def _drain_frames(self, payload: bytes) -> list:
+        channel = FrameChannel(ByteArrayInputStream(payload), None)
+        frames = []
+        while True:
+            frame = channel.recv()
+            if frame is None:
+                return frames
+            frames.append(frame)
+
+    def test_send_many_json_round_trips_in_order(self):
+        sink, channel = self.make_pair(binary=False)
+        channel.send_many([{"t": "o", "d": "first"},
+                           {"t": "e", "d": "second"},
+                           {"t": "x", "code": 3}])
+        assert self._drain_frames(sink.to_bytes()) == [
+            {"t": "o", "d": "first"},
+            {"t": "e", "d": "second"},
+            {"t": "x", "code": 3}]
+
+    def test_send_many_binary_round_trips_in_order(self):
+        sink, channel = self.make_pair(binary=True)
+        channel.send_many([{"t": "o", "d": b"raw\x00bytes"},
+                           {"t": "hello", "proto": 2}])
+        assert self._drain_frames(sink.to_bytes()) == [
+            {"t": "o", "d": b"raw\x00bytes"},
+            {"t": "hello", "proto": 2}]
+
+    def test_send_many_matches_sequential_sends_on_the_wire(self):
+        frames = [{"t": "o", "d": b"a" * 10}, {"t": "e", "d": b"b"},
+                  {"t": "x", "code": 0}]
+        vector_sink, vector_channel = self.make_pair(binary=True)
+        vector_channel.send_many(frames)
+        seq_sink, seq_channel = self.make_pair(binary=True)
+        for frame in frames:
+            seq_channel.send(frame)
+        assert vector_sink.to_bytes() == seq_sink.to_bytes()
+
+    def test_send_many_empty_vector_is_a_noop(self):
+        sink, channel = self.make_pair(binary=True)
+        channel.send_many([])
+        assert sink.to_bytes() == b""
+
+    def test_send_many_interleaves_atomically_with_send(self):
+        """Concurrent send/send_many never split a frame on the wire."""
+        from repro.io.streams import make_pipe
+        from repro.jvm.threads import JThread, ThreadGroup
+
+        root = ThreadGroup(None, "system")
+        reader, writer = make_pipe()
+        channel = FrameChannel(None, writer, binary=True)
+
+        def burst():
+            for _ in range(50):
+                channel.send_many(
+                    [{"t": "o", "d": b"vec"}] * 4, flush=False)
+            channel.flush()
+
+        def single():
+            for _ in range(200):
+                channel.send({"t": "e", "d": b"one"}, flush=False)
+            channel.flush()
+
+        threads = [JThread(target=burst, group=root),
+                   JThread(target=single, group=root)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(10)
+        channel.flush()
+        writer.close()
+        received = FrameChannel(reader, None)
+        counts = {"o": 0, "e": 0}
+        while True:
+            frame = received.recv()
+            if frame is None:
+                break
+            counts[frame["t"]] += 1
+            assert frame["d"] in (b"vec", b"one")
+        assert counts == {"o": 200, "e": 200}
+
 
 class TestFrameOutputStream:
     def test_line_writes_become_one_frame_each(self):

@@ -105,6 +105,30 @@ class TestProcSurface:
         with pytest.raises(FileNotFoundException):
             read_text(host.initial.context(), "/proc/999999/status")
 
+    def test_ipc_ring_surface(self, host, register_app):
+        """/proc/ipc/ring exposes the ring-pipe rollup, and vmstat carries
+        the same counters under the ipc.ring.* prefix."""
+        def body(ctx):
+            from repro.io.streams import make_pipe
+            reader, writer = make_pipe()
+            writer.write(b"r" * 4096)
+            reader.drain_into(lambda segments: None)
+            writer.close()
+            reader.close()  # close folds the pipe's counters into the rollup
+            return (read_text(ctx, "/proc/ipc/ring"),
+                    read_text(ctx, "/proc/vmstat"))
+
+        _, outcome = run_probe(host, register_app, "RingProbe", body)
+        ring, vmstat = outcome["result"]
+        for key in ("wakeups\t", "suppressed_wakeups\t",
+                    "zero_copy_bytes\t", "copies\t"):
+            assert key in ring
+        zero_copy = dict(line.split("\t") for line
+                         in ring.strip().splitlines())["zero_copy_bytes"]
+        assert int(zero_copy) >= 4096
+        assert "ipc.ring.wakeups\t" in vmstat
+        assert "ipc.ring.zero_copy_bytes\t" in vmstat
+
     def test_dist_transport_surface(self, host, register_app):
         """/proc/dist/transport renders frame and pool counters even on a
         VM that has never opened a pooled channel."""
