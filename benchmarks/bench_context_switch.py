@@ -1,26 +1,51 @@
-"""Experiment C2a — context switching in one address space.
+"""Experiment C2a / S1 — context switching and the scheduler's scale win.
 
 Section 2: "Context switching, for example, is much less expensive if
 performed within one address space, because caches need not be cleared,
 page-table pointers don't have to be adjusted, and so on."
 
-We measure a same-address-space switch for real (two JThreads ping-ponging
-through condition variables — two switches per round trip) and compare
-against the calibrated process-switch model (direct cost + cache/TLB
-refill).
+Three measurements:
+
+* **C2a (threads vs processes)** — a same-address-space switch for real
+  (two JThreads ping-ponging through condition variables — two switches
+  per round trip) against the calibrated process-switch model (direct
+  cost + cache/TLB refill).
+* **S1 (tasks vs threads)** — the same hand-off discipline run as
+  continuation tasks on one ``repro.sched`` event loop: a task switch is
+  a deque rotation plus ``generator.send``, no kernel involvement, and
+  must beat the OS-thread hand-off by an order of magnitude.
+* **S1-scale (idle applications)** — how many *parked* applications one
+  VM holds: each is a generator main asleep on the scheduler's timer
+  heap, costing a heap entry and a frame, not an OS thread.
+
+Results land in ``BENCH_sched.json`` (``record_bench("sched", ...)``)
+so ``tests/perf/test_sched_gate.py`` can hold the line across runs.
 """
 
+import os
 import sys
 import threading
+import time
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
 
-from _common import banner  # noqa: E402
+from _common import banner, record_bench, register_main  # noqa: E402
 
+from repro.core.execspec import ExecSpec  # noqa: E402
+from repro.core.launcher import MultiProcVM  # noqa: E402
 from repro.jvm.threads import JThread, ThreadGroup  # noqa: E402
 from repro.procsim.model import ProcessCostModel  # noqa: E402
+from repro.sched import Scheduler, ops, sched_yield  # noqa: E402
 
-ROUNDS_PER_CALL = 2000
+#: REPRO_BENCH_N scales every series (smoke runs force it tiny).
+BENCH_N = int(os.environ.get("REPRO_BENCH_N", "0"))
+SMOKE = bool(BENCH_N)
+
+ROUNDS_PER_CALL = (BENCH_N * 4) if BENCH_N else 2000
+IDLE_APPS = BENCH_N if BENCH_N else 10000
+#: Concurrent workers for the throughput comparison (16 thread pairs vs
+#: 32 tasks — 2 * PAIRS workers and the same switch count on each side).
+PAIRS = 16
 
 
 class _PingPong:
@@ -45,21 +70,64 @@ class _PingPong:
                 self.cond.notify_all()
 
 
-def test_bench_thread_switch_vs_process_switch_model(benchmark):
+def _thread_pingpong() -> None:
+    """One OS-thread hand-off batch (ROUNDS_PER_CALL * 2 switches)."""
     root = ThreadGroup(None, "system")
+    game = _PingPong()
+    game.target = ROUNDS_PER_CALL
+    thread_a = JThread(target=game.run, args=(0, 1), group=root)
+    thread_b = JThread(target=game.run, args=(1, 0), group=root)
+    thread_a.start()
+    thread_b.start()
+    thread_a.join(30)
+    thread_b.join(30)
+    assert game.rounds >= ROUNDS_PER_CALL
 
-    def ping_pong_batch():
+
+def _thread_switch_storm() -> int:
+    """PAIRS concurrent ping-pong games; returns total switches.
+
+    The OS-thread side of the throughput comparison: 2 * PAIRS threads
+    multiplexed by the kernel, every hand-off a condvar wait/notify.
+    """
+    root = ThreadGroup(None, "system")
+    games = []
+    threads = []
+    for _ in range(PAIRS):
         game = _PingPong()
         game.target = ROUNDS_PER_CALL
-        thread_a = JThread(target=game.run, args=(0, 1), group=root)
-        thread_b = JThread(target=game.run, args=(1, 0), group=root)
-        thread_a.start()
-        thread_b.start()
-        thread_a.join(30)
-        thread_b.join(30)
-        assert game.rounds >= ROUNDS_PER_CALL
+        games.append(game)
+        threads.append(JThread(target=game.run, args=(0, 1), group=root))
+        threads.append(JThread(target=game.run, args=(1, 0), group=root))
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(60)
+    assert all(game.rounds >= ROUNDS_PER_CALL for game in games)
+    return PAIRS * ROUNDS_PER_CALL * 2
 
-    benchmark.pedantic(ping_pong_batch, rounds=5, iterations=1,
+
+def _task_switch_storm(scheduler: Scheduler) -> int:
+    """The same worker count as tasks on one event loop; total switches.
+
+    2 * PAIRS ready tasks round-robin through the scheduler's deque, so
+    every ``yield`` is one task switch (a rotation plus a
+    ``generator.send``) — what the kernel hand-off above costs, without
+    the kernel.
+    """
+
+    def body():
+        for _ in range(ROUNDS_PER_CALL):
+            yield sched_yield()
+
+    tasks = [scheduler.spawn(body, name=f"switch-{i}")
+             for i in range(PAIRS * 2)]
+    assert all(task.join(60) for task in tasks)
+    return PAIRS * ROUNDS_PER_CALL * 2
+
+
+def test_bench_thread_switch_vs_process_switch_model(benchmark):
+    benchmark.pedantic(_thread_pingpong, rounds=5, iterations=1,
                        warmup_rounds=1)
     # Each round is one hand-off = two thread switches.
     per_switch_us = (benchmark.stats.stats.mean
@@ -77,3 +145,102 @@ def test_bench_thread_switch_vs_process_switch_model(benchmark):
           f"x{process_us / per_switch_us:0.1f}")
     assert per_switch_us < process_us, \
         "paper claim: in-VM switches must beat process switches"
+
+
+def test_bench_task_switch_vs_thread_switch(benchmark):
+    """S1: continuation-task switches vs OS-thread hand-offs.
+
+    Both sides run 2 * PAIRS concurrent workers and the same number of
+    switches; the ratio is the order-of-magnitude win the tentpole
+    promises (and ``tests/perf/test_sched_gate.py`` holds).
+    """
+    scheduler = Scheduler(name="bench-switch")
+    scheduler.start()
+    try:
+        benchmark.pedantic(_task_switch_storm, args=(scheduler,),
+                           rounds=5, iterations=1, warmup_rounds=1)
+        task_s = benchmark.stats.stats.min
+    finally:
+        scheduler.shutdown()
+    switches = PAIRS * ROUNDS_PER_CALL * 2
+    # Best-of for the thread side too, so the ratio compares like to like.
+    thread_s = None
+    for _ in range(5):
+        start = time.perf_counter()
+        _thread_switch_storm()
+        elapsed = time.perf_counter() - start
+        thread_s = elapsed if thread_s is None else min(thread_s, elapsed)
+    task_us = task_s / switches * 1e6
+    thread_us = thread_s / switches * 1e6
+    ratio = thread_us / task_us
+    switches_per_s = switches / task_s
+    print(banner(f"S1: task switch vs thread switch "
+                 f"({PAIRS * 2} workers each)"))
+    print(f"task switch:    {task_us:8.2f} us  "
+          f"({switches_per_s:10.0f} switches/s)")
+    print(f"thread switch:  {thread_us:8.2f} us")
+    print(f"event-loop advantage: x{ratio:0.1f}")
+    record_bench("sched", {
+        "bench": "context_switch", "smoke": SMOKE,
+        "rounds": ROUNDS_PER_CALL, "workers": PAIRS * 2,
+        "task_switch_us": task_us, "thread_switch_us": thread_us,
+        "switch_ratio": ratio, "task_switches_per_s": switches_per_s})
+    if not SMOKE:
+        assert ratio >= 10.0, (
+            f"the scheduler must beat OS-thread hand-offs by an order "
+            f"of magnitude: x{ratio:.1f} < x10")
+
+
+def _idle_main(jclass, ctx, args):
+    """A generator main: parked on the timer heap, owning no OS thread."""
+    yield from ops.sleep(3600.0)
+    return 0
+
+
+def test_bench_idle_application_scale():
+    """S1-scale: 10k idle applications in one VM, no thread explosion."""
+    mvm = MultiProcVM.boot()
+    try:
+        with mvm.host_session():
+            class_name = register_main(mvm.vm, "IdleApp", _idle_main)
+            threads_before = threading.active_count()
+            start = time.perf_counter()
+            apps = [mvm.launch(ExecSpec(class_name, name=f"idle-{i}"))
+                    for i in range(IDLE_APPS)]
+            launch_s = time.perf_counter() - start
+            deadline = time.monotonic() + 60
+            scheduler = mvm.vm.scheduler
+            while time.monotonic() < deadline:
+                if scheduler is not None \
+                        and scheduler.stats()["live"] >= IDLE_APPS:
+                    break
+                time.sleep(0.05)
+                scheduler = mvm.vm.scheduler
+            stats = scheduler.stats() if scheduler is not None else {}
+            threads_during = threading.active_count()
+            assert stats.get("live", 0) >= IDLE_APPS, (
+                f"only {stats.get('live', 0)}/{IDLE_APPS} idle apps "
+                f"became parked tasks")
+            extra_threads = threads_during - threads_before
+            start = time.perf_counter()
+            for app in apps:
+                app.destroy()
+            for app in apps:
+                app.wait_for(30)
+            teardown_s = time.perf_counter() - start
+    finally:
+        mvm.shutdown()
+    print(banner(f"S1-scale: {IDLE_APPS} idle apps in one VM"))
+    print(f"launch:    {launch_s:8.2f} s "
+          f"({IDLE_APPS / launch_s:8.0f} apps/s)")
+    print(f"teardown:  {teardown_s:8.2f} s")
+    print(f"extra OS threads at steady state: {extra_threads}")
+    record_bench("sched", {
+        "bench": "idle_scale", "smoke": SMOKE, "apps": IDLE_APPS,
+        "launch_s": launch_s, "teardown_s": teardown_s,
+        "apps_per_s": IDLE_APPS / launch_s,
+        "extra_os_threads": extra_threads})
+    # The scale claim: applications must not cost one OS thread each.
+    assert extra_threads < IDLE_APPS / 10 + 20, (
+        f"{extra_threads} OS threads appeared for {IDLE_APPS} idle apps "
+        f"— the scheduler is not absorbing application mains")

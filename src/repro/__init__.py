@@ -34,6 +34,7 @@ See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 paper-claim-vs-measured record.
 """
 
+from repro import sched
 from repro.core.application import (
     Application,
     ApplicationRegistry,
@@ -72,6 +73,15 @@ from repro.jvm.errors import (
 )
 from repro.jvm.threads import JThread, ThreadGroup
 from repro.jvm.vm import VirtualMachine
+from repro.sched import (
+    SchedEvent,
+    Scheduler,
+    Task,
+    TaskWaiter,
+    WaitPoint,
+    sched_yield,
+    spawn,
+)
 from repro.security.auth import JavaUser, UserDatabase
 from repro.security.codesource import CodeSource, ProtectionDomain
 from repro.security.permissions import (
@@ -131,6 +141,8 @@ __all__ = [
     "current_application", "current_application_or_none", "current_user",
     "ClassLoader", "ClassMaterial", "ClassRegistry", "JClass",
     "JThread", "ThreadGroup",
+    "sched", "Scheduler", "Task", "spawn", "sched_yield",
+    "WaitPoint", "SchedEvent", "TaskWaiter",
     "JavaThrowable", "SecurityException", "AccessControlException",
     "IOException", "FileNotFoundException",
     "JavaUser", "UserDatabase", "CodeSource", "ProtectionDomain",

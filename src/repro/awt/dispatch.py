@@ -68,11 +68,19 @@ class EventDispatchThread:
     time, via the ``_posted_ns`` stamp the dispatchers set) and the
     ``awt.events.dispatched`` counter; with tracing on, each dispatch is
     an ``awt.dispatch`` span.
+
+    ``backing="sched"`` runs the drain loop as a continuation task on the
+    VM's event-loop scheduler instead of a dedicated OS thread: the EDT
+    parks on the queue's wait-point between batches, so 10k idle
+    applications cost 10k parked generator frames, not 10k OS threads.
+    Event-handler code observes the same :class:`JThread` identity and
+    thread group either way (Section 5.4's accountability is preserved).
     """
 
     def __init__(self, queue: EventQueue, group: ThreadGroup, name: str,
                  daemon: bool = False, error_sink=None,
-                 hub=None, app_label: Optional[str] = None):
+                 hub=None, app_label: Optional[str] = None,
+                 backing: Optional[str] = None):
         self.queue = queue
         self._error_sink = error_sink
         self._hub = hub
@@ -80,8 +88,9 @@ class EventDispatchThread:
         #: label -> (latency histogram, dispatched counter); the dispatch
         #: loop must not pay a registry lookup per event.
         self._instruments: dict = {}
-        self.thread = JThread(target=self._loop, name=name, group=group,
-                              daemon=daemon)
+        target = self._task_loop if backing == "sched" else self._loop
+        self.thread = JThread(target=target, name=name, group=group,
+                              daemon=daemon, backing=backing)
 
     def start(self) -> "EventDispatchThread":
         self.thread.start()
@@ -102,49 +111,71 @@ class EventDispatchThread:
             self._instruments[label] = pair
         return pair
 
-    def _loop(self) -> None:
+    def _batch_counters(self):
+        hub = self._hub
+        if hub is None:
+            return None, None
+        label = self._app_label or "system"
+        return (hub.metrics.counter("awt.dispatch.batched", app=label),
+                hub.metrics.counter("awt.repaint.coalesced", app=label))
+
+    def _dispatch_batch(self, batch, batched, coalesced) -> None:
         hub = self._hub
         tracer = hub.tracer if hub is not None else None
-        batched = coalesced = None
+        batch, dropped = coalesce_repaints(batch)
         if hub is not None:
-            label = self._app_label or "system"
-            batched = hub.metrics.counter("awt.dispatch.batched", app=label)
-            coalesced = hub.metrics.counter("awt.repaint.coalesced",
-                                            app=label)
+            if len(batch) > 1:
+                # Events beyond the first rode along on one wakeup.
+                batched.inc(len(batch) - 1)
+            if dropped:
+                coalesced.inc(dropped)
+        for event in batch:
+            span = None
+            if hub is not None:
+                label = self._label_for(event)
+                latency, dispatched = self._instruments_for(label)
+                posted = event._posted_ns
+                if posted is not None:
+                    latency.observe(
+                        (time.monotonic_ns() - posted) / 1e9)
+                dispatched.inc()
+                if tracer.recording:
+                    span = tracer.span("awt.dispatch", app=label,
+                                       event=type(event).__name__)
+            try:
+                event.dispatch()
+            except BaseException as exc:  # noqa: BLE001 - EDT survives
+                if span is not None:
+                    span.set(error=type(exc).__name__)
+                if self._error_sink is not None:
+                    self._error_sink(event, exc)
+            finally:
+                if span is not None:
+                    span.end()
+
+    def _loop(self) -> None:
+        batched, coalesced = self._batch_counters()
         while True:
             batch = self.queue.drain_events()
             if batch is None:
                 return
-            batch, dropped = coalesce_repaints(batch)
-            if hub is not None:
-                if len(batch) > 1:
-                    # Events beyond the first rode along on one wakeup.
-                    batched.inc(len(batch) - 1)
-                if dropped:
-                    coalesced.inc(dropped)
-            for event in batch:
-                span = None
-                if hub is not None:
-                    label = self._label_for(event)
-                    latency, dispatched = self._instruments_for(label)
-                    posted = event._posted_ns
-                    if posted is not None:
-                        latency.observe(
-                            (time.monotonic_ns() - posted) / 1e9)
-                    dispatched.inc()
-                    if tracer.recording:
-                        span = tracer.span("awt.dispatch", app=label,
-                                           event=type(event).__name__)
-                try:
-                    event.dispatch()
-                except BaseException as exc:  # noqa: BLE001 - EDT survives
-                    if span is not None:
-                        span.set(error=type(exc).__name__)
-                    if self._error_sink is not None:
-                        self._error_sink(event, exc)
-                finally:
-                    if span is not None:
-                        span.end()
+            self._dispatch_batch(batch, batched, coalesced)
+
+    def _task_loop(self):
+        """The same drain loop as a continuation (scheduler backing).
+
+        Parks on the queue's wait-point between batches; an empty batch
+        from the untimed drain means the queue closed.  Dispatch itself
+        stays synchronous within the step — handlers run under this
+        EDT's :class:`JThread` identity exactly as on the OS backing.
+        """
+        from repro.sched import ops
+        batched, coalesced = self._batch_counters()
+        while True:
+            batch = yield from ops.drain_events(self.queue)
+            if not batch:
+                return
+            self._dispatch_batch(batch, batched, coalesced)
 
     def shutdown(self) -> None:
         self.queue.close()
@@ -249,6 +280,16 @@ class PerApplicationDispatcher(Dispatcher):
         with self._lock:
             if application.event_queue is None:
                 queue = EventQueue(f"awt-{application.name}")
+                # Per-application EDTs keep dedicated OS threads even when
+                # the application's main runs as a scheduler task: event
+                # handlers are arbitrary code that may block, and the
+                # Section 5.4 responsiveness claim (one app's blocked
+                # callback must not delay another's clicks) needs
+                # preemptive isolation between applications.  The queue
+                # itself is a scheduler wait-object, so task code can
+                # still consume it via ops.next_event/drain_events, and
+                # EventDispatchThread(backing="sched") remains available
+                # for handlers known not to block.
                 edt = EventDispatchThread(
                     queue, application.thread_group,
                     f"AWT-EventDispatch-{application.name}", daemon=False,

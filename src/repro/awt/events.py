@@ -18,7 +18,8 @@ import threading
 from typing import Callable, Optional
 
 from repro.jvm.errors import IllegalStateException
-from repro.jvm.threads import interruptible_wait
+from repro.sched.timers import wait_until
+from repro.sched.waitobj import WaitPoint
 
 _sequence = itertools.count(1)
 
@@ -124,7 +125,7 @@ class EventQueue:
     def __init__(self, name: str = "event-queue"):
         self.name = name
         self._events: list[AWTEvent] = []
-        self._cond = threading.Condition()
+        self._cond = WaitPoint()
         self._closed = False
 
     def post_event(self, event: AWTEvent) -> int:
@@ -144,11 +145,38 @@ class EventQueue:
     def next_event(self) -> Optional[AWTEvent]:
         """Block for the next event; None once the queue is closed."""
         with self._cond:
-            interruptible_wait(self._cond,
-                               lambda: self._events or self._closed)
+            wait_until(self._cond,
+                       lambda: self._events or self._closed)
             if self._events:
                 return self._events.pop(0)
             return None
+
+    def try_next_event(self) -> tuple[Optional[AWTEvent], bool]:
+        """Non-blocking take: ``(event_or_None, closed)``.
+
+        Task-backed dispatchers loop on this plus :meth:`wait_point`
+        (``repro.sched.ops.next_event``) instead of blocking the loop.
+        """
+        with self._cond:
+            if self._events:
+                return self._events.pop(0), self._closed
+            return None, self._closed
+
+    def try_drain_events(self) -> tuple[list[AWTEvent], bool]:
+        """Non-blocking drain: ``(batch, closed)``; batch may be empty."""
+        with self._cond:
+            if self._events:
+                batch = self._events
+                self._events = []
+                return batch, self._closed
+            return [], self._closed
+
+    def pending_hint(self) -> bool:
+        """True when a retrieval would not block (events or closed)."""
+        return bool(self._events) or self._closed
+
+    def wait_point(self) -> WaitPoint:
+        return self._cond
 
     def drain_events(self) -> Optional[list[AWTEvent]]:
         """Block for events, then return *everything* pending at once.
@@ -160,8 +188,8 @@ class EventQueue:
         closed and drained, mirroring :meth:`next_event`.
         """
         with self._cond:
-            interruptible_wait(self._cond,
-                               lambda: self._events or self._closed)
+            wait_until(self._cond,
+                       lambda: self._events or self._closed)
             if self._events:
                 batch = self._events
                 self._events = []

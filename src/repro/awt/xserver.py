@@ -21,7 +21,7 @@ import threading
 from typing import Optional
 
 from repro.jvm.errors import IllegalArgumentException
-from repro.jvm.threads import interruptible_wait
+from repro.sched.timers import wait_until
 
 
 class XConnection:
@@ -43,8 +43,8 @@ class XConnection:
     def receive(self) -> Optional[dict]:
         """Block for the next message; None once the connection is closed."""
         with self._cond:
-            interruptible_wait(self._cond,
-                               lambda: self._messages or self._closed)
+            wait_until(self._cond,
+                       lambda: self._messages or self._closed)
             if self._messages:
                 return self._messages.pop(0)
             return None

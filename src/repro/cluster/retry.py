@@ -48,7 +48,8 @@ def retry_call(fn: Callable, retry_on, attempts: int = 4,
     """
     if attempts < 1:
         raise IllegalArgumentException("retry_call needs attempts >= 1")
-    do_sleep = sleep if sleep is not None else JThread.sleep
+    from repro.sched import timers
+    do_sleep = sleep if sleep is not None else timers.sleep
     delays = backoff_delays(attempts, initial, factor, maximum)
     attempt = 0
     while True:

@@ -403,25 +403,25 @@ class Cluster:
             ExecSpec(AGENT_CLASS_NAME, tuple(agent_args)),
             vm=worker_mvm.vm, parent=worker_mvm.initial)
         self._workers.append((worker_mvm, daemon, agent))
-        deadline = time.monotonic() + timeout
-        while self.registry.find(hostname) is None:
-            if time.monotonic() > deadline:
-                raise IllegalStateException(
-                    f"worker {hostname} never registered")
-            time.sleep(0.01)
+        from repro.sched.timers import poll_until
+        if not poll_until(lambda: self.registry.find(hostname) is not None,
+                          timeout=timeout):
+            raise IllegalStateException(
+                f"worker {hostname} never registered")
 
     def _await_listener(self, host: str, port: int,
                         timeout: float = 5.0) -> None:
         fabric = self.vm.network
-        deadline = time.monotonic() + timeout
-        while time.monotonic() < deadline:
+
+        def ready() -> bool:
             try:
-                if fabric.resolve(host)._listener(port) is not None:
-                    return
+                return fabric.resolve(host)._listener(port) is not None
             except UnknownHostException:
-                pass
-            time.sleep(0.01)
-        raise IllegalStateException(f"no listener on {host}:{port}")
+                return False
+
+        from repro.sched.timers import poll_until
+        if not poll_until(ready, timeout=timeout):
+            raise IllegalStateException(f"no listener on {host}:{port}")
 
     # -- spawning -------------------------------------------------------------
 

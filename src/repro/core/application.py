@@ -50,7 +50,9 @@ from repro.jvm.errors import (
     IllegalStateException,
     IllegalThreadStateException,
 )
-from repro.jvm.threads import JThread, ThreadGroup, interruptible_wait
+from repro.jvm.threads import JThread, ThreadGroup
+from repro.sched.timers import wait_until
+from repro.sched.waitobj import WaitPoint
 from repro.lang.context import InvocationContext
 from repro.lang.properties import Properties
 from repro.lang.reflect import invoke_main
@@ -208,10 +210,16 @@ class Application:
         self.restarts = 0
         self._started_monotonic: Optional[float] = None
         self._ended_monotonic: Optional[float] = None
-        self._cond = threading.Condition()
+        self._cond = WaitPoint()
         self._non_daemon = 0
         self._threads: list[JThread] = []
         self.main_thread: Optional[JThread] = None
+        #: How this application's continuation-capable threads are backed:
+        #: "sched" (the default — generator mains run as tasks on the
+        #: VM's event loop) or "os" (ExecSpec(threads="os"): the same
+        #: continuation programs run on dedicated OS threads through
+        #: drive_inline).  Plain-callable mains always get an OS thread.
+        self._threads_mode = "sched"
 
         # --- owned resources, torn down by the reaper ---
         self.windows: list = []
@@ -302,6 +310,7 @@ class Application:
         try:
             application = cls(vm, spec.class_name, parent=parent,
                               **spec.state_overrides())
+            application._threads_mode = spec.threads
             if ticket is not None:
                 application.add_exit_hook(ticket.release)
             if spec.phase is not None:
@@ -339,15 +348,44 @@ class Application:
             ctx = InvocationContext(self.vm, self.loader, jclass, app=self)
             exec_parent = exec_span.span_id
 
-            def body() -> None:
-                with tracer.span("app.main", app=self.name,
-                                 parent_id=exec_parent,
-                                 cls=self.class_name):
-                    result = invoke_main(jclass, ctx, args)
-                # A non-zero integer return from main becomes the exit code
-                # (the auto-exit path reports 0 for a normal return).
-                if isinstance(result, int) and result != 0:
-                    self._begin_exit(result)
+            import inspect
+            main_fn = jclass.material.members.get("main")
+            main_is_continuation = main_fn is not None \
+                and inspect.isgeneratorfunction(main_fn)
+            backing = None
+
+            if main_is_continuation:
+                # Continuation main: the body is itself a generator, so
+                # the JThread facade routes it onto the VM's event loop
+                # (or drives it inline on an OS thread when
+                # ExecSpec(threads="os") asked for one).  The app.main
+                # span is begun/ended explicitly — a ``with`` held
+                # across yields would corrupt the loop thread's
+                # thread-local span nesting.
+                def body():
+                    span = tracer.begin_span("app.main", app=self.name,
+                                             parent_id=exec_parent,
+                                             cls=self.class_name)
+                    try:
+                        result = yield from invoke_main(jclass, ctx, args)
+                    finally:
+                        span.end()
+                    if isinstance(result, int) and result != 0:
+                        self._begin_exit(result)
+
+                if self._threads_mode == "os":
+                    backing = "os"
+            else:
+                def body() -> None:
+                    with tracer.span("app.main", app=self.name,
+                                     parent_id=exec_parent,
+                                     cls=self.class_name):
+                        result = invoke_main(jclass, ctx, args)
+                    # A non-zero integer return from main becomes the exit
+                    # code (the auto-exit path reports 0 for a normal
+                    # return).
+                    if isinstance(result, int) and result != 0:
+                        self._begin_exit(result)
 
             # "the main method of class MyClass is called ... within a new
             # thread in the newly-created thread group.  Since the main
@@ -356,7 +394,8 @@ class Application:
             self.main_thread = JThread(target=body,
                                        name=f"main-{self.name}",
                                        group=self.thread_group,
-                                       daemon=False)
+                                       daemon=False,
+                                       backing=backing)
             self.main_thread.start()
 
     def context(self) -> InvocationContext:
@@ -691,7 +730,7 @@ class Application:
         result also says *how* the application ended.
         """
         with self._cond:
-            done = interruptible_wait(
+            done = wait_until(
                 self._cond, lambda: self._state == STATE_TERMINATED,
                 timeout=timeout)
             if not done:
@@ -730,6 +769,15 @@ class Application:
     @property
     def terminated(self) -> bool:
         return self.state == STATE_TERMINATED
+
+    def _is_terminal(self) -> bool:
+        """Lock-free terminal predicate for scheduler wait-objects.
+
+        :func:`repro.sched.ops.wait_app` parks on :attr:`_cond` with this
+        predicate; the caller already holds the wait-point lock, so the
+        raw field read is safe.
+        """
+        return self._state == STATE_TERMINATED
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"Application(id={self.app_id}, name={self.name!r}, "
@@ -796,7 +844,7 @@ class ApplicationRegistry:
         stop all threads, and close all windows"."""
         while True:
             with self._queue_cond:
-                interruptible_wait(self._queue_cond,
+                wait_until(self._queue_cond,
                                    lambda: bool(self._queue))
                 application = self._queue.pop(0)
             try:

@@ -27,7 +27,8 @@ from repro.jvm.errors import (
     StreamClosedException,
     UnknownHostException,
 )
-from repro.jvm.threads import JThread, interruptible_wait
+from repro.jvm.threads import JThread
+from repro.sched.timers import wait_until
 from repro.net.sockets import Socket
 from repro.super.admission import AdmissionRejected
 
@@ -218,9 +219,9 @@ class RemoteApplication:
         Soft-deprecated in favour of :meth:`wait` (typed result).
         """
         with self._cond:
-            done = interruptible_wait(self._cond,
-                                      lambda: self._finished,
-                                      timeout=timeout)
+            done = wait_until(self._cond,
+                              lambda: self._finished,
+                              timeout=timeout)
             if not done:
                 return None
             if self.error is not None:

@@ -28,7 +28,8 @@ from repro.jvm.errors import (
     IOException,
     StreamClosedException,
 )
-from repro.jvm.threads import interruptible_wait
+from repro.sched.timers import wait_until
+from repro.sched.waitobj import WaitPoint
 
 #: Hook consulted on every stream close; installed by the multi-processing
 #: launcher to enforce the Section 5.1 ownership rule.  Receives the stream;
@@ -327,8 +328,9 @@ class RingPipe:
         # in this module is flat (the ``_``-accessors and
         # ``_write_blocking`` run with ``cond`` already held and never
         # re-acquire), and the non-reentrant lock is measurably cheaper on
-        # the per-chunk hot path.
-        self.cond = threading.Condition(threading.Lock())
+        # the per-chunk hot path.  A WaitPoint (condvar-compatible) so
+        # continuation tasks can park on the pipe without an OS thread.
+        self.cond = WaitPoint(threading.Lock())
         self.writer_closed = False
         self.reader_closed = False
         self.wakeups = 0
@@ -478,7 +480,7 @@ class PipedInputStream(InputStream):
             if pipe._tail == pipe._head and not (
                     pipe.writer_closed or pipe.reader_closed):
                 # Slow path only when there is genuinely nothing to read.
-                interruptible_wait(
+                wait_until(
                     pipe.cond,
                     lambda: pipe._tail != pipe._head or pipe.writer_closed
                     or pipe.reader_closed)
@@ -515,7 +517,7 @@ class PipedInputStream(InputStream):
         with pipe.cond:
             if pipe._tail == pipe._head and not (
                     pipe.writer_closed or pipe.reader_closed):
-                interruptible_wait(
+                wait_until(
                     pipe.cond,
                     lambda: pipe._tail != pipe._head or pipe.writer_closed
                     or pipe.reader_closed)
@@ -539,6 +541,44 @@ class PipedInputStream(InputStream):
             elif n:
                 pipe.suppressed_wakeups += 1
             return n
+
+    def try_read(self, size: int = -1) -> Optional[bytes]:
+        """Non-blocking read: bytes, ``b""`` at EOF, None if it would block.
+
+        The task-side entry point (``repro.sched.ops.read`` loops on
+        this plus :meth:`wait_point`), and generally useful for pollers.
+        """
+        self._ensure_open()
+        pipe = self._pipe
+        with pipe.cond:
+            if pipe.reader_closed:
+                raise StreamClosedException("pipe reader closed")
+            used = pipe._tail - pipe._head
+            if not used:
+                return b"" if pipe.writer_closed else None
+            n = used if (size is None or size < 0) else min(size, used)
+            if not n:
+                return b""
+            chunk = pipe._take(n)
+            if used >= pipe.capacity:
+                pipe._notify_edge()  # full → non-full: a writer may wait
+            else:
+                pipe.suppressed_wakeups += 1
+            return chunk
+
+    def readable_hint(self) -> bool:
+        """True when a read would not block (data, EOF, or closed).
+
+        Lock-free predicate for ``wait_on``; callers re-check under the
+        wait-point lock, so a stale read here only costs a retry.
+        """
+        pipe = self._pipe
+        return (pipe._tail != pipe._head or pipe.writer_closed
+                or pipe.reader_closed)
+
+    def wait_point(self) -> WaitPoint:
+        """The pipe's wait object (for task-side parking)."""
+        return self._pipe.cond
 
     def available(self) -> int:
         with self._pipe.cond:
@@ -630,7 +670,7 @@ class PipedOutputStream(OutputStream):
                     pipe.suppressed_wakeups += 1
             if offset >= total:
                 return
-            interruptible_wait(
+            wait_until(
                 pipe.cond,
                 lambda: pipe.reader_closed
                 or pipe._tail - pipe._head < pipe.capacity)
@@ -681,7 +721,7 @@ class _LegacyPipe:
     def __init__(self, capacity: int):
         self.capacity = capacity
         self.buffer = bytearray()
-        self.cond = threading.Condition()
+        self.cond = WaitPoint()
         self.writer_closed = False
         self.reader_closed = False
 
@@ -693,7 +733,7 @@ class _LegacyPipedInputStream(PipedInputStream):
         self._ensure_open()
         pipe = self._pipe
         with pipe.cond:
-            interruptible_wait(
+            wait_until(
                 pipe.cond,
                 lambda: pipe.buffer or pipe.writer_closed
                 or pipe.reader_closed)
@@ -712,6 +752,27 @@ class _LegacyPipedInputStream(PipedInputStream):
 
     def drain_into(self, consumer, max_bytes: int = -1) -> int:
         raise NotImplementedError("legacy pipes have no zero-copy drain")
+
+    def try_read(self, size: int = -1) -> Optional[bytes]:
+        self._ensure_open()
+        pipe = self._pipe
+        with pipe.cond:
+            if pipe.reader_closed:
+                raise StreamClosedException("pipe reader closed")
+            if not pipe.buffer:
+                return b"" if pipe.writer_closed else None
+            if size is None or size < 0:
+                chunk = bytes(pipe.buffer)
+                del pipe.buffer[:]
+            else:
+                chunk = bytes(pipe.buffer[:size])
+                del pipe.buffer[:size]
+            pipe.cond.notify_all()
+            return chunk
+
+    def readable_hint(self) -> bool:
+        pipe = self._pipe
+        return bool(pipe.buffer) or pipe.writer_closed or pipe.reader_closed
 
     def available(self) -> int:
         with self._pipe.cond:
@@ -739,7 +800,7 @@ class _LegacyPipedOutputStream(PipedOutputStream):
         offset = 0
         while offset < len(view):
             with pipe.cond:
-                interruptible_wait(
+                wait_until(
                     pipe.cond,
                     lambda: pipe.reader_closed
                     or len(pipe.buffer) < pipe.capacity)
@@ -898,6 +959,38 @@ class BufferedInputStream(InputStream):
             pieces.append(chunk)
             remaining -= len(chunk)
         return b"".join(pieces)
+
+    def try_read(self, size: int = -1) -> Optional[bytes]:
+        """Non-blocking read (see ``PipedInputStream.try_read``).
+
+        Buffered bytes are always served immediately; an empty buffer
+        defers to the source's ``try_read`` and refills from whatever it
+        yields.  Sources without a non-blocking path fall back to a
+        plain (potentially blocking) read.
+        """
+        self._ensure_open()
+        if size is not None and size == 0:
+            return b""
+        if self._buffered():
+            return self.read(size)
+        source_try = getattr(self._source, "try_read", None)
+        if source_try is None:
+            return self.read(size)
+        chunk = source_try(self._buffer_size)
+        if not chunk:
+            return chunk  # None (would block) or b"" (EOF)
+        self._chunk = chunk
+        self._pos = 0
+        return self.read(size)
+
+    def readable_hint(self) -> bool:
+        if self._buffered():
+            return True
+        hint = getattr(self._source, "readable_hint", None)
+        return hint() if hint is not None else True
+
+    def wait_point(self):
+        return self._source.wait_point()
 
     def available(self) -> int:
         return self._buffered() + self._source.available()

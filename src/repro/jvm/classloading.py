@@ -27,6 +27,7 @@ Python analogue of the domain-annotated JVM stack frames that JDK 1.2's
 
 from __future__ import annotations
 
+import inspect
 import threading
 from typing import Callable, Iterable, Optional
 
@@ -235,7 +236,17 @@ class JObject:
 
 
 class JMethod:
-    """A method handle; invocation pushes the class's protection domain."""
+    """A method handle; invocation pushes the class's protection domain.
+
+    A generator-function member (a *continuation method*, runnable as a
+    scheduler task) cannot be guarded by one ``with`` around the call —
+    the frame would pop before any body code runs, and holding it across
+    a yield would leak it onto whatever thread resumes the generator.
+    ``invoke`` therefore returns a :func:`_domain_guarded` wrapper that
+    re-pushes the domain around *each resumption*, so the access-control
+    stack inside every step is exactly what a plain call would see
+    (Section 5.6 continuity under the event-loop scheduler).
+    """
 
     __slots__ = ("jclass", "name", "_fn")
 
@@ -244,12 +255,51 @@ class JMethod:
         self.name = name
         self._fn = fn
 
+    @property
+    def is_continuation(self) -> bool:
+        """True when this member is a generator function (task-capable)."""
+        return inspect.isgeneratorfunction(self._fn)
+
     def invoke(self, *args, **kwargs):
+        if inspect.isgeneratorfunction(self._fn):
+            return _domain_guarded(
+                self._fn(self.jclass, *args, **kwargs),
+                self.jclass.protection_domain)
         with access.stack_frame(self.jclass.protection_domain):
             return self._fn(self.jclass, *args, **kwargs)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"JMethod({self.jclass.name}.{self.name})"
+
+
+def _domain_guarded(gen, domain):
+    """Delegate to ``gen`` with ``domain`` pushed per resumption.
+
+    The full generator protocol is forwarded — sends, throws (this is
+    where interrupt/stop delivery enters application code), and the
+    return value — but the protection-domain frame exists only *while
+    the inner generator is executing*: it is pushed before each
+    ``send``/``throw`` and popped before each yield travels outward, so
+    the stack a scheduler loop thread carries between task steps is
+    empty and per-step security checks see the right domains.
+    """
+    send_value = None
+    throw_exc = None
+    while True:
+        with access.stack_frame(domain):
+            try:
+                if throw_exc is not None:
+                    pending, throw_exc = throw_exc, None
+                    out = gen.throw(pending)
+                else:
+                    out = gen.send(send_value)
+            except StopIteration as stop:
+                return stop.value
+        try:
+            send_value = yield out
+        except BaseException as exc:  # noqa: BLE001 - forwarded inward
+            throw_exc = exc
+            send_value = None
 
 
 _system_domain_lock = threading.Lock()

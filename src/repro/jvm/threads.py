@@ -217,7 +217,8 @@ class JThread:
                  name: Optional[str] = None,
                  group: Optional[ThreadGroup] = None,
                  daemon: Optional[bool] = None,
-                 args: Iterable = ()):
+                 args: Iterable = (),
+                 backing: Optional[str] = None):
         creator = JThread.current_or_none()
         if group is None:
             if creator is not None:
@@ -239,6 +240,9 @@ class JThread:
         if daemon is None:
             daemon = creator.daemon if creator is not None else False
 
+        if backing not in (None, "sched", "os"):
+            raise IllegalArgumentException(
+                f"backing must be 'sched' or 'os', not {backing!r}")
         self.name = name
         self.group = group
         self.daemon = bool(daemon)
@@ -246,10 +250,19 @@ class JThread:
         self._args = tuple(args)
         self._started = False
         self._finished = threading.Event()
+        self._finish_done = False
+        self._finish_watches: list[Callable[["JThread"], None]] = []
         self._interrupted = False
         self._stop_requested = False
         self._wake = threading.Condition()
         self._python_thread: Optional[threading.Thread] = None
+        #: Backing selection: None = auto (generator bodies become
+        #: scheduler tasks, plain callables get an OS thread), "sched"
+        #: requires a continuation body, "os" forces a dedicated OS
+        #: thread (generator bodies then run under drive_inline).
+        self._backing = backing
+        self._task = None
+        self._continuation = None
         #: callbacks run (in this thread) after the thread body finishes;
         #: the application model uses this for its exit rule.
         self.finish_hooks: list[Callable[["JThread"], None]] = []
@@ -296,10 +309,15 @@ class JThread:
         thread._args = ()
         thread._started = True
         thread._finished = threading.Event()
+        thread._finish_done = False
+        thread._finish_watches = []
         thread._interrupted = False
         thread._stop_requested = False
         thread._wake = threading.Condition()
         thread._python_thread = threading.current_thread()
+        thread._backing = "os"
+        thread._task = None
+        thread._continuation = None
         thread.finish_hooks = []
         thread.inherited_context = None
         thread._acc_stack = []
@@ -318,15 +336,9 @@ class JThread:
         """Detach an attached thread (inverse of :meth:`attach`)."""
         if self._python_thread is not threading.current_thread():
             raise IllegalStateException("only the attached thread may detach")
-        self._finished.set()
         with _registry_lock:
             _current_jthreads.pop(threading.get_ident(), None)
-        self.group._remove_thread(self)
-        for hook in self.finish_hooks:
-            hook(self)
-        vm = self.group.vm
-        if vm is not None:
-            vm.thread_finished(self)
+        self._finish(None)
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -335,6 +347,27 @@ class JThread:
             raise IllegalThreadStateException(
                 "cannot change daemon status of a started thread")
         self.daemon = bool(daemon)
+
+    def _make_continuation(self):
+        """The generator frame for this thread's body, or None.
+
+        A generator-function target (or a generator-function ``run``
+        override) makes this thread continuation-capable: under the
+        scheduler backing the frame is multiplexed on the VM's event
+        loop; under the OS backing it runs through ``drive_inline`` on a
+        dedicated thread.  Creating the generator executes no body code.
+        """
+        import inspect
+        if self._target is not None:
+            if inspect.isgenerator(self._target):
+                return self._target
+            if inspect.isgeneratorfunction(self._target):
+                return self._target(*self._args)
+            return None
+        run = type(self).run
+        if run is not JThread.run and inspect.isgeneratorfunction(run):
+            return self.run()
+        return None
 
     def start(self) -> None:
         if self._started:
@@ -347,6 +380,25 @@ class JThread:
         application = owning_application(self.group)
         if application is not None:
             application.adopt_thread(self)
+        self._continuation = self._make_continuation()
+        if self._continuation is None and self._backing == "sched":
+            raise IllegalThreadStateException(
+                f"thread {self.name}: backing='sched' requires a "
+                f"generator-function body (plain callables cannot be "
+                f"suspended)")
+        if self._continuation is not None and self._backing != "os":
+            # Continuation body: no OS thread at all — the VM's event
+            # loop multiplexes this JThread as a task.  Lifecycle,
+            # interruption and finish hooks all flow through the same
+            # _finish path the OS backing uses.
+            if vm is not None:
+                scheduler = vm.ensure_scheduler()
+            else:
+                from repro.sched import default_scheduler
+                scheduler = default_scheduler()
+            self._task = scheduler.spawn_task(
+                self._continuation, name=self.name, jthread=self)
+            return
         # The Python-level thread is always a Python daemon: VM lifetime is
         # tracked by our own accounting, never by the interpreter's.
         self._python_thread = threading.Thread(
@@ -356,27 +408,68 @@ class JThread:
     def _run_wrapper(self) -> None:
         with _registry_lock:
             _current_jthreads[threading.get_ident()] = self
+        failure: Optional[BaseException] = None
         try:
-            self.run()
+            if self._continuation is not None:
+                from repro.sched.core import drive_inline
+                drive_inline(self._continuation)
+            else:
+                self.run()
         except ThreadDeath:
             pass
-        except JavaThrowable as exc:
-            self.group.uncaught_exception(self, exc)
         except BaseException as exc:  # noqa: BLE001 - must not leak upward
-            self.group.uncaught_exception(self, exc)
+            failure = exc
         finally:
-            self._finished.set()
             with _registry_lock:
                 _current_jthreads.pop(threading.get_ident(), None)
-            self.group._remove_thread(self)
-            for hook in list(self.finish_hooks):
-                try:
-                    hook(self)
-                except BaseException as exc:  # noqa: BLE001
-                    self.group.uncaught_exception(self, exc)
-            vm = self.group.vm
-            if vm is not None:
-                vm.thread_finished(self)
+            self._finish(failure)
+
+    def _finish(self, exc: Optional[BaseException] = None) -> None:
+        """The single end-of-life path for every backing — exactly once.
+
+        Reports a non-ThreadDeath failure, marks the thread finished,
+        removes it from its group, runs finish hooks (each guarded), and
+        settles VM accounting.  Idempotent: the OS-thread wrapper, the
+        scheduler's task-finish, ``detach()`` and scheduler teardown all
+        funnel here, and only the first caller acts — which is what
+        makes "finish hooks run exactly once" hold even when a stop()
+        races a task death.
+        """
+        with self._wake:
+            if self._finish_done:
+                return
+            self._finish_done = True
+            watches, self._finish_watches = self._finish_watches, []
+        if exc is not None and not isinstance(exc, ThreadDeath):
+            self.group.uncaught_exception(self, exc)
+        self._finished.set()
+        self.group._remove_thread(self)
+        for hook in list(self.finish_hooks):
+            try:
+                hook(self)
+            except BaseException as hook_exc:  # noqa: BLE001
+                self.group.uncaught_exception(self, hook_exc)
+        vm = self.group.vm
+        if vm is not None:
+            vm.thread_finished(self)
+        for watch in watches:
+            try:
+                watch(self)
+            except BaseException as watch_exc:  # noqa: BLE001
+                self.group.uncaught_exception(self, watch_exc)
+
+    def _add_finish_watch(self, callback: Callable[["JThread"], None]) -> bool:
+        """Register an internal finish callback; True if already finished.
+
+        Unlike ``finish_hooks`` (application-visible, must be installed
+        before start), watches may be added concurrently with the thread
+        dying — the scheduler's join path relies on this being atomic.
+        """
+        with self._wake:
+            if self._finish_done:
+                return True
+            self._finish_watches.append(callback)
+            return False
 
     def run(self) -> None:
         """Thread body; subclasses may override instead of passing target."""
@@ -402,6 +495,11 @@ class JThread:
         with self._wake:
             self._interrupted = True
             self._wake.notify_all()
+        task = self._task
+        if task is not None:
+            # A parked continuation cannot poll its flags; hand it back
+            # to the ready queue so delivery happens at the next step.
+            task.scheduler._kick(task)
 
     def is_interrupted(self, clear: bool = False) -> bool:
         with self._wake:
@@ -421,6 +519,9 @@ class JThread:
             self._stop_requested = True
             self._interrupted = True
             self._wake.notify_all()
+        task = self._task
+        if task is not None:
+            task.scheduler._kick(task)
 
     @property
     def stop_requested(self) -> bool:
@@ -441,6 +542,8 @@ class JThread:
     @staticmethod
     def sleep(seconds: float) -> None:
         """Interruptible sleep (a stop point)."""
+        from repro.sched.core import assert_not_loop_thread
+        assert_not_loop_thread("JThread.sleep")
         thread = JThread.current_or_none()
         if thread is None:
             time.sleep(seconds)
@@ -464,6 +567,8 @@ class JThread:
 
     def join(self, timeout: Optional[float] = None) -> None:
         """Wait for this thread to finish (a stop point for the waiter)."""
+        from repro.sched.core import assert_not_loop_thread
+        assert_not_loop_thread("JThread.join")
         waiter = JThread.current_or_none()
         deadline = None if timeout is None else time.monotonic() + timeout
         while True:
@@ -510,25 +615,17 @@ def checkpoint() -> None:
 def interruptible_wait(condition: threading.Condition,
                        predicate: Callable[[], bool],
                        timeout: Optional[float] = None) -> bool:
-    """Wait on ``condition`` until ``predicate()`` — a stop point.
+    """Deprecated: use :func:`repro.sched.timers.wait_until`.
 
-    The caller must hold ``condition``.  Returns True if the predicate became
-    true, False on timeout.  Raises InterruptedException / ThreadDeath if the
-    calling thread is interrupted or stopped while waiting.  All blocking
-    primitives in this library (queues, pipes, application waits) are built
-    on this helper so that the reaper of Section 5.1 can always make
-    progress.
+    The predicate-wait helper moved into the scheduler's unified timing
+    API (the OS-thread half; tasks use ``repro.sched.ops.wait_on``).
+    This shim forwards with identical semantics and will be removed once
+    external callers have migrated.
     """
-    thread = JThread.current_or_none()
-    deadline = None if timeout is None else time.monotonic() + timeout
-    while not predicate():
-        if thread is not None:
-            thread._check_stop_point()
-        wait_for = POLL_INTERVAL
-        if deadline is not None:
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
-                return False
-            wait_for = min(wait_for, remaining)
-        condition.wait(wait_for)
-    return True
+    import warnings
+    warnings.warn(
+        "interruptible_wait() is deprecated; use "
+        "repro.sched.timers.wait_until (or repro.sched.ops.wait_on "
+        "from a task)", DeprecationWarning, stacklevel=2)
+    from repro.sched.timers import wait_until
+    return wait_until(condition, predicate, timeout=timeout)

@@ -29,8 +29,9 @@ from repro.io.streams import (
 )
 from repro.jvm.classloading import ClassLoader, ClassRegistry
 from repro.jvm.errors import IllegalStateException
-from repro.jvm.threads import JThread, ThreadGroup, interruptible_wait
+from repro.jvm.threads import JThread, ThreadGroup
 from repro.lang.properties import Properties
+from repro.sched.timers import wait_until
 from repro.telemetry import TelemetryHub
 
 JAVA_VERSION = "1.2mp-proto"
@@ -106,6 +107,11 @@ class VirtualMachine:
         self.admission = None              # repro.super.admission
         self.supervisors = {}              # name -> repro.super.Supervisor
         self.policy_recorder = None        # repro.policytool.recorder (lazy)
+        #: The per-VM event-loop scheduler (repro.sched), created lazily
+        #: by ensure_scheduler() the first time a continuation task or a
+        #: scheduler-backed JThread starts on this VM.
+        self.scheduler = None
+        self._scheduler_lock = threading.Lock()
 
         self._state = STATE_NEW
         self._state_lock = threading.Lock()
@@ -185,9 +191,9 @@ class VirtualMachine:
         while not self._terminated.is_set():
             job = None
             with self._finalizer_cond:
-                interruptible_wait(self._finalizer_cond,
-                                   lambda: bool(self._finalizer_queue),
-                                   timeout=0.05)
+                wait_until(self._finalizer_cond,
+                           lambda: bool(self._finalizer_queue),
+                           timeout=0.05)
                 if self._finalizer_queue:
                     job = self._finalizer_queue.pop(0)
             if job is not None:
@@ -212,6 +218,23 @@ class VirtualMachine:
                     return True
             JThread.sleep(0.01)
         return False
+
+    # -- the event-loop scheduler (repro.sched) ---------------------------------------
+
+    def ensure_scheduler(self):
+        """The VM's event-loop scheduler, started on first use.
+
+        One loop per VM multiplexes every continuation task (and every
+        scheduler-backed JThread facade) for all applications in this
+        VM — the ROADMAP's answer to one-OS-thread-per-JThread.
+        """
+        with self._scheduler_lock:
+            if self.scheduler is None or not self.scheduler.running:
+                from repro.sched import Scheduler
+                self.scheduler = Scheduler(
+                    name=f"sched-{self.os_context.pid}",
+                    telemetry=self.telemetry)
+            return self.scheduler.start()
 
     # -- thread accounting (Figure 1) -----------------------------------------------
 
@@ -284,6 +307,13 @@ class VirtualMachine:
             except BaseException as exc:  # noqa: BLE001
                 self.report_uncaught(JThread.current_or_none(), exc)
         self.root_group.stop_all()
+        # Stop the event loop after stop_all: parked tasks get their
+        # ThreadDeath either via the stop-flag kick above or, failing
+        # that, from the scheduler's own teardown — finish hooks run
+        # exactly once either way.
+        scheduler = self.scheduler
+        if scheduler is not None:
+            scheduler.shutdown()
         with self._state_lock:
             self._state = STATE_TERMINATED
         self._terminated.set()

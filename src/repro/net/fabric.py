@@ -32,7 +32,8 @@ from repro.jvm.errors import (
     ConnectException,
     UnknownHostException,
 )
-from repro.jvm.threads import interruptible_wait
+from repro.sched.timers import wait_until
+from repro.sched.waitobj import WaitPoint
 
 
 class Endpoint:
@@ -69,7 +70,7 @@ class Listener:
         self.port = port
         self.backlog = backlog
         self._pending: list[Endpoint] = []
-        self._cond = threading.Condition()
+        self._cond = WaitPoint()
         self.closed = False
 
     def _offer(self, endpoint: Endpoint) -> bool:
@@ -83,12 +84,30 @@ class Listener:
     def accept(self, timeout: Optional[float] = None) -> Optional[Endpoint]:
         """Block for the next incoming connection (a stop point)."""
         with self._cond:
-            got = interruptible_wait(self._cond,
-                                     lambda: self._pending or self.closed,
-                                     timeout=timeout)
+            got = wait_until(self._cond,
+                             lambda: self._pending or self.closed,
+                             timeout=timeout)
             if not got or self.closed and not self._pending:
                 return None
             return self._pending.pop(0)
+
+    def try_accept(self) -> Optional[Endpoint]:
+        """Non-blocking accept; None when no connection is pending.
+
+        Task-side servers loop on this plus :meth:`wait_point` (via
+        ``repro.sched.ops.accept``) instead of blocking the event loop.
+        """
+        with self._cond:
+            if self._pending:
+                return self._pending.pop(0)
+            return None
+
+    def acceptable_hint(self) -> bool:
+        """True when ``accept`` would not block (pending or closed)."""
+        return bool(self._pending) or self.closed
+
+    def wait_point(self) -> WaitPoint:
+        return self._cond
 
     def close(self) -> None:
         with self._cond:

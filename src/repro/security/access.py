@@ -91,7 +91,19 @@ def _inherited_context() -> Optional["AccessControlContext"]:
     thread = JThread.current_or_none()
     if thread is not None:
         return thread.inherited_context
-    return None
+    return getattr(_fallback_stacks, "task_floor", None)
+
+
+def set_task_floor(context) -> None:
+    """Install the inherited-context floor for a facade-less task step.
+
+    The event-loop scheduler calls this around each step of a task that
+    has no ``JThread`` identity: the task's creation-time snapshot
+    becomes the calling (loop) thread's inherited context for exactly
+    the duration of the step, preserving Section 5.6's rule that spawned
+    work never exceeds its creator's privilege.  Pass None to clear.
+    """
+    _fallback_stacks.task_floor = context
 
 
 class AccessControlContext:

@@ -101,7 +101,8 @@ class FaultInjector:
                  sleep: Optional[Callable[[float], None]] = None):
         self.seed = seed
         self._rng = random.Random(seed)
-        self._sleep = sleep if sleep is not None else JThread.sleep
+        from repro.sched import timers
+        self._sleep = sleep if sleep is not None else timers.sleep
         self._rules: dict[str, list[_Rule]] = {}
         self._fired: dict[str, int] = {}
         self._lock = threading.Lock()

@@ -120,7 +120,8 @@ class Supervisor:
         self.seed = seed
         self.probe_interval = probe_interval
         self._clock = clock
-        self._sleep = sleep if sleep is not None else JThread.sleep
+        from repro.sched import timers
+        self._sleep = sleep if sleep is not None else timers.sleep
         self.metrics = self.vm.telemetry.metrics
         self.tracer = self.vm.telemetry.tracer
         self._services: dict[str, SupervisedService] = {}
@@ -233,7 +234,7 @@ class Supervisor:
             checkpoint()
             self._drain_pending_spawns()
             self._probe_tick()
-            JThread.sleep(self.probe_interval)
+            self._sleep(self.probe_interval)
 
     def _drain_pending_spawns(self) -> None:
         """Act on queued start requests from inside the supervisor app."""

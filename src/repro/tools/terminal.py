@@ -31,7 +31,7 @@ from typing import Optional
 
 from repro.io.streams import InputStream, OutputStream, PrintStream
 from repro.jvm.classloading import ClassMaterial
-from repro.jvm.threads import interruptible_wait
+from repro.sched.timers import wait_until
 from repro.security.codesource import CodeSource
 
 CLASS_NAME = "tools.Terminal"
@@ -70,13 +70,9 @@ class TerminalDevice:
 
     def wait_for_output(self, needle: str, timeout: float = 5.0) -> bool:
         """Poll until ``needle`` appears on the screen (test helper)."""
-        import time
-        deadline = time.monotonic() + timeout
-        while time.monotonic() < deadline:
-            if needle in self.transcript():
-                return True
-            time.sleep(0.01)
-        return False
+        from repro.sched.timers import poll_until
+        return poll_until(lambda: needle in self.transcript(),
+                          timeout=timeout)
 
     def hang_up(self) -> None:
         """The user disconnects; reads return end-of-stream."""
@@ -89,8 +85,8 @@ class TerminalDevice:
     def read_char(self) -> Optional[str]:
         """Block for one keystroke; None when the device is hung up."""
         with self._cond:
-            interruptible_wait(self._cond,
-                               lambda: self._keys or self.closed)
+            wait_until(self._cond,
+                       lambda: self._keys or self.closed)
             if self._keys:
                 return self._keys.pop(0)
             return None

@@ -3,6 +3,8 @@
 Mounted read-only at ``/proc`` by the multi-processing launcher::
 
     /proc/vmstat              VM-wide telemetry rollup (world-readable)
+    /proc/sched               the event-loop scheduler: live tasks, queue
+                              depths, switch/timer/error counters
     /proc/security/cache      permission-cache hit/miss/invalidation stats
     /proc/dist/transport      dist-fabric transport stats: frames, bytes,
                               coalescing, and the channel pool
@@ -164,6 +166,13 @@ class ProcFileSystem:
             f"ipc.ring.suppressed_wakeups\t{ring['suppressed_wakeups']}",
             f"ipc.ring.zero_copy_bytes\t{ring['zero_copy_bytes']}",
         ])
+        sched = self._sched_stats()
+        lines.extend([
+            f"sched.tasks.live\t{sched['live']}",
+            f"sched.tasks.spawned\t{sched['spawned']}",
+            f"sched.tasks.completed\t{sched['completed']}",
+            f"sched.switches\t{sched['switches']}",
+        ])
         if self.vm.cluster is not None:
             lines.extend([
                 f"cluster.nodes.live\t"
@@ -242,6 +251,30 @@ class ProcFileSystem:
             lines.append(f"policy_epoch\t{epoch}")
         return "\n".join(lines) + "\n"
 
+    def _sched_stats(self) -> dict:
+        scheduler = getattr(self.vm, "scheduler", None)
+        if scheduler is None:
+            return {"live": 0, "ready": 0, "timers": 0, "spawned": 0,
+                    "completed": 0, "switches": 0, "timer_fires": 0,
+                    "task_errors": 0, "running": False}
+        return scheduler.stats()
+
+    def _sched_text(self) -> str:
+        """``/proc/sched``: the VM's event-loop scheduler, in numbers."""
+        stats = self._sched_stats()
+        lines = [
+            f"running\t{1 if stats['running'] else 0}",
+            f"tasks.live\t{stats['live']}",
+            f"tasks.ready\t{stats['ready']}",
+            f"tasks.timers\t{stats['timers']}",
+            f"tasks.spawned\t{stats['spawned']}",
+            f"tasks.completed\t{stats['completed']}",
+            f"tasks.errors\t{stats['task_errors']}",
+            f"switches\t{stats['switches']}",
+            f"timer_fires\t{stats['timer_fires']}",
+        ]
+        return "\n".join(lines) + "\n"
+
     def _ring_snapshot(self) -> dict:
         from repro.io.streams import RING_STATS
         return RING_STATS.snapshot()
@@ -315,6 +348,8 @@ class ProcFileSystem:
         parts = self._split(rel)
         if parts == ["vmstat"]:
             return self._vmstat_text().encode("utf-8")
+        if parts == ["sched"]:
+            return self._sched_text().encode("utf-8")
         if parts == ["security", "cache"]:
             return self._security_cache_text().encode("utf-8")
         if parts and parts[0] == "security":
@@ -393,7 +428,7 @@ class ProcFileSystem:
             entries = sorted([str(a.app_id) for a in applications], key=int)
             if self.vm.cluster is not None:
                 entries.append("cluster")
-            entries.extend(["dist", "ipc", "policy", "security"])
+            entries.extend(["dist", "ipc", "policy", "sched", "security"])
             if self._has_super():
                 entries.append("super")
             return entries + ["vmstat"]

@@ -38,6 +38,7 @@ def run_bench(bench_file: str, *extra_args: str) -> \
 
 @pytest.mark.parametrize("bench_file",
                          ["bench_security.py", "bench_dispatch.py",
+                          "bench_context_switch.py",
                           "bench_ipc_pipes.py",
                           "bench_sharing_and_dist.py",
                           "bench_supervision.py"])

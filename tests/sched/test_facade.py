@@ -1,0 +1,298 @@
+"""JThread as a facade over scheduler tasks — byte-compatible surface."""
+
+import threading
+import time
+
+import pytest
+
+from repro.jvm.errors import (
+    IllegalThreadStateException,
+    InterruptedException,
+)
+from repro.jvm.threads import JThread, ThreadGroup
+from repro.sched import sched_yield, sleep
+
+pytestmark = pytest.mark.sched
+
+
+@pytest.fixture
+def root():
+    return ThreadGroup(None, "system")
+
+
+def _settle():
+    """Let daemon worker threads from prior tests wind down."""
+    time.sleep(0.05)
+
+
+class TestSchedBacking:
+    def test_generator_target_needs_no_os_thread(self, root):
+        _settle()
+        before = threading.active_count()
+        done = []
+
+        def body():
+            yield sched_yield()
+            done.append("ran")
+
+        threads = [JThread(target=body, group=root) for _ in range(50)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(5)
+            assert not thread.is_alive()
+        # 50 JThreads, at most the one shared loop thread added.
+        assert threading.active_count() <= before + 1
+        assert done == ["ran"] * 50
+
+    def test_args_forwarded(self, root):
+        seen = []
+
+        def body(a, b):
+            yield
+            seen.append((a, b))
+
+        thread = JThread(target=body, group=root, args=(1, "x"))
+        thread.start()
+        thread.join(5)
+        assert not thread.is_alive()
+        assert seen == [(1, "x")]
+
+    def test_interrupt_delivered_into_body(self, root):
+        caught = []
+
+        def body():
+            try:
+                while True:
+                    yield
+            except InterruptedException:
+                caught.append(True)
+
+        thread = JThread(target=body, group=root)
+        thread.start()
+        time.sleep(0.05)
+        thread.interrupt()
+        thread.join(5)
+        assert not thread.is_alive()
+        assert caught == [True]
+
+    def test_interrupt_wakes_sleeping_body(self, root):
+        def body():
+            yield sleep(30.0)
+
+        thread = JThread(target=body, group=root)
+        thread.start()
+        time.sleep(0.05)
+        start = time.monotonic()
+        thread.interrupt()
+        thread.join(5)
+        assert not thread.is_alive()
+        assert time.monotonic() - start < 5
+
+    def test_is_interrupted_flag(self, root):
+        def body():
+            yield sleep(0.2)
+
+        thread = JThread(target=body, group=root)
+        thread.start()
+        thread.interrupt()
+        # The flag is observable from outside before delivery consumes it
+        # (same contract as the OS backing).
+        assert thread.is_interrupted() is True
+        thread.join(5)
+
+    def test_stop_is_silent(self, root):
+        def body():
+            while True:
+                yield
+
+        thread = JThread(target=body, group=root)
+        thread.start()
+        time.sleep(0.05)
+        thread.stop()
+        thread.join(5)
+        assert not thread.is_alive()
+
+    def test_group_membership_lifecycle(self, root):
+        def body():
+            yield sleep(0.2)
+
+        thread = JThread(target=body, group=root)
+        assert thread.group is root
+        thread.start()
+        assert thread in root.enumerate_threads()
+        thread.join(5)
+        assert not thread.is_alive()
+        assert thread not in root.enumerate_threads()
+
+    def test_double_start_raises(self, root):
+        def body():
+            yield
+
+        thread = JThread(target=body, group=root)
+        thread.start()
+        with pytest.raises(IllegalThreadStateException):
+            thread.start()
+        thread.join(5)
+
+    def test_join_timeout_then_completion(self, root):
+        def body():
+            yield sleep(0.2)
+
+        thread = JThread(target=body, group=root)
+        thread.start()
+        thread.join(0.02)
+        assert thread.is_alive()
+        thread.join(5)
+        assert not thread.is_alive()
+
+    def test_run_override_generator(self, root):
+        ran = []
+
+        class Worker(JThread):
+            def run(self):
+                yield sched_yield()
+                ran.append("override")
+
+        worker = Worker(group=root)
+        worker.start()
+        worker.join(5)
+        assert not worker.is_alive()
+        assert ran == ["override"]
+
+
+class TestBackingSelection:
+    def test_sched_backing_rejects_plain_callable(self, root):
+        thread = JThread(target=lambda: None, group=root, backing="sched")
+        with pytest.raises(IllegalThreadStateException):
+            thread.start()
+
+    def test_bad_backing_value_rejected(self, root):
+        from repro.jvm.errors import IllegalArgumentException
+        with pytest.raises(IllegalArgumentException):
+            JThread(target=lambda: None, group=root, backing="green")
+
+    def test_os_backing_drives_generator_inline(self, root):
+        _settle()
+        before = threading.active_count()
+        done = []
+
+        def body():
+            yield sleep(0.01)
+            done.append("inline")
+
+        thread = JThread(target=body, group=root, backing="os")
+        thread.start()
+        # The escape hatch costs a dedicated OS thread again.
+        assert threading.active_count() >= before + 1
+        thread.join(5)
+        assert not thread.is_alive()
+        assert done == ["inline"]
+
+    def test_plain_callable_still_gets_os_thread(self, root):
+        done = []
+        thread = JThread(target=lambda: done.append(1), group=root)
+        thread.start()
+        thread.join(5)
+        assert not thread.is_alive()
+        assert done == [1]
+
+    def test_same_body_same_result_both_backings(self, root):
+        def make(results):
+            def body():
+                total = 0
+                for i in range(5):
+                    total += i
+                    yield sched_yield()
+                results.append(total)
+            return body
+
+        for backing in ("sched", "os"):
+            results = []
+            thread = JThread(target=make(results), group=root,
+                             backing=backing)
+            thread.start()
+            thread.join(5)
+            assert not thread.is_alive()
+            assert results == [10], backing
+
+
+class TestFinishHooks:
+    def test_hooks_run_exactly_once_sched(self, root):
+        hits = []
+
+        def body():
+            yield
+
+        thread = JThread(target=body, group=root)
+        thread.finish_hooks.append(lambda t: hits.append(t.name))
+        thread.start()
+        thread.join(5)
+        assert not thread.is_alive()
+        time.sleep(0.05)
+        assert hits == [thread.name]
+
+    def test_hooks_run_exactly_once_under_stop_race(self, root):
+        hits = []
+
+        def body():
+            while True:
+                yield
+
+        thread = JThread(target=body, group=root)
+        thread.finish_hooks.append(lambda t: hits.append(1))
+        thread.start()
+        time.sleep(0.05)
+        # Two racing stop requests from different threads.
+        stoppers = [threading.Thread(target=thread.stop) for _ in range(2)]
+        for s in stoppers:
+            s.start()
+        for s in stoppers:
+            s.join(5)
+        thread.join(5)
+        assert not thread.is_alive()
+        time.sleep(0.05)
+        assert hits == [1]
+
+    def test_hooks_run_exactly_once_on_detach(self, root):
+        hits = []
+        errors = []
+
+        def host():
+            try:
+                thread = JThread.attach("guest", root)
+                thread.finish_hooks.append(lambda t: hits.append(1))
+                thread.detach()
+                # A second finish attempt (e.g. reaper racing detach)
+                # must be a no-op.
+                thread._finish(None)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        worker = threading.Thread(target=host)
+        worker.start()
+        worker.join(5)
+        assert errors == []
+        assert hits == [1]
+
+    def test_hooks_run_once_on_scheduler_teardown(self):
+        from repro.sched import Scheduler
+        sched = Scheduler(name="facade-teardown")
+        sched.start()
+        group = ThreadGroup(None, "system")
+        hits = []
+
+        def body():
+            yield sleep(3600.0)
+
+        thread = JThread(target=body, group=group)
+        thread.finish_hooks.append(lambda t: hits.append(1))
+        thread._continuation = thread._make_continuation()
+        thread._started = True
+        thread._task = sched.spawn_task(
+            thread._continuation, name=thread.name, jthread=thread)
+        time.sleep(0.05)
+        sched.shutdown()
+        thread.join(5)
+        assert not thread.is_alive()
+        assert hits == [1]

@@ -1,0 +1,103 @@
+"""Tier-1 scale smoke: thousands of tasks, a small app fleet, fast.
+
+The full-scale numbers (10k apps, switch throughput) live in
+``benchmarks/bench_context_switch.py``; this file keeps a cheap
+always-on canary in the tier-1 suite so a regression that breaks
+many-task scale is caught before the next bench run.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.execspec import ExecSpec
+from repro.core.launcher import MultiProcVM
+from repro.sched import Scheduler, ops, sched_yield
+
+pytestmark = pytest.mark.sched
+
+N_TASKS = 2000
+N_APPS = 50
+
+
+class TestManyTasks:
+    def test_thousands_of_idle_tasks_one_thread(self):
+        scheduler = Scheduler(name="scale-idle")
+        scheduler.start()
+        try:
+            before = threading.active_count()
+
+            def body():
+                yield from ops.sleep(3600.0)
+
+            tasks = [scheduler.spawn(body) for _ in range(N_TASKS)]
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                if scheduler.stats()["live"] >= N_TASKS:
+                    break
+                time.sleep(0.01)
+            assert scheduler.stats()["live"] >= N_TASKS
+            # All parked on the timer heap; no OS threads were added.
+            assert threading.active_count() == before
+            for task in tasks:
+                task.stop()
+            assert all(task.join(10) for task in tasks)
+        finally:
+            scheduler.shutdown()
+
+    def test_thousands_of_ready_tasks_complete(self):
+        scheduler = Scheduler(name="scale-ready")
+        scheduler.start()
+        try:
+            results = []
+
+            def body(i):
+                yield sched_yield()
+                results.append(i)
+
+            tasks = [scheduler.spawn(body, i) for i in range(N_TASKS)]
+            assert all(task.join(30) for task in tasks)
+            assert sorted(results) == list(range(N_TASKS))
+        finally:
+            scheduler.shutdown()
+
+
+class TestAppFleet:
+    def test_idle_app_fleet_launch_and_teardown(self):
+        import sys
+        sys.path.insert(0, "benchmarks")
+        try:
+            from _common import register_main
+        finally:
+            sys.path.pop(0)
+
+        def idle_main(jclass, ctx, args):
+            yield from ops.sleep(3600.0)
+            return 0
+
+        mvm = MultiProcVM.boot()
+        try:
+            with mvm.host_session():
+                class_name = register_main(mvm.vm, "SmokeIdleApp", idle_main)
+                before = threading.active_count()
+                apps = [mvm.launch(ExecSpec(class_name, name=f"smoke-{i}"))
+                        for i in range(N_APPS)]
+                deadline = time.monotonic() + 30
+                scheduler = mvm.vm.scheduler
+                while time.monotonic() < deadline:
+                    scheduler = mvm.vm.scheduler
+                    if scheduler is not None \
+                            and scheduler.stats()["live"] >= N_APPS:
+                        break
+                    time.sleep(0.01)
+                assert scheduler is not None
+                assert scheduler.stats()["live"] >= N_APPS
+                # The fleet shares one loop thread, not N_APPS threads.
+                assert threading.active_count() - before <= 2
+                for app in apps:
+                    app.destroy()
+                for app in apps:
+                    assert app.wait_for(10)
+        finally:
+            mvm.shutdown()

@@ -129,6 +129,45 @@ class TestProcSurface:
         assert "ipc.ring.wakeups\t" in vmstat
         assert "ipc.ring.zero_copy_bytes\t" in vmstat
 
+    def test_sched_surface(self, host, register_app):
+        """/proc/sched renders the event-loop's counters, and vmstat
+        rolls the same numbers up under the sched.* prefix."""
+        def body(ctx):
+            return (read_text(ctx, "/proc/sched"),
+                    read_text(ctx, "/proc/vmstat"))
+
+        _, outcome = run_probe(host, register_app, "SchedProbe", body)
+        sched, vmstat = outcome["result"]
+        for key in ("running\t", "tasks.live\t", "tasks.spawned\t",
+                    "tasks.completed\t", "switches\t", "timer_fires\t"):
+            assert key in sched
+        fields = dict(line.split("\t") for line
+                      in sched.strip().splitlines())
+        # Counters render as integers whether or not the VM has booted
+        # its loop yet (a plain-callable main stays on an OS thread).
+        assert int(fields["tasks.spawned"]) >= 0
+        assert int(fields["switches"]) >= 0
+        assert "sched.tasks.live\t" in vmstat
+        assert "sched.switches\t" in vmstat
+
+    def test_sched_counts_generator_main(self, host, register_app):
+        """A generator main runs as a scheduler task, and /proc/sched
+        shows it spawned."""
+        outcome = {}
+
+        def main(jclass, ctx, args):
+            outcome["sched"] = read_text(ctx, "/proc/sched")
+            return 0
+            yield  # pragma: no cover - marks this main as a continuation
+
+        app = host.exec(register_app("SchedGenProbe", main), [])
+        assert app.wait_for(10) == 0
+        fields = dict(line.split("\t") for line
+                      in outcome["sched"].strip().splitlines())
+        assert fields["running"] == "1"
+        assert int(fields["tasks.spawned"]) >= 1
+        assert int(fields["tasks.live"]) >= 1
+
     def test_dist_transport_surface(self, host, register_app):
         """/proc/dist/transport renders frame and pool counters even on a
         VM that has never opened a pooled channel."""

@@ -41,6 +41,8 @@ def test_version_present():
     "repro.dist.protocol", "repro.dist.daemon", "repro.dist.client",
     "repro.dist.rsh",
     "repro.procsim.model",
+    "repro.sched", "repro.sched.core", "repro.sched.waitobj",
+    "repro.sched.ops", "repro.sched.timers",
 ])
 def test_every_module_imports_and_has_a_docstring(module_name):
     module = importlib.import_module(module_name)
@@ -58,3 +60,47 @@ def test_paper_policy_exported_and_parses():
     policy = repro.paper_example_policy()
     assert policy.entries()
     assert "UserPermission" in repro.DEFAULT_POLICY
+
+
+class TestSchedulerExports:
+    """The event-loop scheduler core is part of the public surface."""
+
+    def test_scheduler_types_exported(self):
+        for name in ("sched", "Scheduler", "Task", "spawn", "sched_yield",
+                     "WaitPoint", "SchedEvent", "TaskWaiter"):
+            assert name in repro.__all__, name
+            assert hasattr(repro, name), name
+
+    def test_spawn_is_default_scheduler_entrypoint(self):
+        task = repro.spawn(lambda: 40 + 2)
+        assert task.join(5)
+        assert task.result == 42
+
+    def test_jthread_facade_signature_stable(self):
+        """The facade's constructor surface is pinned: old call sites
+        must keep working byte-for-byte, new ``backing`` is keyword-only
+        in practice (trailing, defaulted)."""
+        import inspect
+        from repro.jvm.threads import JThread
+        params = list(inspect.signature(JThread.__init__).parameters)
+        assert params == ["self", "target", "name", "group", "daemon",
+                          "args", "backing"]
+        sig = inspect.signature(JThread.__init__)
+        assert sig.parameters["backing"].default is None
+
+    def test_execspec_threads_field(self):
+        from repro.core.execspec import ExecSpec
+        spec = ExecSpec("apps.Demo")
+        assert spec.threads == "sched"
+        forced = ExecSpec("apps.Demo", threads="os")
+        assert forced.threads == "os"
+        with pytest.raises(Exception):
+            ExecSpec("apps.Demo", threads="green")
+
+    def test_wait_objects_are_condition_compatible(self):
+        wp = repro.WaitPoint()
+        with wp:
+            pass  # acquire/release like a Condition
+        event = repro.SchedEvent()
+        event.set()
+        assert event.wait(0) is True
